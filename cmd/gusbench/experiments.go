@@ -1,0 +1,667 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	gus "github.com/sampling-algebra/gus"
+	"github.com/sampling-algebra/gus/internal/core"
+	"github.com/sampling-algebra/gus/internal/estimator"
+	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/lineage"
+	"github.com/sampling-algebra/gus/internal/plan"
+	"github.com/sampling-algebra/gus/internal/relation"
+	"github.com/sampling-algebra/gus/internal/sampling"
+	"github.com/sampling-algebra/gus/internal/stats"
+	"github.com/sampling-algebra/gus/internal/tpch"
+)
+
+func relErrPct(got, want float64) string {
+	return fmt.Sprintf("%6.3f%%", 100*stats.RelErr(got, want))
+}
+
+// runFig1 reproduces Figure 1: GUS parameters for the known sampling
+// methods on a single relation.
+func runFig1(benchConfig) error {
+	header("Figure 1 — GUS parameters of known sampling methods (paper vs measured)")
+	b, err := core.Bernoulli("R", 0.1)
+	if err != nil {
+		return err
+	}
+	w, err := core.WOR("R", 1000, 150000)
+	if err != nil {
+		return err
+	}
+	r := lineage.Singleton(0)
+	fmt.Printf("%-18s %-8s %-14s %-14s %s\n", "method", "param", "paper", "measured", "rel.err")
+	rows := []struct {
+		method, param string
+		paper, got    float64
+	}{
+		{"Bernoulli(p=0.1)", "a", 0.1, b.A()},
+		{"Bernoulli(p=0.1)", "b_∅", 0.01, b.B(lineage.Empty)},
+		{"Bernoulli(p=0.1)", "b_R", 0.1, b.B(r)},
+		{"WOR(1000,150000)", "a", 1000.0 / 150000, w.A()},
+		{"WOR(1000,150000)", "b_∅", 1000.0 * 999 / (150000.0 * 149999), w.B(lineage.Empty)},
+		{"WOR(1000,150000)", "b_R", 1000.0 / 150000, w.B(r)},
+	}
+	for _, row := range rows {
+		fmt.Printf("%-18s %-8s %-14.6g %-14.6g %s\n",
+			row.method, row.param, row.paper, row.got, relErrPct(row.got, row.paper))
+	}
+	return nil
+}
+
+// paperOrders builds an orders relation with exactly the paper's
+// cardinality (150,000) so WOR translation matches the printed values.
+func paperOrders() *relation.Relation {
+	r := relation.MustNew("o", relation.MustSchema(
+		relation.Column{Name: "o_orderkey", Kind: relation.KindInt},
+		relation.Column{Name: "o_custkey", Kind: relation.KindInt},
+	))
+	for i := 1; i <= 150000; i++ {
+		r.MustAppend(relation.Int(int64(i)), relation.Int(int64(i%20+1)))
+	}
+	return r
+}
+
+func smallLineitem(n int) *relation.Relation {
+	r := relation.MustNew("l", relation.MustSchema(
+		relation.Column{Name: "l_orderkey", Kind: relation.KindInt},
+		relation.Column{Name: "l_partkey", Kind: relation.KindInt},
+		relation.Column{Name: "l_extendedprice", Kind: relation.KindFloat},
+	))
+	rng := stats.NewRNG(1)
+	for i := 0; i < n; i++ {
+		r.MustAppend(
+			relation.Int(int64(rng.Intn(150000)+1)),
+			relation.Int(int64(rng.Intn(50)+1)),
+			relation.Float(50+200*rng.Float64()),
+		)
+	}
+	return r
+}
+
+func printParamsTable(title string, g *core.Params, paper map[string]float64, order []string) {
+	fmt.Println(title)
+	fmt.Printf("  %-10s %-14s %-14s %s\n", "b_T", "paper", "measured", "rel.err")
+	s := g.Schema()
+	for _, names := range order {
+		var set lineage.Set
+		label := "∅"
+		if names != "" {
+			parts := splitCSV(names)
+			set = s.MustSetOf(parts...)
+			label = names
+		}
+		got := g.B(set)
+		fmt.Printf("  %-10s %-14.6g %-14.6g %s\n", label, paper[names], got, relErrPct(got, paper[names]))
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	return append(out, cur)
+}
+
+// runQuery1 reproduces Example 1–3 / Figure 2: the coefficient derivation
+// for Query 1, plus an end-to-end estimated run on generated TPC-H data.
+func runQuery1(cfg benchConfig) error {
+	header("Query 1 (Examples 1–3, Figure 2) — coefficients and end-to-end run")
+
+	// (a) Coefficient reproduction at the paper's cardinality.
+	li := smallLineitem(100)
+	ord := paperOrders()
+	bern, _ := sampling.NewBernoulli("l", 0.1)
+	wor, _ := sampling.NewWOR("o", 1000)
+	q1 := &plan.Select{
+		Input: &plan.Join{
+			Left:     &plan.Sample{Input: &plan.Scan{Rel: li}, Method: bern},
+			Right:    &plan.Sample{Input: &plan.Scan{Rel: ord}, Method: wor},
+			LeftCol:  "l_orderkey",
+			RightCol: "o_orderkey",
+		},
+		Pred: expr.Gt(expr.Col("l_extendedprice"), expr.Float(100)),
+	}
+	analysis, err := plan.Analyze(q1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top GUS a: paper 6.667e-4, measured %.6g (%s)\n",
+		analysis.G.A(), relErrPct(analysis.G.A(), 6.667e-4))
+	printParamsTable("Example 3 coefficients:", analysis.G, map[string]float64{
+		"":    4.44e-7,
+		"o":   6.667e-5,
+		"l":   4.44e-6,
+		"l,o": 6.667e-4,
+	}, []string{"", "o", "l", "l,o"})
+	fmt.Println("rewrite trace (Figure 2 a→c):")
+	fmt.Print(analysis.FormatTrace())
+
+	// (b) End-to-end estimated run on generated data.
+	db := gus.Open()
+	if err := db.AttachTPCHConfig(tpch.Config{
+		Orders: cfg.orders, Customers: cfg.orders / 10, Parts: cfg.orders / 40, Seed: cfg.seed,
+	}); err != nil {
+		return err
+	}
+	sql := `
+SELECT SUM(l_discount*(1.0-l_tax))
+FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS)
+WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0`
+	exact, err := db.Exact(sql)
+	if err != nil {
+		return err
+	}
+	res, err := db.Query(sql, gus.WithSeed(cfg.seed))
+	if err != nil {
+		return err
+	}
+	v := res.Values[0]
+	fmt.Printf("\nend-to-end at %d orders: truth=%.4f estimate=%.4f (rel.err %s)\n",
+		cfg.orders, exact.Values[0].Value, v.Estimate, relErrPct(v.Estimate, exact.Values[0].Value))
+	fmt.Printf("95%% normal CI = [%.4f, %.4f], stderr = %.4f, sample rows = %d\n",
+		v.CILow, v.CIHigh, v.StdErr, res.SampleRows)
+	return nil
+}
+
+// runFig4 reproduces the Figure 4 walk-through: the full 4-relation plan
+// re-written to a single GUS, with its printed coefficient table.
+func runFig4(benchConfig) error {
+	header("Figure 4 — 4-relation plan rewrite ((l⋈o)⋈c)⋈p (paper vs measured)")
+	li := smallLineitem(100)
+	ord := paperOrders()
+	cust := relation.MustNew("c", relation.MustSchema(relation.Column{Name: "c_custkey", Kind: relation.KindInt}))
+	for i := 1; i <= 20; i++ {
+		cust.MustAppend(relation.Int(int64(i)))
+	}
+	part := relation.MustNew("p", relation.MustSchema(relation.Column{Name: "p_partkey", Kind: relation.KindInt}))
+	for i := 1; i <= 50; i++ {
+		part.MustAppend(relation.Int(int64(i)))
+	}
+	bernL, _ := sampling.NewBernoulli("l", 0.1)
+	worO, _ := sampling.NewWOR("o", 1000)
+	bernP, _ := sampling.NewBernoulli("p", 0.5)
+	n := &plan.Join{
+		Left: &plan.Join{
+			Left: &plan.Join{
+				Left:     &plan.Sample{Input: &plan.Scan{Rel: li}, Method: bernL},
+				Right:    &plan.Sample{Input: &plan.Scan{Rel: ord}, Method: worO},
+				LeftCol:  "l_orderkey",
+				RightCol: "o_orderkey",
+			},
+			Right:    &plan.Scan{Rel: cust},
+			LeftCol:  "o_custkey",
+			RightCol: "c_custkey",
+		},
+		Right:    &plan.Sample{Input: &plan.Scan{Rel: part}, Method: bernP},
+		LeftCol:  "l_partkey",
+		RightCol: "p_partkey",
+	}
+	start := time.Now()
+	analysis, err := plan.Analyze(n)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("a123: paper 3.334e-4, measured %.6g (%s)\n",
+		analysis.G.A(), relErrPct(analysis.G.A(), 3.334e-4))
+	printParamsTable("G(a123, b̄123) row:", analysis.G, map[string]float64{
+		"":        1.11e-7,
+		"p":       2.22e-7,
+		"c":       1.11e-7,
+		"c,p":     2.22e-7,
+		"o":       1.667e-5,
+		"o,p":     3.335e-5,
+		"o,c":     1.667e-5,
+		"o,c,p":   3.335e-5,
+		"l":       1.11e-6,
+		"l,p":     2.22e-6,
+		"l,c":     1.11e-6,
+		"l,c,p":   2.22e-6,
+		"l,o":     1.667e-4,
+		"l,o,p":   3.334e-4,
+		"l,o,c":   1.667e-4,
+		"l,o,c,p": 3.334e-4,
+	}, []string{"", "p", "c", "c,p", "o", "o,p", "o,c", "o,c,p",
+		"l", "l,p", "l,c", "l,c,p", "l,o", "l,o,p", "l,o,c", "l,o,c,p"})
+	fmt.Printf("rewrite time: %v (paper §6.1: \"a few milliseconds even for plans involving 10 relations\")\n", elapsed)
+	fmt.Println("trace:")
+	fmt.Print(analysis.FormatTrace())
+	return nil
+}
+
+// runFig5 reproduces Figure 5 / Example 6: the §7 sub-sampling plan with a
+// bi-dimensional Bernoulli stacked on Query 1's join.
+func runFig5(benchConfig) error {
+	header("Figure 5 — §7 sub-sampling rewrite with bi-dim Bernoulli B(0.2,0.3)")
+	li := smallLineitem(100)
+	ord := paperOrders()
+	bern, _ := sampling.NewBernoulli("l", 0.1)
+	wor, _ := sampling.NewWOR("o", 1000)
+	sub, _ := sampling.NewLineageHash(7, map[string]float64{"l": 0.2, "o": 0.3})
+	n := &plan.Sample{
+		Input: &plan.Join{
+			Left:     &plan.Sample{Input: &plan.Scan{Rel: li}, Method: bern},
+			Right:    &plan.Sample{Input: &plan.Scan{Rel: ord}, Method: wor},
+			LeftCol:  "l_orderkey",
+			RightCol: "o_orderkey",
+		},
+		Method: sub,
+	}
+	analysis, err := plan.Analyze(n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("a123: paper 4e-5, measured %.6g (%s)\n", analysis.G.A(), relErrPct(analysis.G.A(), 4e-5))
+	printParamsTable("G(a123, b̄123) row:", analysis.G, map[string]float64{
+		"":    1.598e-9,
+		"o":   8e-7,
+		"l":   7.992e-8,
+		"l,o": 4e-5,
+	}, []string{"", "o", "l", "l,o"})
+	fmt.Println("trace (Figure 5 a→f):")
+	fmt.Print(analysis.FormatTrace())
+
+	// Example 5's bi-dimensional Bernoulli coefficients on their own.
+	bidim, err := sub.Params(nil)
+	if err != nil {
+		return err
+	}
+	printParamsTable("Example 5 — bi-dimensional Bernoulli B(0.2,0.3):", bidim, map[string]float64{
+		"":    0.0036,
+		"o":   0.012,
+		"l":   0.018,
+		"l,o": 0.06,
+	}, []string{"", "o", "l", "l,o"})
+	return nil
+}
+
+// runAccuracy is the reconstructed accuracy experiment (E6): relative
+// error, CI width and empirical coverage of the [0.05,0.95] quantile
+// interval across sampling rates.
+func runAccuracy(cfg benchConfig) error {
+	header("E6 (reconstructed) — estimate accuracy & CI coverage vs sampling rate")
+	db := gus.Open()
+	if err := db.AttachTPCHConfig(tpch.Config{
+		Orders: cfg.orders, Customers: cfg.orders / 10, Parts: cfg.orders / 40, Seed: cfg.seed,
+	}); err != nil {
+		return err
+	}
+	template := `
+SELECT QUANTILE(SUM(l_extendedprice), 0.05) AS lo,
+       QUANTILE(SUM(l_extendedprice), 0.95) AS hi,
+       SUM(l_extendedprice) AS est
+FROM lineitem TABLESAMPLE (%g PERCENT), orders TABLESAMPLE (1000 ROWS)
+WHERE l_orderkey = o_orderkey`
+	exactSQL := fmt.Sprintf(template, 100.0)
+	exact, err := db.Exact(exactSQL)
+	if err != nil {
+		return err
+	}
+	truth := exact.Values[2].Value
+	fmt.Printf("truth = %.4g; %d trials per rate\n", truth, cfg.trials)
+	fmt.Printf("%-8s %-12s %-12s %-12s %-10s\n", "rate", "mean|relerr|", "relCIwidth", "cover90%", "cover95%N")
+	for _, pct := range []float64{1, 2, 5, 10, 20, 50} {
+		sql := fmt.Sprintf(template, pct)
+		var errAcc, widthAcc stats.Welford
+		var cov90, cov95 stats.Coverage
+		for i := 0; i < cfg.trials; i++ {
+			res, err := db.Query(sql, gus.WithSeed(cfg.seed+uint64(i)*7919))
+			if err != nil {
+				return err
+			}
+			lo, hi, est := res.Values[0].Value, res.Values[1].Value, res.Values[2]
+			errAcc.Add(stats.RelErr(est.Estimate, truth))
+			widthAcc.Add((hi - lo) / truth)
+			cov90.Observe(lo, hi, truth)
+			cov95.Observe(est.CILow, est.CIHigh, truth)
+		}
+		fmt.Printf("%-8s %-12.5f %-12.5f %-12.3f %-10.3f\n",
+			fmt.Sprintf("%g%%", pct), errAcc.Mean(), widthAcc.Mean(), cov90.Rate(), cov95.Rate())
+	}
+	fmt.Println("expected shape: error and width shrink ~1/√rate; coverage ≈ nominal (0.90 / 0.95)")
+	return nil
+}
+
+// runVariance is the reconstructed variance-calibration experiment (E7):
+// the SBox's predicted σ̂ against the empirical σ across sampling schemes.
+func runVariance(cfg benchConfig) error {
+	header("E7 (reconstructed) — predicted σ̂ vs empirical σ across sampling schemes")
+	tb, err := tpch.Generate(tpch.Config{
+		Orders: cfg.orders / 4, Customers: cfg.orders / 40, Parts: cfg.orders / 160, Seed: cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	f := expr.Col("l_extendedprice")
+	joinPlan := func(leftLeaf, rightLeaf plan.Node) plan.Node {
+		return &plan.Join{Left: leftLeaf, Right: rightLeaf, LeftCol: "l_orderkey", RightCol: "o_orderkey"}
+	}
+	liScan := func() plan.Node { return &plan.Scan{Rel: tb.Lineitem} }
+	ordScan := func() plan.Node { return &plan.Scan{Rel: tb.Orders} }
+	mustB := func(rel string, p float64) sampling.Method {
+		m, err := sampling.NewBernoulli(rel, p)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	worO, _ := sampling.NewWOR("orders", tb.Orders.Len()/10)
+	sysL, _ := sampling.NewBlock("lineitem", 32, 0.1)
+
+	designs := []struct {
+		name string
+		mk   func(seed uint64) plan.Node
+	}{
+		{"bernoulli(10%) on l", func(uint64) plan.Node {
+			return joinPlan(&plan.Sample{Input: liScan(), Method: mustB("lineitem", 0.1)}, ordScan())
+		}},
+		{"wor(10%) on o", func(uint64) plan.Node {
+			return joinPlan(liScan(), &plan.Sample{Input: ordScan(), Method: worO})
+		}},
+		{"system(10%,32) on l", func(uint64) plan.Node {
+			return joinPlan(&plan.Sample{Input: liScan(), Method: sysL}, ordScan())
+		}},
+		{"bi-dim B(0.2,0.3)", func(seed uint64) plan.Node {
+			m, _ := sampling.NewLineageHash(seed, map[string]float64{"lineitem": 0.2, "orders": 0.3})
+			return &plan.Sample{Input: joinPlan(liScan(), ordScan()), Method: m}
+		}},
+		{"chained fact B(0.1)", func(seed uint64) plan.Node {
+			m, _ := sampling.NewChained(seed, "lineitem", 0.1, "orders")
+			return &plan.Sample{Input: joinPlan(liScan(), ordScan()), Method: m}
+		}},
+	}
+	fmt.Printf("%-22s %-14s %-14s %-8s\n", "design", "empirical σ", "mean σ̂", "ratio")
+	for _, d := range designs {
+		var est stats.Welford
+		var pred stats.Welford
+		for i := 0; i < cfg.trials; i++ {
+			seed := cfg.seed + uint64(i)*104729
+			n := d.mk(seed)
+			analysis, err := plan.Analyze(n)
+			if err != nil {
+				return err
+			}
+			rows, err := plan.Execute(n, stats.NewRNG(seed))
+			if err != nil {
+				return err
+			}
+			res, err := estimator.Estimate(analysis.G, rows, f, estimator.Options{})
+			if err != nil {
+				return err
+			}
+			est.Add(res.Estimate)
+			pred.Add(res.Variance)
+		}
+		empirical := est.StdDev()
+		predicted := sqrtSafe(pred.Mean())
+		fmt.Printf("%-22s %-14.5g %-14.5g %-8.3f\n", d.name, empirical, predicted, predicted/empirical)
+	}
+	fmt.Println("expected shape: ratio ≈ 1 for every scheme (Theorem 1 is exact, σ̂ is unbiased)")
+	return nil
+}
+
+func sqrtSafe(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// runRewriteRuntime checks the §6.1 runtime claim: plan analysis should
+// cost a few milliseconds even at 10 relations.
+func runRewriteRuntime(cfg benchConfig) error {
+	header("E8 — SOA rewrite runtime vs number of relations (§6.1 claim: few ms at 10)")
+	fmt.Printf("%-10s %-14s %-10s\n", "relations", "analyze time", "b̄ size")
+	for _, k := range []int{2, 4, 6, 8, 10, 12} {
+		n, err := chainPlan(k)
+		if err != nil {
+			return err
+		}
+		// Warm up and time.
+		if _, err := plan.Analyze(n); err != nil {
+			return err
+		}
+		iters := 50
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := plan.Analyze(n); err != nil {
+				return err
+			}
+		}
+		per := time.Since(start) / time.Duration(iters)
+		fmt.Printf("%-10d %-14v %-10d\n", k, per, 1<<uint(k))
+	}
+	fmt.Println("expected shape: well under 10ms at 10 relations (cost ~ O(n·2ⁿ) coefficients)")
+	return nil
+}
+
+// chainPlan builds r1 ⋈ r2 ⋈ … ⋈ rk, each Bernoulli-sampled, joined on a
+// shared key.
+func chainPlan(k int) (plan.Node, error) {
+	var root plan.Node
+	for i := 0; i < k; i++ {
+		name := fmt.Sprintf("r%d", i)
+		rel := relation.MustNew(name, relation.MustSchema(
+			relation.Column{Name: fmt.Sprintf("k%d", i), Kind: relation.KindInt},
+		))
+		for j := 0; j < 4; j++ {
+			rel.MustAppend(relation.Int(int64(j)))
+		}
+		m, err := sampling.NewBernoulli(name, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		leaf := plan.Node(&plan.Sample{Input: &plan.Scan{Rel: rel}, Method: m})
+		if root == nil {
+			root = leaf
+			continue
+		}
+		root = &plan.Join{
+			Left: root, Right: leaf,
+			LeftCol: fmt.Sprintf("k%d", i-1), RightCol: fmt.Sprintf("k%d", i),
+		}
+	}
+	return root, nil
+}
+
+// runSubsample is the §7 efficiency experiment (E9): variance-estimation
+// cost and accuracy vs the sub-sample size used for the y_S moments.
+func runSubsample(cfg benchConfig) error {
+	header("E9 — §7 sub-sampled variance estimation (claim: ~10000 rows suffice)")
+	db := gus.Open()
+	if err := db.AttachTPCHConfig(tpch.Config{
+		Orders: cfg.orders * 2, Customers: cfg.orders / 5, Parts: cfg.orders / 20, Seed: cfg.seed,
+	}); err != nil {
+		return err
+	}
+	sql := `
+SELECT SUM(l_extendedprice)
+FROM lineitem TABLESAMPLE (50 PERCENT), orders
+WHERE l_orderkey = o_orderkey`
+	fmt.Printf("%-14s %-14s %-12s %-12s\n", "moment rows", "σ̂", "vs full", "est. time")
+	fullRes, err := db.Query(sql, gus.WithSeed(cfg.seed))
+	if err != nil {
+		return err
+	}
+	fullSD := fullRes.Values[0].StdErr
+	for _, target := range []int{500, 2000, 10000, 50000, 0} {
+		start := time.Now()
+		var res *gus.Result
+		if target == 0 {
+			res, err = db.Query(sql, gus.WithSeed(cfg.seed))
+		} else {
+			res, err = db.Query(sql, gus.WithSeed(cfg.seed), gus.WithVarianceSubsampling(target))
+		}
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		label := fmt.Sprint(target)
+		if target == 0 {
+			label = "full"
+		}
+		sd := res.Values[0].StdErr
+		fmt.Printf("%-14s %-14.5g %-12.3f %-12v\n", label, sd, sd/fullSD, elapsed)
+	}
+	fmt.Println("expected shape: σ̂ stabilizes near the full-sample value by ~10000 rows")
+	return nil
+}
+
+// runRobustness is the §8 "database as a sample" application (E10).
+func runRobustness(cfg benchConfig) error {
+	header("E10 — §8 robustness: database viewed as a Bernoulli sample")
+	db := gus.Open()
+	if err := db.AttachTPCHConfig(tpch.Config{
+		Orders: cfg.orders / 2, Customers: cfg.orders / 20, Parts: cfg.orders / 80, Seed: cfg.seed,
+	}); err != nil {
+		return err
+	}
+	queries := []struct{ name, sql string }{
+		{"broad sum", "SELECT SUM(l_extendedprice) FROM lineitem"},
+		{"join sum", "SELECT SUM(l_extendedprice) FROM lineitem, orders WHERE l_orderkey = o_orderkey"},
+		{"selective sum", "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_quantity > 49"},
+	}
+	fmt.Printf("%-14s %-10s %-14s %-12s\n", "query", "survival", "estimate", "rel.CI.width")
+	for _, q := range queries {
+		for _, surv := range []float64{0.999, 0.99, 0.9} {
+			res, err := db.Robustness(q.sql, surv)
+			if err != nil {
+				return err
+			}
+			v := res.Values[0]
+			fmt.Printf("%-14s %-10g %-14.5g %-12.5f\n",
+				q.name, surv, v.Estimate, (v.CIHigh-v.CILow)/v.Estimate)
+		}
+	}
+	fmt.Println("expected shape: selective queries are far more sensitive to tuple loss")
+	return nil
+}
+
+// runPlanner is the §8 "choosing sampling parameters" application (E11):
+// predict variances of alternative designs from one sample's ŷ moments.
+func runPlanner(cfg benchConfig) error {
+	header("E11 — §8 design planner: predicted σ for alternative designs from one sample")
+	db := gus.Open()
+	if err := db.AttachTPCHConfig(tpch.Config{
+		Orders: cfg.orders, Customers: cfg.orders / 10, Parts: cfg.orders / 40, Seed: cfg.seed,
+	}); err != nil {
+		return err
+	}
+	sql := `
+SELECT SUM(l_extendedprice)
+FROM lineitem TABLESAMPLE (20 PERCENT), orders TABLESAMPLE (2000 ROWS)
+WHERE l_orderkey = o_orderkey`
+	res, err := db.Query(sql, gus.WithSeed(cfg.seed))
+	if err != nil {
+		return err
+	}
+	v := res.Values[0]
+	fmt.Printf("base design: B(20%%) ⋈ WOR(2000); observed σ̂ = %.5g\n\n", v.StdErr)
+	fmt.Printf("%-26s %-14s\n", "candidate design", "predicted σ")
+	for _, p := range []float64{0.05, 0.1, 0.2, 0.5} {
+		for _, rows := range []int{500, 2000, 8000} {
+			pv, err := v.PredictVariance(gus.Design{
+				"lineitem": {Kind: "bernoulli", P: p},
+				"orders":   {Kind: "wor", Rows: rows},
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("B(%3.0f%%) ⋈ WOR(%-5d)        %-14.5g\n", p*100, rows, sqrtSafe(pv))
+		}
+	}
+	// Validate one prediction by actually running that design.
+	pv, err := v.PredictVariance(gus.Design{
+		"lineitem": {Kind: "bernoulli", P: 0.5},
+		"orders":   {Kind: "wor", Rows: 8000},
+	})
+	if err != nil {
+		return err
+	}
+	check, err := db.Query(`
+SELECT SUM(l_extendedprice)
+FROM lineitem TABLESAMPLE (50 PERCENT), orders TABLESAMPLE (8000 ROWS)
+WHERE l_orderkey = o_orderkey`, gus.WithSeed(cfg.seed+1))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nvalidation: predicted σ for B(50%%)⋈WOR(8000) = %.5g; that design's own σ̂ = %.5g\n",
+		sqrtSafe(pv), check.Values[0].StdErr)
+	fmt.Println("expected shape: predictions track each design's own reported σ̂")
+	return nil
+}
+
+// runCardinality is the §8 "estimating the size of intermediate relations"
+// application (E14): per-node COUNT estimates with uncertainty, from one
+// sampled execution.
+func runCardinality(cfg benchConfig) error {
+	header("E14 — §8 intermediate-result size estimation from one sampled run")
+	tb, err := tpch.Generate(tpch.Config{
+		Orders: cfg.orders / 2, Customers: cfg.orders / 20, Parts: cfg.orders / 80, Seed: cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	bern, _ := sampling.NewBernoulli("lineitem", 0.1)
+	wor, _ := sampling.NewWOR("orders", cfg.orders/20)
+	n := &plan.Select{
+		Input: &plan.Join{
+			Left:     &plan.Sample{Input: &plan.Scan{Rel: tb.Lineitem}, Method: bern},
+			Right:    &plan.Sample{Input: &plan.Scan{Rel: tb.Orders}, Method: wor},
+			LeftCol:  "l_orderkey",
+			RightCol: "o_orderkey",
+		},
+		Pred: expr.Gt(expr.Col("l_extendedprice"), expr.Float(2000)),
+	}
+	cards, err := plan.EstimateCardinalities(n, stats.NewRNG(cfg.seed))
+	if err != nil {
+		return err
+	}
+	exact := map[int]int{}
+	for i, c := range cards {
+		_ = c
+		exact[i] = -1
+	}
+	// Ground truth per node (cheap at this scale).
+	var truths []int
+	var walkTruth func(node plan.Node) error
+	walkTruth = func(node plan.Node) error {
+		rows, err := plan.Execute(plan.StripSampling(node), nil)
+		if err != nil {
+			return err
+		}
+		truths = append(truths, rows.Len())
+		for _, ch := range node.Children() {
+			if err := walkTruth(ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walkTruth(n); err != nil {
+		return err
+	}
+	fmt.Printf("%-34s %-10s %-12s %-12s %-10s\n", "node", "sampled", "estimate", "±stderr", "truth")
+	for i, c := range cards {
+		indent := ""
+		for d := 0; d < c.Depth; d++ {
+			indent += "  "
+		}
+		fmt.Printf("%-34s %-10d %-12.0f %-12.0f %-10d\n",
+			indent+c.Label, c.SampleRows, c.Estimate, c.StdErr, truths[i])
+	}
+	fmt.Println("expected shape: estimates bracket truths within ~2 stderr at every node")
+	return nil
+}

@@ -1,0 +1,133 @@
+// Command gusquery evaluates a SQL aggregate query with TABLESAMPLE
+// clauses and prints the estimate, confidence interval and — with -v —
+// the plan and the SOA rewrite trace that produced the top GUS operator.
+//
+// Tables come either from CSV files written by gusgen (-data dir loads
+// every *.csv in it) or from an in-process TPC-H generator (-gen).
+//
+//	gusquery -gen 0.001 -q "SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (10 PERCENT)"
+//	gusquery -data ./data -v -q "$(cat query.sql)"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	gus "github.com/sampling-algebra/gus"
+)
+
+func main() {
+	var (
+		query     = flag.String("q", "", "SQL query (required)")
+		dataDir   = flag.String("data", "", "directory of CSV tables (from gusgen)")
+		genSF     = flag.Float64("gen", 0, "generate TPC-H data at this scale factor instead of loading")
+		seed      = flag.Uint64("seed", 1, "sampling seed")
+		level     = flag.Float64("confidence", 0.95, "confidence level")
+		chebyshev = flag.Bool("chebyshev", false, "use Chebyshev (distribution-free) intervals")
+		subsample = flag.Int("subsample", 0, "§7 variance sub-sampling target rows (0 = off)")
+		exact     = flag.Bool("exact", false, "also run the query exactly and report the true error")
+		verbose   = flag.Bool("v", false, "print the plan and the SOA rewrite trace")
+	)
+	flag.Parse()
+	if *query == "" {
+		fail(fmt.Errorf("-q is required"))
+	}
+
+	db := gus.Open()
+	switch {
+	case *genSF > 0:
+		if err := db.AttachTPCH(*genSF, *seed); err != nil {
+			fail(err)
+		}
+	case *dataDir != "":
+		paths, err := filepath.Glob(filepath.Join(*dataDir, "*.csv"))
+		if err != nil {
+			fail(err)
+		}
+		if len(paths) == 0 {
+			fail(fmt.Errorf("no *.csv files in %s", *dataDir))
+		}
+		for _, p := range paths {
+			name := strings.TrimSuffix(filepath.Base(p), ".csv")
+			if err := db.LoadCSV(name, p); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "loaded %s\n", name)
+		}
+	default:
+		fail(fmt.Errorf("provide -data DIR or -gen SF"))
+	}
+
+	opts := []gus.Option{gus.WithSeed(*seed), gus.WithConfidence(*level)}
+	if *chebyshev {
+		opts = append(opts, gus.WithInterval(gus.ChebyshevInterval))
+	}
+	if *subsample > 0 {
+		opts = append(opts, gus.WithVarianceSubsampling(*subsample))
+	}
+	res, err := db.Query(*query, opts...)
+	if err != nil {
+		fail(err)
+	}
+	if *verbose {
+		fmt.Println("plan:")
+		fmt.Print(indent(res.PlanText))
+		fmt.Println("rewrite trace:")
+		fmt.Print(indent(res.TraceText))
+		fmt.Println("top GUS:", res.GUSText)
+		fmt.Println()
+	}
+	fmt.Printf("sample rows: %d\n", res.SampleRows)
+	for _, v := range res.Values {
+		approx := ""
+		if v.Approximate {
+			approx = " (delta-method approximation)"
+		}
+		fmt.Printf("%s [%s] = %.6g\n", v.Name, v.Kind, v.Value)
+		fmt.Printf("  estimate %.6g ± %.6g; %.0f%% CI [%.6g, %.6g]%s\n",
+			v.Estimate, v.StdErr, *level*100, v.CILow, v.CIHigh, approx)
+	}
+	if *exact {
+		ex, err := db.Exact(*query)
+		if err != nil {
+			fail(err)
+		}
+		for i, v := range ex.Values {
+			fmt.Printf("exact %s = %.6g (estimate rel.err %.4f%%)\n",
+				v.Name, v.Value, 100*relErr(res.Values[i].Estimate, v.Value))
+		}
+	}
+}
+
+func relErr(est, truth float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := est - truth
+	if d < 0 {
+		d = -d
+	}
+	if truth < 0 {
+		truth = -truth
+	}
+	return d / truth
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gusquery:", err)
+	os.Exit(1)
+}

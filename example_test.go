@@ -1,0 +1,55 @@
+package gus_test
+
+import (
+	"fmt"
+	"log"
+
+	gus "github.com/sampling-algebra/gus"
+)
+
+// ExampleDB_Query runs the paper's Query 1 and checks the estimate's CI
+// against the exact answer. Output is deterministic because both the data
+// generator and the sampling RNG are seeded.
+func ExampleDB_Query() {
+	db := gus.Open()
+	if err := db.AttachTPCH(0.002, 42); err != nil {
+		log.Fatal(err)
+	}
+	const sql = `
+		SELECT SUM(l_discount*(1.0-l_tax))
+		FROM lineitem TABLESAMPLE (10 PERCENT),
+		     orders TABLESAMPLE (1000 ROWS)
+		WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0`
+	res, err := db.Query(sql, gus.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := db.Exact(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := res.Values[0]
+	fmt.Printf("CI brackets estimate: %v\n", v.CILow < v.Estimate && v.Estimate < v.CIHigh)
+	fmt.Printf("truth inside 95%% CI: %v\n", v.CILow <= exact.Values[0].Value && exact.Values[0].Value <= v.CIHigh)
+	// Output:
+	// CI brackets estimate: true
+	// truth inside 95% CI: true
+}
+
+// ExampleDB_Robustness shows the §8 "database as a sample" analysis: no
+// sampling is executed; the stored tables are declared to be a 99%
+// Bernoulli sample of a hypothetical complete database.
+func ExampleDB_Robustness() {
+	db := gus.Open()
+	if err := db.AttachTPCH(0.002, 42); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Robustness(`SELECT SUM(l_extendedprice) FROM lineitem`, 0.99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := res.Values[0]
+	fmt.Printf("uncertainty reported: %v\n", v.StdErr > 0)
+	// Output:
+	// uncertainty reported: true
+}

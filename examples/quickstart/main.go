@@ -1,0 +1,54 @@
+// Quickstart: estimate a SUM over a Bernoulli sample of one table and get
+// a statistically sound confidence interval for the true (full-data) sum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gus "github.com/sampling-algebra/gus"
+)
+
+func main() {
+	db := gus.Open()
+
+	// A small sales table, populated programmatically.
+	sales, err := db.CreateTable("sales",
+		gus.Column{Name: "region", Type: gus.Int},
+		gus.Column{Name: "amount", Type: gus.Float},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if err := sales.Insert(i%7, float64(10+i%90)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The TABLESAMPLE clause makes this an estimation query: the engine
+	// samples 5% of the rows, then reports an unbiased estimate of the sum
+	// over ALL rows, with a 95% confidence interval.
+	res, err := db.Query(`
+		SELECT SUM(amount) AS total, COUNT(*) AS n
+		FROM sales TABLESAMPLE (5 PERCENT)
+		WHERE region < 5`,
+		gus.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range res.Values {
+		fmt.Printf("%-6s estimate %12.1f   95%% CI [%12.1f, %12.1f]\n",
+			v.Name, v.Estimate, v.CILow, v.CIHigh)
+	}
+
+	// Compare with the exact answer (cheap here; the whole point of
+	// sampling is that in production this would be too expensive).
+	exact, err := db.Exact(`SELECT SUM(amount), COUNT(*) FROM sales WHERE region < 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexact  total %12.1f   count %8.0f\n",
+		exact.Values[0].Value, exact.Values[1].Value)
+	fmt.Printf("sample contained %d of 10000 rows\n", res.SampleRows)
+}

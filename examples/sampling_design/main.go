@@ -1,0 +1,86 @@
+// Sampling-design exploration (§8 "choosing sampling parameters"):
+// run ONE pilot query, recover the unbiased data-moment estimates ŷ_S,
+// and predict — without drawing any new samples — the estimator variance
+// that alternative sampling designs would achieve. Then pick the cheapest
+// design meeting a precision target and validate it by running it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	gus "github.com/sampling-algebra/gus"
+)
+
+func main() {
+	db := gus.Open()
+	if err := db.AttachTPCH(0.004, 11); err != nil {
+		log.Fatal(err)
+	}
+
+	// Pilot: a modest 20% × WOR(1500) design.
+	pilot, err := db.Query(`
+		SELECT SUM(l_extendedprice)
+		FROM lineitem TABLESAMPLE (20 PERCENT), orders TABLESAMPLE (1500 ROWS)
+		WHERE l_orderkey = o_orderkey`,
+		gus.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := pilot.Values[0]
+	fmt.Printf("pilot: estimate %.4g, σ̂ %.4g (%.2f%% relative)\n\n",
+		v.Estimate, v.StdErr, 100*v.StdErr/v.Estimate)
+
+	// Explore the design space from the pilot's moments alone.
+	target := 0.01 * v.Estimate // want σ ≤ 1% of the estimate
+	fmt.Printf("target: σ ≤ %.4g (1%% of the estimate)\n\n", target)
+	fmt.Printf("%-10s %-10s %-12s %-12s %s\n", "lineitem", "orders", "predicted σ", "rel. σ", "meets target")
+
+	type candidate struct {
+		p    float64
+		rows int
+		cost float64 // proxy: expected sampled tuples
+	}
+	var best *candidate
+	bestSigma := math.Inf(1)
+	for _, p := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+		for _, rows := range []int{500, 1500, 4000} {
+			pv, err := v.PredictVariance(gus.Design{
+				"lineitem": {Kind: "bernoulli", P: p},
+				"orders":   {Kind: "wor", Rows: rows},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sigma := math.Sqrt(pv)
+			meets := sigma <= target
+			fmt.Printf("B(%4.0f%%)   WOR(%-5d) %-12.4g %-12.4f %v\n",
+				p*100, rows, sigma, sigma/v.Estimate, meets)
+			liLen, _ := db.TableLen("lineitem")
+			cost := p*float64(liLen) + float64(rows)
+			if meets && (best == nil || cost < best.cost) {
+				best = &candidate{p: p, rows: rows, cost: cost}
+				bestSigma = sigma
+			}
+		}
+	}
+	if best == nil {
+		fmt.Println("\nno explored design meets the target; increase rates")
+		return
+	}
+	fmt.Printf("\ncheapest design meeting target: B(%.0f%%) × WOR(%d), predicted σ %.4g\n",
+		best.p*100, best.rows, bestSigma)
+
+	// Validate: run the chosen design for real.
+	check, err := db.Query(fmt.Sprintf(`
+		SELECT SUM(l_extendedprice)
+		FROM lineitem TABLESAMPLE (%g PERCENT), orders TABLESAMPLE (%d ROWS)
+		WHERE l_orderkey = o_orderkey`, best.p*100, best.rows),
+		gus.WithSeed(17))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validation run reports σ̂ = %.4g (prediction was %.4g)\n",
+		check.Values[0].StdErr, bestSigma)
+}

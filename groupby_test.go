@@ -1,0 +1,167 @@
+package gus
+
+import (
+	"testing"
+
+	"github.com/sampling-algebra/gus/internal/stats"
+)
+
+func TestGroupByEstimates(t *testing.T) {
+	db := Open()
+	tb, err := db.CreateTable("ev", Column{"cat", Int}, Column{"v", Float})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three categories with very different sums.
+	rng := stats.NewRNG(17)
+	for i := 0; i < 9000; i++ {
+		cat := i % 3
+		base := float64(cat+1) * 10
+		if err := tb.Insert(cat, base+rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sql := `SELECT SUM(v) AS s, COUNT(*) AS n FROM ev TABLESAMPLE (20 PERCENT) GROUP BY cat`
+	exact, err := db.Exact(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(sql, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 0 {
+		t.Error("grouped query should not fill flat Values")
+	}
+	if len(res.Groups) != 3 || len(exact.Groups) != 3 {
+		t.Fatalf("groups = %d sampled, %d exact", len(res.Groups), len(exact.Groups))
+	}
+	for i, g := range res.Groups {
+		eg := exact.Groups[i]
+		if g.Key != eg.Key {
+			t.Fatalf("group order mismatch: %q vs %q", g.Key, eg.Key)
+		}
+		truth := eg.Values[0].Estimate
+		est := g.Values[0]
+		if stats.RelErr(est.Estimate, truth) > 0.2 {
+			t.Errorf("group %s: estimate %v vs truth %v", g.Key, est.Estimate, truth)
+		}
+		if est.StdErr <= 0 {
+			t.Errorf("group %s: missing stderr", g.Key)
+		}
+		if est.CILow >= est.CIHigh {
+			t.Errorf("group %s: degenerate CI", g.Key)
+		}
+		// Per-group COUNT ≈ 3000.
+		if stats.RelErr(g.Values[1].Estimate, 3000) > 0.2 {
+			t.Errorf("group %s: count %v", g.Key, g.Values[1].Estimate)
+		}
+	}
+}
+
+func TestGroupByCoverage(t *testing.T) {
+	// Per-group CIs must cover the per-group truths at ≈ nominal rate.
+	db := Open()
+	tb, err := db.CreateTable("gv", Column{"k", Int}, Column{"v", Float})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(3)
+	for i := 0; i < 6000; i++ {
+		if err := tb.Insert(i%2, 5+10*rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sql := `SELECT SUM(v) FROM gv TABLESAMPLE (15 PERCENT) GROUP BY k`
+	exact, err := db.Exact(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truths := map[string]float64{}
+	for _, g := range exact.Groups {
+		truths[g.Key] = g.Values[0].Estimate
+	}
+	var cov stats.Coverage
+	for seed := uint64(0); seed < 60; seed++ {
+		res, err := db.Query(sql, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range res.Groups {
+			v := g.Values[0]
+			cov.Observe(v.CILow, v.CIHigh, truths[g.Key])
+		}
+	}
+	if cov.Rate() < 0.85 {
+		t.Errorf("per-group 95%% CI coverage = %v over %d observations", cov.Rate(), cov.Trials())
+	}
+}
+
+func TestGroupByOverJoin(t *testing.T) {
+	db := Open()
+	if err := db.AttachTPCH(0.002, 9); err != nil {
+		t.Fatal(err)
+	}
+	sql := `
+SELECT SUM(l_extendedprice)
+FROM lineitem TABLESAMPLE (30 PERCENT), orders
+WHERE l_orderkey = o_orderkey
+GROUP BY o_custkey`
+	res, err := db.Query(sql, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Fatal("no groups")
+	}
+	exact, err := db.Exact(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact runs produce zero-width CIs per group.
+	for _, g := range exact.Groups {
+		if g.Values[0].StdErr != 0 {
+			t.Fatalf("exact group %s has stderr %v", g.Key, g.Values[0].StdErr)
+		}
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	db := Open()
+	tb, _ := db.CreateTable("t", Column{"k", Int}, Column{"v", Float})
+	_ = tb.Insert(1, 2.0)
+	if _, err := db.Query("SELECT SUM(v) FROM t GROUP BY nosuch"); err == nil {
+		t.Error("unknown GROUP BY column accepted")
+	}
+	if _, err := db.Query("SELECT SUM(v) FROM t GROUP BY k, v"); err == nil {
+		t.Error("multi-column GROUP BY accepted")
+	}
+	if _, err := db.Query("SELECT SUM(v) FROM t GROUP k"); err == nil {
+		t.Error("GROUP without BY accepted")
+	}
+}
+
+func TestGroupByAvgAndQuantile(t *testing.T) {
+	db := Open()
+	tb, _ := db.CreateTable("t", Column{"k", Int}, Column{"v", Float})
+	rng := stats.NewRNG(8)
+	for i := 0; i < 4000; i++ {
+		if err := tb.Insert(i%2, float64(1+rng.Intn(9))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Query(`
+SELECT AVG(v) AS a, QUANTILE(SUM(v), 0.95) AS q
+FROM t TABLESAMPLE (25 PERCENT) GROUP BY k`, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Groups {
+		if !g.Values[0].Approximate {
+			t.Error("group AVG not flagged approximate")
+		}
+		if g.Values[1].Value <= g.Values[1].Estimate {
+			t.Error("0.95 quantile should exceed the estimate")
+		}
+	}
+}

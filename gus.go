@@ -1,0 +1,653 @@
+// Package gus is a sampling-based approximate query processor implementing
+// "A Sampling Algebra for Aggregate Estimation" (Nirkhiwale, Dobra,
+// Jermaine, PVLDB 6(12), 2013).
+//
+// It evaluates SQL aggregate queries whose tables carry TABLESAMPLE
+// clauses, and — unlike a plain executor — returns statistically sound
+// estimates of the aggregate over the FULL data, together with variance
+// and confidence intervals. Internally, each concrete sampling operator is
+// translated into a Generalized Uniform Sampling (GUS) quasi-operator,
+// the plan is rewritten under SOA-equivalence until a single GUS sits below
+// the aggregate (Propositions 4–9), and the SBox estimator applies
+// Theorem 1 to the sample's lineage.
+//
+// Quick start:
+//
+//	db := gus.Open()
+//	_ = db.AttachTPCH(0.01, 42)
+//	res, _ := db.Query(`
+//	    SELECT QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.05),
+//	           QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.95)
+//	    FROM lineitem TABLESAMPLE (10 PERCENT),
+//	         orders TABLESAMPLE (1000 ROWS)
+//	    WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0`)
+//	fmt.Println(res.Values[0].Value, res.Values[1].Value)
+package gus
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sampling-algebra/gus/internal/core"
+	"github.com/sampling-algebra/gus/internal/estimator"
+	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/lineage"
+	"github.com/sampling-algebra/gus/internal/ops"
+	"github.com/sampling-algebra/gus/internal/plan"
+	"github.com/sampling-algebra/gus/internal/relation"
+	"github.com/sampling-algebra/gus/internal/sqlparse"
+	"github.com/sampling-algebra/gus/internal/stats"
+	"github.com/sampling-algebra/gus/internal/tpch"
+)
+
+// ColumnType enumerates table column types.
+type ColumnType int
+
+// Supported column types.
+const (
+	Int ColumnType = iota
+	Float
+	String
+)
+
+// Column declares one table column.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Interval selects the confidence-interval construction (§6.4).
+type Interval int
+
+const (
+	// NormalInterval uses the optimistic normal approximation
+	// (95% ⇒ μ̂ ± 1.96σ̂).
+	NormalInterval Interval = iota
+	// ChebyshevInterval uses the distribution-free Chebyshev bound
+	// (95% ⇒ μ̂ ± 4.47σ̂).
+	ChebyshevInterval
+)
+
+// DB is an in-memory database with estimation-aware query processing.
+type DB struct {
+	tables map[string]*relation.Relation
+}
+
+// Open creates an empty database.
+func Open() *DB { return &DB{tables: map[string]*relation.Relation{}} }
+
+// Table provides write access to one base table.
+type Table struct{ rel *relation.Relation }
+
+// CreateTable registers a new empty table.
+func (db *DB) CreateTable(name string, cols ...Column) (*Table, error) {
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("gus: table %q already exists", name)
+	}
+	rcols := make([]relation.Column, len(cols))
+	for i, c := range cols {
+		var k relation.Kind
+		switch c.Type {
+		case Int:
+			k = relation.KindInt
+		case Float:
+			k = relation.KindFloat
+		case String:
+			k = relation.KindString
+		default:
+			return nil, fmt.Errorf("gus: unknown column type %d", c.Type)
+		}
+		rcols[i] = relation.Column{Name: c.Name, Kind: k}
+	}
+	schema, err := relation.NewSchema(rcols...)
+	if err != nil {
+		return nil, fmt.Errorf("gus: %w", err)
+	}
+	rel, err := relation.New(name, schema)
+	if err != nil {
+		return nil, fmt.Errorf("gus: %w", err)
+	}
+	db.tables[name] = rel
+	return &Table{rel: rel}, nil
+}
+
+// Len returns the table's tuple count.
+func (t *Table) Len() int { return t.rel.Len() }
+
+// Insert appends one row; values must match the schema (int/int64,
+// float64, string; ints widen to float columns).
+func (t *Table) Insert(values ...any) error {
+	tup, err := toTuple(t.rel.Schema(), values)
+	if err != nil {
+		return err
+	}
+	return t.rel.Append(tup)
+}
+
+// InsertWithID appends one row with an explicit lineage ID — e.g. the
+// paper's l_orderkey*10+l_linenumber primary-key encoding (§6.2). IDs must
+// be unique within the table.
+func (t *Table) InsertWithID(id uint64, values ...any) error {
+	tup, err := toTuple(t.rel.Schema(), values)
+	if err != nil {
+		return err
+	}
+	return t.rel.AppendWithID(lineage.TupleID(id), tup)
+}
+
+func toTuple(schema *relation.Schema, values []any) (relation.Tuple, error) {
+	if len(values) != schema.Len() {
+		return nil, fmt.Errorf("gus: %d values for %d columns", len(values), schema.Len())
+	}
+	tup := make(relation.Tuple, len(values))
+	for i, v := range values {
+		kind := schema.Col(i).Kind
+		switch x := v.(type) {
+		case int:
+			if kind == relation.KindFloat {
+				tup[i] = relation.Float(float64(x))
+			} else {
+				tup[i] = relation.Int(int64(x))
+			}
+		case int64:
+			if kind == relation.KindFloat {
+				tup[i] = relation.Float(float64(x))
+			} else {
+				tup[i] = relation.Int(x)
+			}
+		case float64:
+			tup[i] = relation.Float(x)
+		case string:
+			tup[i] = relation.String_(x)
+		default:
+			return nil, fmt.Errorf("gus: unsupported value type %T for column %s", v, schema.Col(i).Name)
+		}
+		if tup[i].Kind() != kind {
+			return nil, fmt.Errorf("gus: column %s expects %s, got %T", schema.Col(i).Name, kind, v)
+		}
+	}
+	return tup, nil
+}
+
+// LoadCSV registers a table from a CSV file previously written by SaveCSV
+// (or following its "#id,name:type,…" header convention).
+func (db *DB) LoadCSV(name, path string) error {
+	if _, dup := db.tables[name]; dup {
+		return fmt.Errorf("gus: table %q already exists", name)
+	}
+	rel, err := relation.LoadCSVFile(name, path)
+	if err != nil {
+		return err
+	}
+	db.tables[name] = rel
+	return nil
+}
+
+// SaveCSV writes a registered table to a CSV file.
+func (db *DB) SaveCSV(name, path string) error {
+	rel, ok := db.tables[name]
+	if !ok {
+		return fmt.Errorf("gus: unknown table %q", name)
+	}
+	return rel.SaveCSVFile(path)
+}
+
+// AttachTPCH generates and registers TPC-H-style lineitem, orders,
+// customer and part tables at the given scale factor (1.0 ≈ 1.5M orders).
+func (db *DB) AttachTPCH(scaleFactor float64, seed uint64) error {
+	return db.AttachTPCHConfig(tpch.ScaleFactor(scaleFactor, seed))
+}
+
+// AttachTPCHConfig is AttachTPCH with full generator control.
+func (db *DB) AttachTPCHConfig(cfg tpch.Config) error {
+	tb, err := tpch.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range tb.All() {
+		if _, dup := db.tables[r.Name()]; dup {
+			return fmt.Errorf("gus: table %q already exists", r.Name())
+		}
+	}
+	for _, r := range tb.All() {
+		db.tables[r.Name()] = r
+	}
+	return nil
+}
+
+// TableNames lists registered tables, sorted.
+func (db *DB) TableNames() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TableLen returns a table's cardinality.
+func (db *DB) TableLen(name string) (int, error) {
+	rel, ok := db.tables[name]
+	if !ok {
+		return 0, fmt.Errorf("gus: unknown table %q", name)
+	}
+	return rel.Len(), nil
+}
+
+type catalog struct{ db *DB }
+
+func (c catalog) Table(name string) (*relation.Relation, bool) {
+	r, ok := c.db.tables[name]
+	return r, ok
+}
+
+// queryOptions collects per-query settings.
+type queryOptions struct {
+	seed            uint64
+	level           float64
+	interval        Interval
+	maxVarianceRows int
+	systemBlockSize int
+}
+
+// Option customizes Query.
+type Option func(*queryOptions)
+
+// WithSeed fixes the sampling RNG seed (default 1), making runs repeatable.
+func WithSeed(seed uint64) Option { return func(o *queryOptions) { o.seed = seed } }
+
+// WithConfidence sets the two-sided CI level (default 0.95).
+func WithConfidence(level float64) Option { return func(o *queryOptions) { o.level = level } }
+
+// WithInterval selects normal or Chebyshev intervals (default normal).
+func WithInterval(iv Interval) Option { return func(o *queryOptions) { o.interval = iv } }
+
+// WithVarianceSubsampling activates §7 sub-sampling: variance moments are
+// estimated from about maxRows sample tuples (the paper suggests 10000)
+// instead of the whole sample. The point estimate still uses every tuple.
+func WithVarianceSubsampling(maxRows int) Option {
+	return func(o *queryOptions) { o.maxVarianceRows = maxRows }
+}
+
+// WithSystemBlockSize sets the block size SYSTEM sampling simulates
+// (default 32 tuples per block).
+func WithSystemBlockSize(n int) Option { return func(o *queryOptions) { o.systemBlockSize = n } }
+
+func buildOptions(opts []Option) queryOptions {
+	o := queryOptions{seed: 1, level: 0.95, systemBlockSize: 32}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// Value is one SELECT-list result.
+type Value struct {
+	// Name is the output column name (alias, or a generated one).
+	Name string
+	// Kind is "SUM", "COUNT", "AVG", or "QUANTILE(...)".
+	Kind string
+	// Value is what the query returns: the estimate, or for QUANTILE
+	// items the requested quantile of the estimator distribution.
+	Value float64
+	// Estimate is the unbiased point estimate of the true aggregate.
+	Estimate float64
+	// StdErr is the estimated standard deviation of the estimator.
+	StdErr float64
+	// CILow and CIHigh bound the aggregate at the query's confidence level.
+	CILow, CIHigh float64
+	// Approximate marks delta-method results (AVG), whose variance is a
+	// first-order approximation rather than Theorem 1's exact form (§9).
+	Approximate bool
+
+	schema *lineage.Schema
+	yhat   []float64
+	cards  map[string]int
+}
+
+// Group is one GROUP BY bucket's results.
+type Group struct {
+	// Key is the group's value, rendered as text.
+	Key string
+	// Values holds one entry per SELECT item, estimated for this group.
+	// Each group aggregate is SUM-like (f·1{group}), so every estimate
+	// carries its own sound CI from the same top GUS.
+	Values []Value
+}
+
+// Result is the outcome of an estimated query.
+type Result struct {
+	// Values holds one entry per SELECT item, in order. Empty for GROUP
+	// BY queries (see Groups).
+	Values []Value
+	// Groups holds per-group results for GROUP BY queries, sorted by key.
+	Groups []Group
+	// SampleRows is the number of tuples the sampled plan produced.
+	SampleRows int
+	// PlanText is the executed plan, rendered as a tree.
+	PlanText string
+	// TraceText is the SOA rewrite trace (Figure 4-style).
+	TraceText string
+	// GUSText prints the single top GUS operator's parameters.
+	GUSText string
+}
+
+// Query parses, plans, executes and estimates a SQL aggregate query.
+func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
+	o := buildOptions(opts)
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	planned, err := sqlparse.PlanQuery(q, catalog{db}, sqlparse.PlannerOptions{
+		SystemBlockSize: o.systemBlockSize,
+		Seed:            o.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db.run(planned, o)
+}
+
+// Exact runs the query with all sampling stripped: the true answer, for
+// validation and experiments.
+func (db *DB) Exact(sql string, opts ...Option) (*Result, error) {
+	o := buildOptions(opts)
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	planned, err := sqlparse.PlanQuery(q, catalog{db}, sqlparse.PlannerOptions{
+		SystemBlockSize: o.systemBlockSize,
+		Seed:            o.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	planned.Root = plan.StripSampling(planned.Root)
+	return db.run(planned, o)
+}
+
+// Robustness implements the §8 "database as a sample" analysis: the query
+// must not contain TABLESAMPLE clauses; instead every base table is
+// declared — via a GUS quasi-operator, with no execution-time sampling —
+// to be a Bernoulli(survival) sample of a hypothetical complete database.
+// Wide intervals flag queries whose answers are sensitive to losing a
+// (1−survival) fraction of tuples.
+func (db *DB) Robustness(sql string, survival float64, opts ...Option) (*Result, error) {
+	if !(survival > 0 && survival <= 1) {
+		return nil, fmt.Errorf("gus: survival rate %v outside (0,1]", survival)
+	}
+	o := buildOptions(opts)
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range q.Tables {
+		if tr.Kind != sqlparse.SampleNone {
+			return nil, fmt.Errorf("gus: robustness analysis requires a query without TABLESAMPLE (table %q has one)", tr.Name)
+		}
+	}
+	planned, err := sqlparse.PlanQuery(q, catalog{db}, sqlparse.PlannerOptions{SystemBlockSize: o.systemBlockSize, Seed: o.seed})
+	if err != nil {
+		return nil, err
+	}
+	var wrapErr error
+	planned.Root = plan.WrapScans(planned.Root, func(s *plan.Scan) plan.Node {
+		alias := s.Rel.Name()
+		if s.Alias != "" {
+			alias = s.Alias
+		}
+		g, err := core.Bernoulli(alias, survival)
+		if err != nil && wrapErr == nil {
+			wrapErr = err
+		}
+		return &plan.GUS{Input: s, G: g}
+	})
+	if wrapErr != nil {
+		return nil, wrapErr
+	}
+	return db.run(planned, o)
+}
+
+// run executes a planned query and estimates every SELECT item.
+func (db *DB) run(planned *sqlparse.Planned, o queryOptions) (*Result, error) {
+	analysis, err := plan.Analyze(planned.Root)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := plan.Execute(planned.Root, stats.NewRNG(o.seed))
+	if err != nil {
+		return nil, err
+	}
+	cards := map[string]int{}
+	plan.Walk(planned.Root, func(n plan.Node) {
+		if s, ok := n.(*plan.Scan); ok {
+			alias := s.Rel.Name()
+			if s.Alias != "" {
+				alias = s.Alias
+			}
+			cards[alias] = s.Rel.Len()
+		}
+	})
+	res := &Result{
+		SampleRows: rows.Len(),
+		PlanText:   plan.Format(planned.Root),
+		TraceText:  analysis.FormatTrace(),
+		GUSText:    analysis.G.String(),
+	}
+	if planned.GroupBy != "" {
+		groups, err := partitionByColumn(rows, planned.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		for _, grp := range groups {
+			g := Group{Key: grp.key}
+			for i, agg := range planned.Aggregates {
+				v, err := db.evalAggregate(analysis.G, grp.rows, agg, i, o)
+				if err != nil {
+					return nil, fmt.Errorf("gus: group %q: %w", grp.key, err)
+				}
+				v.cards = cards
+				g.Values = append(g.Values, *v)
+			}
+			res.Groups = append(res.Groups, g)
+		}
+		return res, nil
+	}
+	for i, agg := range planned.Aggregates {
+		v, err := db.evalAggregate(analysis.G, rows, agg, i, o)
+		if err != nil {
+			return nil, err
+		}
+		v.cards = cards
+		res.Values = append(res.Values, *v)
+	}
+	return res, nil
+}
+
+type rowGroup struct {
+	key  string
+	rows *ops.Rows
+}
+
+// partitionByColumn splits sample rows into GROUP BY buckets. Restricting
+// the sample to one group is exactly evaluating the SUM-like aggregate
+// f·1{group=k} over the whole sample, so each bucket inherits the plan's
+// top GUS unchanged.
+func partitionByColumn(rows *ops.Rows, col string) ([]rowGroup, error) {
+	idx, ok := rows.Cols.Index(col)
+	if !ok {
+		return nil, fmt.Errorf("gus: unknown GROUP BY column %q", col)
+	}
+	buckets := map[string]*ops.Rows{}
+	var keys []string
+	for _, row := range rows.Data {
+		k := row.Vals[idx].AsString()
+		b, ok := buckets[k]
+		if !ok {
+			b = &ops.Rows{Cols: rows.Cols, LSch: rows.LSch}
+			buckets[k] = b
+			keys = append(keys, k)
+		}
+		b.Data = append(b.Data, row)
+	}
+	sort.Strings(keys)
+	out := make([]rowGroup, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, rowGroup{key: k, rows: buckets[k]})
+	}
+	return out, nil
+}
+
+func (db *DB) evalAggregate(g *core.Params, rows *ops.Rows, agg sqlparse.Aggregate, idx int, o queryOptions) (*Value, error) {
+	name := agg.Alias
+	if name == "" {
+		name = fmt.Sprintf("col%d", idx+1)
+	}
+	eopts := estimator.Options{MaxVarianceRows: o.maxVarianceRows, Seed: o.seed + 0x5b0c}
+	f := agg.Arg
+	if f == nil || agg.Kind == sqlparse.AggCount {
+		f = expr.Int(1) // COUNT via SUM of 1 (§1)
+	}
+	v := &Value{Name: name, Kind: agg.Kind.String(), schema: g.Schema()}
+
+	switch agg.Kind {
+	case sqlparse.AggSum, sqlparse.AggCount:
+		er, err := estimator.Estimate(g, rows, f, eopts)
+		if err != nil {
+			return nil, err
+		}
+		v.Estimate = er.Estimate
+		v.StdErr = er.StdDev()
+		v.yhat = er.YHat
+		if agg.HasQuantile {
+			v.Kind = fmt.Sprintf("QUANTILE(%s,%g)", agg.Kind, agg.Quantile)
+			v.Value = er.Quantile(agg.Quantile)
+		} else {
+			v.Value = er.Estimate
+		}
+		switch o.interval {
+		case ChebyshevInterval:
+			v.CILow, v.CIHigh = er.CI(o.level, estimator.Chebyshev)
+		default:
+			v.CILow, v.CIHigh = er.CI(o.level, estimator.Normal)
+		}
+	case sqlparse.AggAvg:
+		est, sd, err := avgDelta(g, rows, agg.Arg, eopts)
+		if err != nil {
+			return nil, err
+		}
+		v.Estimate, v.StdErr, v.Approximate = est, sd, true
+		if agg.HasQuantile {
+			v.Kind = fmt.Sprintf("QUANTILE(AVG,%g)", agg.Quantile)
+			v.Value = est + stats.NormalQuantile(agg.Quantile)*sd
+		} else {
+			v.Value = est
+		}
+		switch o.interval {
+		case ChebyshevInterval:
+			h := stats.ChebyshevHalfWidth(o.level, sd)
+			v.CILow, v.CIHigh = est-h, est+h
+		default:
+			h := stats.NormalHalfWidth(o.level, sd)
+			v.CILow, v.CIHigh = est-h, est+h
+		}
+	default:
+		return nil, fmt.Errorf("gus: unsupported aggregate %v", agg.Kind)
+	}
+	return v, nil
+}
+
+// avgDelta estimates AVG(f) = SUM(f)/COUNT(*) with a delta-method variance
+// (§9: "good quality approximations can be provided, using for example the
+// delta method"), delegating to the estimator's Ratio machinery, which
+// estimates Cov(SUM, COUNT) from unbiased bilinear lineage moments.
+func avgDelta(g *core.Params, rows *ops.Rows, f expr.Expr, eopts estimator.Options) (est, sd float64, err error) {
+	if f == nil {
+		return 0, 0, fmt.Errorf("gus: AVG(*) is not valid SQL")
+	}
+	r, err := estimator.Ratio(g, rows, f, expr.Int(1), eopts)
+	if err != nil {
+		return 0, 0, fmt.Errorf("gus: AVG: %w", err)
+	}
+	return r.Estimate, r.StdDev(), nil
+}
+
+// Sampling describes one relation's sampling in a hypothetical design for
+// PredictVariance.
+type Sampling struct {
+	// Kind is "bernoulli", "wor" or "none".
+	Kind string
+	// P is the Bernoulli probability (Kind "bernoulli").
+	P float64
+	// Rows is the WOR sample size (Kind "wor").
+	Rows int
+}
+
+// Design maps base-table names (as used in the query) to hypothetical
+// sampling methods.
+type Design map[string]Sampling
+
+// PredictVariance implements the §8 "choosing sampling parameters"
+// application: using the unbiased ŷ_S moments recovered from THIS query's
+// sample, it predicts the estimator variance that a different sampling
+// design would have had on the same data — without drawing a new sample.
+// Tables absent from the design are treated as unsampled.
+func (v *Value) PredictVariance(design Design) (float64, error) {
+	if v.yhat == nil {
+		return 0, fmt.Errorf("gus: no moment estimates available for %s (only SUM/COUNT items support prediction)", v.Kind)
+	}
+	var g *core.Params
+	for i := 0; i < v.schema.Len(); i++ {
+		name := v.schema.Name(i)
+		spec, ok := design[name]
+		var p1 *core.Params
+		var err error
+		if !ok {
+			p1 = core.Identity(lineage.MustSchema(name))
+		} else {
+			switch spec.Kind {
+			case "bernoulli":
+				p1, err = core.Bernoulli(name, spec.P)
+			case "wor":
+				n, found := v.cards[name]
+				if !found {
+					return 0, fmt.Errorf("gus: no cardinality recorded for %q", name)
+				}
+				k := spec.Rows
+				if k > n {
+					k = n
+				}
+				p1, err = core.WOR(name, k, n)
+			case "none", "":
+				p1 = core.Identity(lineage.MustSchema(name))
+			default:
+				return 0, fmt.Errorf("gus: unknown sampling kind %q", spec.Kind)
+			}
+			if err != nil {
+				return 0, err
+			}
+		}
+		if g == nil {
+			g = p1
+			continue
+		}
+		if g, err = core.Join(g, p1); err != nil {
+			return 0, err
+		}
+	}
+	for name := range design {
+		if _, ok := v.schema.Index(name); !ok {
+			return 0, fmt.Errorf("gus: design names %q, which the query does not touch", name)
+		}
+	}
+	variance, err := g.Variance(v.yhat)
+	if err != nil {
+		return 0, err
+	}
+	if variance < 0 {
+		variance = 0
+	}
+	return variance, nil
+}

@@ -1,0 +1,440 @@
+package gus
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/sampling-algebra/gus/internal/stats"
+	"github.com/sampling-algebra/gus/internal/tpch"
+)
+
+const paperQuery1 = `
+SELECT SUM(l_discount*(1.0-l_tax))
+FROM lineitem TABLESAMPLE (10 PERCENT),
+     orders TABLESAMPLE (1000 ROWS)
+WHERE l_orderkey = o_orderkey AND
+      l_extendedprice > 100.0;`
+
+func testDB(t *testing.T, orders int) *DB {
+	t.Helper()
+	db := Open()
+	if err := db.AttachTPCHConfig(tpch.Config{Orders: orders, Customers: 100, Parts: 60, Seed: 31}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestQueryPaperQuery1(t *testing.T) {
+	db := testDB(t, 4000)
+	res, err := db.Query(paperQuery1, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 1 {
+		t.Fatalf("values = %d", len(res.Values))
+	}
+	v := res.Values[0]
+	if v.Kind != "SUM" || v.StdErr <= 0 {
+		t.Errorf("value = %+v", v)
+	}
+	if v.CILow >= v.Estimate || v.CIHigh <= v.Estimate {
+		t.Errorf("CI [%v,%v] does not bracket estimate %v", v.CILow, v.CIHigh, v.Estimate)
+	}
+	exact, err := db.Exact(paperQuery1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := exact.Values[0].Value
+	if exact.Values[0].StdErr != 0 {
+		t.Errorf("exact query has nonzero stderr %v", exact.Values[0].StdErr)
+	}
+	// The estimate should be in the right ballpark and usually in-CI.
+	if stats.RelErr(v.Estimate, truth) > 0.5 {
+		t.Errorf("estimate %v vs truth %v", v.Estimate, truth)
+	}
+	for _, want := range []string{"sample bernoulli(0.1)", "⋈"} {
+		if !strings.Contains(res.PlanText, want) {
+			t.Errorf("plan text missing %q", want)
+		}
+	}
+	if !strings.Contains(res.TraceText, "Prop. 6") {
+		t.Errorf("trace missing Prop. 6:\n%s", res.TraceText)
+	}
+	if !strings.Contains(res.GUSText, "a=") {
+		t.Errorf("GUS text = %q", res.GUSText)
+	}
+}
+
+func TestQuantileViewBracketsTruth(t *testing.T) {
+	db := testDB(t, 4000)
+	sql := `
+SELECT QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.05) AS lo,
+       QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.95) AS hi
+FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS)
+WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0`
+	exact, err := db.Exact(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := exact.Values[0].Estimate
+	hits := 0
+	const trials = 40
+	for seed := uint64(0); seed < trials; seed++ {
+		res, err := db.Query(sql, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := res.Values[0].Value, res.Values[1].Value
+		if lo >= hi {
+			t.Fatalf("quantiles inverted: %v ≥ %v", lo, hi)
+		}
+		if res.Values[0].Name != "lo" || res.Values[1].Name != "hi" {
+			t.Fatal("aliases lost")
+		}
+		if lo <= truth && truth <= hi {
+			hits++
+		}
+	}
+	// [0.05,0.95] should cover ~90%; allow generous slack for 40 trials.
+	if hits < 30 {
+		t.Errorf("quantile interval covered truth in %d/%d trials", hits, trials)
+	}
+}
+
+func TestCountAndAvg(t *testing.T) {
+	db := testDB(t, 3000)
+	sql := `
+SELECT COUNT(*) AS n, AVG(l_extendedprice) AS m
+FROM lineitem TABLESAMPLE (20 PERCENT)`
+	exact, err := db.Exact(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(sql, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, avg := res.Values[0], res.Values[1]
+	if stats.RelErr(cnt.Estimate, exact.Values[0].Estimate) > 0.15 {
+		t.Errorf("count %v vs %v", cnt.Estimate, exact.Values[0].Estimate)
+	}
+	if !avg.Approximate {
+		t.Error("AVG must be flagged approximate (delta method)")
+	}
+	if stats.RelErr(avg.Estimate, exact.Values[1].Estimate) > 0.1 {
+		t.Errorf("avg %v vs %v", avg.Estimate, exact.Values[1].Estimate)
+	}
+	if avg.StdErr <= 0 || avg.StdErr > avg.Estimate {
+		t.Errorf("avg stderr = %v", avg.StdErr)
+	}
+}
+
+func TestAvgDeltaCalibration(t *testing.T) {
+	// The delta-method variance should roughly match the empirical
+	// variance of the AVG estimator across seeds.
+	db := testDB(t, 2000)
+	sql := `SELECT AVG(l_quantity) FROM lineitem TABLESAMPLE (10 PERCENT)`
+	var est stats.Welford
+	var predicted stats.Welford
+	for seed := uint64(1); seed <= 120; seed++ {
+		res, err := db.Query(sql, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		est.Add(res.Values[0].Estimate)
+		predicted.Add(res.Values[0].StdErr * res.Values[0].StdErr)
+	}
+	if est.Variance() == 0 {
+		t.Fatal("degenerate test")
+	}
+	ratio := predicted.Mean() / est.Variance()
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("delta variance / empirical = %v", ratio)
+	}
+}
+
+func TestChebyshevWiderThanNormal(t *testing.T) {
+	db := testDB(t, 1500)
+	sql := `SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (25 PERCENT)`
+	n, err := db.Query(sql, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := db.Query(sql, WithSeed(5), WithInterval(ChebyshevInterval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (c.Values[0].CIHigh - c.Values[0].CILow) <= (n.Values[0].CIHigh - n.Values[0].CILow) {
+		t.Error("Chebyshev CI not wider than normal")
+	}
+	// §6.4: the factor is ≈ 4.47/1.96 ≈ 2.28.
+	ratio := (c.Values[0].CIHigh - c.Values[0].CILow) / (n.Values[0].CIHigh - n.Values[0].CILow)
+	if math.Abs(ratio-4.4721/1.9600) > 0.01 {
+		t.Errorf("width ratio = %v", ratio)
+	}
+}
+
+func TestConfidenceLevelOption(t *testing.T) {
+	db := testDB(t, 1500)
+	sql := `SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (25 PERCENT)`
+	r95, _ := db.Query(sql, WithSeed(5))
+	r50, err := db.Query(sql, WithSeed(5), WithConfidence(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (r50.Values[0].CIHigh - r50.Values[0].CILow) >= (r95.Values[0].CIHigh - r95.Values[0].CILow) {
+		t.Error("50% CI not narrower than 95%")
+	}
+}
+
+func TestVarianceSubsamplingOption(t *testing.T) {
+	db := testDB(t, 6000)
+	sql := `SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (50 PERCENT)`
+	full, err := db.Query(sql, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := db.Query(sql, WithSeed(2), WithVarianceSubsampling(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Values[0].Estimate != sub.Values[0].Estimate {
+		t.Error("sub-sampling changed the point estimate")
+	}
+	if sub.Values[0].StdErr <= 0 {
+		t.Error("sub-sampled stderr missing")
+	}
+	ratio := sub.Values[0].StdErr / full.Values[0].StdErr
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("sub-sampled stderr off by %vx", ratio)
+	}
+}
+
+func TestRobustnessDatabaseAsSample(t *testing.T) {
+	db := testDB(t, 2000)
+	sql := `SELECT SUM(l_extendedprice) FROM lineitem, orders WHERE l_orderkey = o_orderkey`
+	res, err := db.Robustness(sql, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := db.Exact(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Values[0]
+	// No execution-time sampling: estimate = stored answer / a-scaling is
+	// 1/a · a·truth — i.e. the estimate equals truth/0.99²·0.99²... the
+	// estimator scales the FULL stored sum by 1/a where the stored data is
+	// declared to be the sample; truth_hypothetical = stored/a.
+	wantEstimate := exact.Values[0].Value / (0.99 * 0.99)
+	if stats.RelErr(v.Estimate, wantEstimate) > 1e-9 {
+		t.Errorf("robustness estimate %v, want %v", v.Estimate, wantEstimate)
+	}
+	if v.StdErr <= 0 {
+		t.Error("robustness must report nonzero uncertainty")
+	}
+	// Lower survival ⇒ more uncertainty.
+	res90, err := db.Robustness(sql, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res90.Values[0].StdErr <= v.StdErr {
+		t.Error("lower survival should widen uncertainty")
+	}
+	// Queries with TABLESAMPLE are rejected.
+	if _, err := db.Robustness(paperQuery1, 0.99); err == nil {
+		t.Error("robustness accepted a sampled query")
+	}
+	if _, err := db.Robustness(sql, 1.5); err == nil {
+		t.Error("survival > 1 accepted")
+	}
+}
+
+func TestPredictVariance(t *testing.T) {
+	db := testDB(t, 3000)
+	sql := `
+SELECT SUM(l_extendedprice)
+FROM lineitem TABLESAMPLE (30 PERCENT), orders TABLESAMPLE (50 PERCENT)
+WHERE l_orderkey = o_orderkey`
+	res, err := db.Query(sql, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Values[0]
+	// Predicting the design actually used should land near the reported
+	// variance (same ŷ moments, same parameters).
+	same, err := v.PredictVariance(Design{
+		"lineitem": {Kind: "bernoulli", P: 0.3},
+		"orders":   {Kind: "bernoulli", P: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.StdErr * v.StdErr
+	if got > 0 && stats.RelErr(same, got) > 1e-6 {
+		t.Errorf("self-prediction %v vs reported %v", same, got)
+	}
+	// A denser design must predict lower variance.
+	denser, err := v.PredictVariance(Design{
+		"lineitem": {Kind: "bernoulli", P: 0.9},
+		"orders":   {Kind: "bernoulli", P: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if denser >= same {
+		t.Errorf("denser design variance %v ≥ %v", denser, same)
+	}
+	// WOR design using recorded cardinalities.
+	wor, err := v.PredictVariance(Design{
+		"orders": {Kind: "wor", Rows: 1500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wor < 0 {
+		t.Errorf("wor predicted variance %v", wor)
+	}
+	// Unknown table and unknown kind must error.
+	if _, err := v.PredictVariance(Design{"nope": {Kind: "bernoulli", P: 0.5}}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := v.PredictVariance(Design{"orders": {Kind: "stratified"}}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestCreateTableAndInsert(t *testing.T) {
+	db := Open()
+	tb, err := db.CreateTable("t", Column{"k", Int}, Column{"v", Float}, Column{"s", String})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(1, 2.5, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(int64(2), 3, "y"); err != nil { // int widens to float column
+		t.Fatal(err)
+	}
+	if err := tb.InsertWithID(100, 3, 1.5, "z"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 3 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	if err := tb.Insert(1, 2.5); err == nil {
+		t.Error("short insert accepted")
+	}
+	if err := tb.Insert("a", 2.5, "x"); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if err := tb.Insert(1, 2.5, 3); err == nil {
+		t.Error("int for string accepted")
+	}
+	if _, err := db.CreateTable("t"); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	res, err := db.Query("SELECT SUM(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Values[0].Value-7) > 1e-12 {
+		t.Errorf("sum = %v", res.Values[0].Value)
+	}
+}
+
+func TestCSVRoundTripThroughDB(t *testing.T) {
+	db := Open()
+	tb, _ := db.CreateTable("m", Column{"v", Float})
+	for i := 0; i < 10; i++ {
+		if err := tb.Insert(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "m.csv")
+	if err := db.SaveCSV("m", path); err != nil {
+		t.Fatal(err)
+	}
+	db2 := Open()
+	if err := db2.LoadCSV("m", path); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db2.Query("SELECT SUM(v) FROM m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0].Value != 45 {
+		t.Errorf("sum = %v", res.Values[0].Value)
+	}
+	if err := db2.LoadCSV("m", path); err == nil {
+		t.Error("duplicate load accepted")
+	}
+	if err := db.SaveCSV("nope", path); err == nil {
+		t.Error("saving unknown table accepted")
+	}
+}
+
+func TestTableIntrospection(t *testing.T) {
+	db := testDB(t, 100)
+	names := db.TableNames()
+	want := []string{"customer", "lineitem", "orders", "part"}
+	if len(names) != 4 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v", names)
+		}
+	}
+	n, err := db.TableLen("orders")
+	if err != nil || n != 100 {
+		t.Errorf("TableLen = %d, %v", n, err)
+	}
+	if _, err := db.TableLen("zz"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := db.AttachTPCH(0.0001, 1); err == nil {
+		t.Error("re-attach over existing tables accepted")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := testDB(t, 100)
+	for _, sql := range []string{
+		"not sql at all",
+		"SELECT SUM(zzz) FROM lineitem",
+		"SELECT SUM(l_quantity) FROM missing",
+	} {
+		if _, err := db.Query(sql); err == nil {
+			t.Errorf("Query(%q) accepted", sql)
+		}
+	}
+}
+
+func TestEstimateAccuracyImprovesWithRate(t *testing.T) {
+	// Larger samples ⇒ smaller reported stderr and (on average) smaller
+	// error; check the stderr monotonicity which is deterministic.
+	db := testDB(t, 3000)
+	sqls := []string{
+		`SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (5 PERCENT)`,
+		`SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (20 PERCENT)`,
+		`SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (80 PERCENT)`,
+	}
+	var prev float64 = math.Inf(1)
+	for _, sql := range sqls {
+		var acc stats.Welford
+		for seed := uint64(0); seed < 10; seed++ {
+			res, err := db.Query(sql, WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc.Add(res.Values[0].StdErr)
+		}
+		if acc.Mean() >= prev {
+			t.Errorf("stderr did not shrink: %v ≥ %v for %s", acc.Mean(), prev, sql)
+		}
+		prev = acc.Mean()
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import "fmt"
+
+// Join combines the GUS methods of the two sides of a join or cross product
+// into one GUS over the concatenated lineage schema (Prop. 6):
+//
+//	a = a₁·a₂,   b_T = b₁,T∩L(R₁) · b₂,T∩L(R₂)
+//
+// The argument schemas must be disjoint (no self-joins, §9). Selection
+// commutes with GUS unchanged (Prop. 5), so Join is the only re-write rule
+// needed above σ/⋈ sub-trees.
+func Join(p, q *Params) (*Params, error) {
+	schema, err := p.schema.Concat(q.schema)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrOverlappingLineage, err)
+	}
+	n1 := p.schema.Len()
+	lowMask := int(p.schema.Full())
+	b := make([]float64, 1<<uint(schema.Len()))
+	for m := range b {
+		b[m] = p.b[m&lowMask] * q.b[m>>uint(n1)]
+	}
+	return &Params{schema: schema, a: p.a * q.a, b: b}, nil
+}
+
+// Compose builds a multi-dimensional sampling method from methods over
+// disjoint relation sets (Prop. 9), e.g. the bi-dimensional Bernoulli of
+// Example 5. Parameter-wise it coincides with Join; it is named separately
+// because it is a *design* operation (construct an operator) rather than a
+// plan re-write.
+func Compose(p, q *Params) (*Params, error) { return Join(p, q) }
+
+// Compact stacks one GUS on top of another over the same data
+// (Prop. 8, intersection): a tuple survives iff both independent filters
+// keep it, so
+//
+//	a = a₁·a₂,   b_T = b₁,T · b₂,T.
+//
+// (The preprint's statement reuses Prop. 6's "b₁,T₁·b₂,T₂" typo; the form
+// above is the one that reproduces the paper's own Figure 5 table.)
+// The two parameter sets must cover the same relations.
+func Compact(p, q *Params) (*Params, error) {
+	qa, err := q.Align(p.schema)
+	if err != nil {
+		return nil, fmt.Errorf("core: compact: %w", err)
+	}
+	b := make([]float64, len(p.b))
+	for m := range b {
+		b[m] = p.b[m] * qa.b[m]
+	}
+	return &Params{schema: p.schema, a: p.a * qa.a, b: b}, nil
+}
+
+// Union combines two independent GUS samples of the same expression
+// (Prop. 7, with duplicate elimination on lineage):
+//
+//	a   = a₁ + a₂ − a₁a₂
+//	b_T = 2a − 1 + (1 − 2a₁ + b₁,T)(1 − 2a₂ + b₂,T)
+//
+// Union lets separately acquired samples be reused together (§5).
+func Union(p, q *Params) (*Params, error) {
+	qa, err := q.Align(p.schema)
+	if err != nil {
+		return nil, fmt.Errorf("core: union: %w", err)
+	}
+	a := p.a + qa.a - p.a*qa.a
+	b := make([]float64, len(p.b))
+	for m := range b {
+		v := 2*a - 1 + (1-2*p.a+p.b[m])*(1-2*qa.a+qa.b[m])
+		b[m] = clampProb(v)
+	}
+	return &Params{schema: p.schema, a: clampProb(a), b: b}, nil
+}
+
+// JoinAll folds Join over the given parameter sets left to right.
+func JoinAll(ps ...*Params) (*Params, error) {
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("core: JoinAll of zero methods")
+	}
+	out := ps[0]
+	var err error
+	for _, p := range ps[1:] {
+		if out, err = Join(out, p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

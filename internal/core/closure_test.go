@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sampling-algebra/gus/internal/lineage"
+	"github.com/sampling-algebra/gus/internal/stats"
+)
+
+// checkValid asserts the structural invariants every GUS must satisfy:
+// all coefficients are probabilities and b over the full set equals a.
+func checkValid(t *testing.T, g *Params, context string) {
+	t.Helper()
+	if g.A() < 0 || g.A() > 1 || math.IsNaN(g.A()) {
+		t.Fatalf("%s: a = %v invalid", context, g.A())
+	}
+	full := g.Schema().Full()
+	for m := lineage.Set(0); m <= full; m++ {
+		v := g.B(m)
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("%s: b_%v = %v invalid", context, m, v)
+		}
+	}
+	if math.Abs(g.B(full)-g.A()) > 1e-12 {
+		t.Fatalf("%s: b_full = %v ≠ a = %v", context, g.B(full), g.A())
+	}
+}
+
+// TestAlgebraClosure property-checks that every algebra operation maps
+// valid GUS parameters to valid GUS parameters across random inputs —
+// including extreme probabilities near 0 and 1.
+func TestAlgebraClosure(t *testing.T) {
+	rng := stats.NewRNG(4242)
+	randP := func() float64 {
+		switch rng.Intn(5) {
+		case 0:
+			return 0
+		case 1:
+			return 1
+		case 2:
+			return 1e-9
+		case 3:
+			return 1 - 1e-9
+		default:
+			return rng.Float64()
+		}
+	}
+	for trial := 0; trial < 400; trial++ {
+		g1 := randomGUS(t, []string{"x", "y"}, []float64{randP(), randP()})
+		g2 := randomGUS(t, []string{"x", "y"}, []float64{randP(), randP()})
+		g3 := randomGUS(t, []string{"z"}, []float64{randP()})
+
+		u, err := Union(g1, g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValid(t, u, "union")
+
+		c, err := Compact(g1, g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValid(t, c, "compact")
+
+		j, err := Join(g1, g3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValid(t, j, "join")
+
+		e, err := g3.Extend(j.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValid(t, e, "extend")
+
+		// Nested compositions of operations stay valid.
+		uc, err := Compact(u, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValid(t, uc, "compact(union, compact)")
+	}
+}
+
+// TestMonotonicityOfB checks a structural property of every genuinely
+// independent multi-dimensional GUS built from per-relation Bernoullis:
+// adding a relation to T (more lineage agreement) can only increase b_T,
+// since agreement replaces an independent p² factor by p.
+func TestMonotonicityOfB(t *testing.T) {
+	rng := stats.NewRNG(17)
+	for trial := 0; trial < 100; trial++ {
+		probs := []float64{0.05 + 0.9*rng.Float64(), 0.05 + 0.9*rng.Float64(), 0.05 + 0.9*rng.Float64()}
+		g := randomGUS(t, []string{"a", "b", "c"}, probs)
+		full := g.Schema().Full()
+		for m := lineage.Set(0); m <= full; m++ {
+			for _, i := range m.Complement(3).Members() {
+				if g.B(m) > g.B(m.With(i))+1e-12 {
+					t.Fatalf("b not monotone: b_%v = %v > b_%v = %v",
+						m, g.B(m), m.With(i), g.B(m.With(i)))
+				}
+			}
+		}
+	}
+}
+
+// TestCSNonNegativeForIndependentDesigns: for compositions of independent
+// per-relation Bernoullis, every c_S factorizes into Π p_i (i∈S pattern)
+// terms and is non-negative — a useful sanity property the estimator's
+// variance accumulation implicitly relies on for such designs.
+func TestCSNonNegativeForIndependentDesigns(t *testing.T) {
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 200; trial++ {
+		probs := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		g := randomGUS(t, []string{"a", "b", "c"}, probs)
+		for m, c := range g.CS() {
+			if c < -1e-12 {
+				t.Fatalf("c_%v = %v negative for independent Bernoulli design %v",
+					lineage.Set(m), c, probs)
+			}
+		}
+	}
+}
+
+// TestUnionMatchesInclusionExclusionExactly cross-checks Prop. 7 against a
+// direct inclusion-exclusion computation of P[t,t′ ∈ A∪B] for two
+// independent two-relation GUS methods.
+func TestUnionMatchesInclusionExclusionExactly(t *testing.T) {
+	rng := stats.NewRNG(53)
+	for trial := 0; trial < 100; trial++ {
+		p1 := []float64{0.1 + 0.8*rng.Float64(), 0.1 + 0.8*rng.Float64()}
+		p2 := []float64{0.1 + 0.8*rng.Float64(), 0.1 + 0.8*rng.Float64()}
+		g1 := randomGUS(t, []string{"x", "y"}, p1)
+		g2 := randomGUS(t, []string{"x", "y"}, p2)
+		u, err := Union(g1, g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := u.Schema().Full()
+		for m := lineage.Set(0); m <= full; m++ {
+			// P[t,t′ ∈ A∪B] = 1 − 2·P[t∉] + P[t,t′ ∉], with
+			// P[t∉] = (1−a1)(1−a2), P[t,t′∉] = (1−2a1+b1)(1−2a2+b2).
+			notIn := (1 - g1.A()) * (1 - g2.A())
+			bothOut := (1 - 2*g1.A() + g1.B(m)) * (1 - 2*g2.A() + g2.B(m))
+			want := 1 - 2*notIn + bothOut
+			if math.Abs(u.B(m)-want) > 1e-12 {
+				t.Fatalf("union b_%v = %v, inclusion-exclusion gives %v", m, u.B(m), want)
+			}
+		}
+	}
+}

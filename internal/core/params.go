@@ -1,0 +1,304 @@
+// Package core implements the GUS sampling algebra — the primary
+// contribution of "A Sampling Algebra for Aggregate Estimation"
+// (Nirkhiwale, Dobra, Jermaine, PVLDB 2013).
+//
+// A Generalized Uniform Sampling (GUS) method G(a,b̄) over a cross-product
+// space R = R_1 × … × R_n is characterized by (Definition 1):
+//
+//	a   = P[t ∈ 𝓡]                                   (first-order inclusion)
+//	b_T = P[t,t′ ∈ 𝓡 | lineages agree exactly on T]  (second-order, per T ⊆ {1:n})
+//
+// Params stores (a, b̄) against a lineage.Schema. The algebra over Params —
+// Identity (Prop 4), selection transparency (Prop 5), Join (Prop 6), Union
+// (Prop 7), Compact (Prop 8), Compose (Prop 9) — lets a rewriter reduce any
+// supported plan to a single top GUS whose moments Theorem 1 computes.
+//
+// Convention: b_{1:n} (all lineage equal ⇒ t = t′) always equals a, since
+// P[t,t′∈𝓡 | t=t′] = P[t∈𝓡]. The constructor enforces it.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/sampling-algebra/gus/internal/lineage"
+)
+
+// ErrSchemaMismatch reports an operation over Params whose lineage schemas
+// are incompatible (e.g. compaction of methods over different relations).
+var ErrSchemaMismatch = errors.New("core: lineage schema mismatch")
+
+// ErrOverlappingLineage reports a join/composition whose argument schemas
+// share a base relation; Prop. 6 requires disjoint lineage (self-joins are
+// outside GUS, §9).
+var ErrOverlappingLineage = errors.New("core: overlapping lineage")
+
+// probTol is the slack allowed when validating probabilities: combining
+// many float64 coefficients can drift a hair outside [0,1].
+const probTol = 1e-9
+
+// Params is a GUS method G(a,b̄) over the relations of a lineage schema.
+// Params values are immutable once constructed; algebra operations return
+// fresh values.
+type Params struct {
+	schema *lineage.Schema
+	a      float64
+	b      []float64 // dense over subsets; index = lineage.Set; b[full] == a
+}
+
+// New builds a GUS parameter set. b must have length 2ⁿ for the schema's n
+// relations, indexed by lineage.Set; all entries and a must be
+// probabilities, and b[full] must equal a (within a tight tolerance — it is
+// then pinned to exactly a).
+func New(schema *lineage.Schema, a float64, b []float64) (*Params, error) {
+	n := schema.Len()
+	if len(b) != 1<<uint(n) {
+		return nil, fmt.Errorf("core: b̄ has %d entries, want 2^%d = %d", len(b), n, 1<<uint(n))
+	}
+	if err := checkProb("a", a); err != nil {
+		return nil, err
+	}
+	bb := make([]float64, len(b))
+	for m, v := range b {
+		if err := checkProb(fmt.Sprintf("b_%s", schema.SetString(lineage.Set(m))), v); err != nil {
+			return nil, err
+		}
+		bb[m] = clampProb(v)
+	}
+	full := int(schema.Full())
+	if math.Abs(bb[full]-a) > probTol {
+		return nil, fmt.Errorf("core: b over the full lineage set must equal a (got b=%v, a=%v)", bb[full], a)
+	}
+	bb[full] = clampProb(a)
+	return &Params{schema: schema, a: clampProb(a), b: bb}, nil
+}
+
+// NewFromMap is New with b̄ given as a map keyed by subsets; every subset of
+// the schema must be present except the full set, which defaults to a.
+func NewFromMap(schema *lineage.Schema, a float64, b map[lineage.Set]float64) (*Params, error) {
+	n := schema.Len()
+	bb := make([]float64, 1<<uint(n))
+	full := schema.Full()
+	for m := range bb {
+		v, ok := b[lineage.Set(m)]
+		if !ok {
+			if lineage.Set(m) == full {
+				v = a
+			} else {
+				return nil, fmt.Errorf("core: missing b coefficient for %s", schema.SetString(lineage.Set(m)))
+			}
+		}
+		bb[m] = v
+	}
+	return New(schema, a, bb)
+}
+
+func checkProb(name string, v float64) error {
+	if math.IsNaN(v) || v < -probTol || v > 1+probTol {
+		return fmt.Errorf("core: %s = %v is not a probability", name, v)
+	}
+	return nil
+}
+
+func clampProb(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Schema returns the lineage schema the parameters are defined against.
+func (p *Params) Schema() *lineage.Schema { return p.schema }
+
+// N returns the number of base relations.
+func (p *Params) N() int { return p.schema.Len() }
+
+// A returns the first-order inclusion probability a.
+func (p *Params) A() float64 { return p.a }
+
+// B returns b_T for the given subset.
+func (p *Params) B(t lineage.Set) float64 {
+	if !t.SubsetOf(p.schema.Full()) {
+		panic(fmt.Sprintf("core: B(%v) outside schema of %d relations", t, p.N()))
+	}
+	return p.b[t]
+}
+
+// BSlice returns a copy of the dense b̄ vector (index = lineage.Set).
+func (p *Params) BSlice() []float64 { return append([]float64(nil), p.b...) }
+
+// Identity returns G(1,1̄): the GUS that keeps everything (Prop 4). It can
+// be inserted anywhere in a plan without changing the result.
+func Identity(schema *lineage.Schema) *Params {
+	b := make([]float64, 1<<uint(schema.Len()))
+	for i := range b {
+		b[i] = 1
+	}
+	return &Params{schema: schema, a: 1, b: b}
+}
+
+// Null returns G(0,0̄): the GUS that blocks everything — the union identity
+// of the Theorem 2 algebraic structure.
+func Null(schema *lineage.Schema) *Params {
+	return &Params{schema: schema, a: 0, b: make([]float64, 1<<uint(schema.Len()))}
+}
+
+// Bernoulli returns the GUS translation of Bernoulli(p) sampling over the
+// single relation rel (Fig. 1): a = p, b_∅ = p², b_{rel} = p.
+func Bernoulli(rel string, prob float64) (*Params, error) {
+	if err := checkProb("p", prob); err != nil {
+		return nil, err
+	}
+	s, err := lineage.NewSchema(rel)
+	if err != nil {
+		return nil, err
+	}
+	return New(s, prob, []float64{prob * prob, prob})
+}
+
+// WOR returns the GUS translation of fixed-size sampling without
+// replacement of n out of N tuples over the single relation rel (Fig. 1):
+// a = n/N, b_∅ = n(n−1)/(N(N−1)), b_{rel} = n/N.
+func WOR(rel string, n, total int) (*Params, error) {
+	if total <= 0 || n < 0 || n > total {
+		return nil, fmt.Errorf("core: WOR(%d of %d) is invalid", n, total)
+	}
+	s, err := lineage.NewSchema(rel)
+	if err != nil {
+		return nil, err
+	}
+	a := float64(n) / float64(total)
+	var bEmpty float64
+	if total > 1 {
+		bEmpty = float64(n) * float64(n-1) / (float64(total) * float64(total-1))
+	}
+	return New(s, a, []float64{bEmpty, a})
+}
+
+// IsIdentity reports whether p is G(1,1̄) (within tolerance).
+func (p *Params) IsIdentity() bool {
+	if math.Abs(p.a-1) > probTol {
+		return false
+	}
+	for _, v := range p.b {
+		if math.Abs(v-1) > probTol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNull reports whether p is G(0,0̄) (within tolerance).
+func (p *Params) IsNull() bool {
+	if p.a > probTol {
+		return false
+	}
+	for _, v := range p.b {
+		if v > probTol {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether q describes the same GUS as p — same relation
+// set (order-insensitive) and coefficients within tol.
+func (p *Params) ApproxEqual(q *Params, tol float64) bool {
+	if !p.schema.SameRelations(q.schema) {
+		return false
+	}
+	qa, err := q.Align(p.schema)
+	if err != nil {
+		return false
+	}
+	if math.Abs(p.a-qa.a) > tol {
+		return false
+	}
+	for m := range p.b {
+		if math.Abs(p.b[m]-qa.b[m]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Align re-expresses p against a target schema listing the same relations,
+// possibly in a different order.
+func (p *Params) Align(target *lineage.Schema) (*Params, error) {
+	if p.schema.Equal(target) {
+		return p, nil
+	}
+	if !p.schema.SameRelations(target) {
+		return nil, fmt.Errorf("%w: cannot align %v to %v", ErrSchemaMismatch, p.schema.Names(), target.Names())
+	}
+	slot, err := p.schema.Translate(target)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]float64, len(p.b))
+	for m := range p.b {
+		b[lineage.TranslateSet(lineage.Set(m), slot)] = p.b[m]
+	}
+	return &Params{schema: target, a: p.a, b: b}, nil
+}
+
+// Extend embeds p into a larger schema, treating every relation absent from
+// p's schema as untouched (identity coefficients): b′_T = b_{T ∩ L(p)}.
+// This is exactly "join with G(1,1̄) over the new relations" (Props 4+6)
+// without constraining relation order.
+func (p *Params) Extend(target *lineage.Schema) (*Params, error) {
+	slot, err := p.schema.Translate(target)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSchemaMismatch, err)
+	}
+	// ownMask: positions in target covered by p's relations.
+	var ownMask lineage.Set
+	for _, j := range slot {
+		ownMask = ownMask.With(j)
+	}
+	// inverse map: target slot -> p slot.
+	inv := make([]int, target.Len())
+	for i := range inv {
+		inv[i] = -1
+	}
+	for i, j := range slot {
+		inv[j] = i
+	}
+	b := make([]float64, 1<<uint(target.Len()))
+	for m := range b {
+		var src lineage.Set
+		for _, j := range (lineage.Set(m) & ownMask).Members() {
+			src = src.With(inv[j])
+		}
+		b[m] = p.b[src]
+	}
+	return &Params{schema: target, a: p.a, b: b}, nil
+}
+
+// String renders the parameters in the style of the paper's Figure 4
+// tables: a first, then b coefficients ordered by subset size then mask.
+func (p *Params) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "a=%.6g", p.a)
+	masks := make([]int, len(p.b))
+	for i := range masks {
+		masks[i] = i
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		si, sj := lineage.Set(masks[i]).Len(), lineage.Set(masks[j]).Len()
+		if si != sj {
+			return si < sj
+		}
+		return masks[i] < masks[j]
+	})
+	for _, m := range masks {
+		fmt.Fprintf(&sb, ", b%s=%.6g", p.schema.SetString(lineage.Set(m)), p.b[m])
+	}
+	return sb.String()
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/sampling-algebra/gus/internal/lineage"
+)
+
+// approx fails the test unless got is within rel relative tolerance of want.
+func approx(t *testing.T, name string, got, want, rel float64) {
+	t.Helper()
+	if want == 0 {
+		if math.Abs(got) > rel {
+			t.Errorf("%s = %v, want 0", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want) > rel*math.Abs(want) {
+		t.Errorf("%s = %v, want %v (rel err %.3g)", name, got, want, math.Abs(got-want)/math.Abs(want))
+	}
+}
+
+// randomGUS builds a valid k-relation GUS by composing independent
+// Bernoulli methods with probabilities drawn from rng, then optionally
+// compacting with a second such composition. Every value so produced is a
+// genuine GUS, which makes it a safe generator for property tests.
+func randomGUS(t *testing.T, names []string, probs []float64) *Params {
+	t.Helper()
+	if len(names) != len(probs) {
+		t.Fatal("randomGUS: mismatched args")
+	}
+	out, err := Bernoulli(names[0], probs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(names); i++ {
+		next, err := Bernoulli(names[i], probs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out, err = Compose(out, next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestFigure1Bernoulli(t *testing.T) {
+	// Figure 1: Bernoulli(p): a = p, b_∅ = p², b_R = p.
+	p, err := Bernoulli("R", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "a", p.A(), 0.1, 1e-12)
+	approx(t, "b_∅", p.B(lineage.Empty), 0.01, 1e-12)
+	approx(t, "b_R", p.B(lineage.Singleton(0)), 0.1, 1e-12)
+}
+
+func TestFigure1WOR(t *testing.T) {
+	// Figure 1: WOR(n,N): a = n/N, b_∅ = n(n−1)/(N(N−1)), b_R = n/N.
+	p, err := WOR("orders", 1000, 150000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "a", p.A(), 1000.0/150000, 1e-12)
+	approx(t, "b_∅", p.B(lineage.Empty), 1000.0*999/(150000.0*149999), 1e-12)
+	approx(t, "b_R", p.B(lineage.Singleton(0)), 1000.0/150000, 1e-12)
+}
+
+func TestExample2PaperValues(t *testing.T) {
+	// Example 2 prints rounded values; check to the paper's precision.
+	b, _ := Bernoulli("l", 0.1)
+	w, _ := WOR("o", 1000, 150000)
+	approx(t, "aB", b.A(), 0.1, 1e-6)
+	approx(t, "bB,∅", b.B(0), 0.01, 1e-6)
+	approx(t, "aW", w.A(), 6.667e-3, 1e-3)
+	approx(t, "bW,∅", w.B(0), 4.44e-5, 1e-2)
+	approx(t, "bW,o", w.B(1), 6.667e-3, 1e-3)
+}
+
+func TestWORDegenerate(t *testing.T) {
+	// n = N: the "sample" is the whole relation; n = 1: b_∅ = 0; N = 1 OK.
+	p, err := WOR("r", 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsIdentity() {
+		t.Errorf("WOR(N,N) should be the identity GUS, got %v", p)
+	}
+	p, err = WOR("r", 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.B(0) != 0 {
+		t.Errorf("WOR(1,N) b_∅ = %v, want 0 (cannot pick two distinct tuples)", p.B(0))
+	}
+	if _, err := WOR("r", 6, 5); err == nil {
+		t.Error("WOR(n>N) accepted")
+	}
+	if _, err := WOR("r", -1, 5); err == nil {
+		t.Error("WOR(n<0) accepted")
+	}
+	if _, err := WOR("r", 0, 0); err == nil {
+		t.Error("WOR(N=0) accepted")
+	}
+}
+
+func TestBernoulliValidation(t *testing.T) {
+	if _, err := Bernoulli("r", -0.1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := Bernoulli("r", 1.5); err == nil {
+		t.Error("p>1 accepted")
+	}
+	if _, err := Bernoulli("", 0.5); err == nil {
+		t.Error("empty relation name accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	s := lineage.MustSchema("r")
+	if _, err := New(s, 0.5, []float64{0.25}); err == nil {
+		t.Error("wrong b̄ length accepted")
+	}
+	if _, err := New(s, 0.5, []float64{0.25, 0.4}); err == nil {
+		t.Error("b_full ≠ a accepted")
+	}
+	if _, err := New(s, 0.5, []float64{-0.2, 0.5}); err == nil {
+		t.Error("negative b accepted")
+	}
+	if _, err := New(s, math.NaN(), []float64{0.25, 0.5}); err == nil {
+		t.Error("NaN a accepted")
+	}
+	// Tiny float drift just outside [0,1] must be tolerated and clamped.
+	p, err := New(s, 0.5, []float64{-1e-12, 0.5})
+	if err != nil {
+		t.Fatalf("tiny negative rejected: %v", err)
+	}
+	if p.B(0) != 0 {
+		t.Errorf("tiny negative not clamped: %v", p.B(0))
+	}
+}
+
+func TestNewFromMap(t *testing.T) {
+	s := lineage.MustSchema("l", "o")
+	b := map[lineage.Set]float64{
+		0:                    0.01,
+		lineage.Singleton(0): 0.05,
+		lineage.Singleton(1): 0.04,
+	}
+	p, err := NewFromMap(s, 0.2, b) // full set defaults to a
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.B(s.Full()) != 0.2 {
+		t.Error("full-set default wrong")
+	}
+	delete(b, lineage.Singleton(1))
+	if _, err := NewFromMap(s, 0.2, b); err == nil {
+		t.Error("missing coefficient accepted")
+	}
+}
+
+func TestIdentityAndNull(t *testing.T) {
+	s := lineage.MustSchema("a", "b")
+	id := Identity(s)
+	if !id.IsIdentity() || id.IsNull() {
+		t.Error("Identity misclassified")
+	}
+	nul := Null(s)
+	if !nul.IsNull() || nul.IsIdentity() {
+		t.Error("Null misclassified")
+	}
+	if id.A() != 1 || nul.A() != 0 {
+		t.Error("a wrong")
+	}
+	b, _ := Bernoulli("x", 0.5)
+	if b.IsIdentity() || b.IsNull() {
+		t.Error("Bernoulli misclassified")
+	}
+}
+
+func TestBOutOfSchemaPanics(t *testing.T) {
+	p, _ := Bernoulli("r", 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("B outside schema did not panic")
+		}
+	}()
+	p.B(lineage.Singleton(3))
+}
+
+func TestAlign(t *testing.T) {
+	lo := randomGUS(t, []string{"l", "o"}, []float64{0.1, 0.3})
+	ol, err := lo.Align(lineage.MustSchema("o", "l"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ol.Schema().Name(0) != "o" {
+		t.Fatal("Align did not reorder schema")
+	}
+	// b_{l} in the old layout equals b_{l} in the new one.
+	if got, want := ol.B(ol.Schema().MustSetOf("l")), lo.B(lo.Schema().MustSetOf("l")); got != want {
+		t.Errorf("aligned b_l = %v, want %v", got, want)
+	}
+	if got, want := ol.B(ol.Schema().MustSetOf("o")), lo.B(lo.Schema().MustSetOf("o")); got != want {
+		t.Errorf("aligned b_o = %v, want %v", got, want)
+	}
+	if !lo.ApproxEqual(ol, 0) {
+		t.Error("ApproxEqual must be order-insensitive")
+	}
+	if _, err := lo.Align(lineage.MustSchema("l", "c")); err == nil {
+		t.Error("Align to different relations accepted")
+	}
+	// Aligning to an identical schema returns the same value.
+	same, err := lo.Align(lo.Schema())
+	if err != nil || same != lo {
+		t.Error("self-align should be a no-op")
+	}
+}
+
+func TestExtend(t *testing.T) {
+	b, _ := Bernoulli("l", 0.1)
+	target := lineage.MustSchema("c", "l", "o")
+	ext, err := b.Extend(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.A() != 0.1 {
+		t.Errorf("Extend changed a: %v", ext.A())
+	}
+	// Coefficients depend only on whether l ∈ T.
+	for m := 0; m < 8; m++ {
+		set := lineage.Set(m)
+		want := 0.01
+		if set.Has(1) { // l is slot 1 in target
+			want = 0.1
+		}
+		if got := ext.B(set); math.Abs(got-want) > 1e-15 {
+			t.Errorf("Extend b_%v = %v, want %v", set, got, want)
+		}
+	}
+	if _, err := b.Extend(lineage.MustSchema("c", "o")); err == nil {
+		t.Error("Extend dropping a relation accepted")
+	}
+}
+
+func TestExtendMatchesJoinWithIdentity(t *testing.T) {
+	g := randomGUS(t, []string{"l", "o"}, []float64{0.2, 0.7})
+	id := Identity(lineage.MustSchema("c"))
+	joined, err := Join(g, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := g.Extend(lineage.MustSchema("l", "o", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !joined.ApproxEqual(ext, 1e-15) {
+		t.Errorf("Extend ≠ Join with identity:\n%v\n%v", ext, joined)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p, _ := Bernoulli("l", 0.1)
+	s := p.String()
+	for _, want := range []string{"a=0.1", "b∅=0.01", "b{l}=0.1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestBSliceIsCopy(t *testing.T) {
+	p, _ := Bernoulli("l", 0.1)
+	b := p.BSlice()
+	b[0] = 99
+	if p.B(0) == 99 {
+		t.Error("BSlice aliases internal state")
+	}
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/sampling-algebra/gus/internal/lineage"
+	"github.com/sampling-algebra/gus/internal/stats"
+)
+
+func TestCSBernoulliClosedForm(t *testing.T) {
+	// Bernoulli(p): c_∅ = p², c_R = p − p².
+	p := 0.3
+	g, _ := Bernoulli("r", p)
+	cs := g.CS()
+	approx(t, "c_∅", cs[0], p*p, 1e-12)
+	approx(t, "c_R", cs[1], p-p*p, 1e-12)
+}
+
+func TestVarianceBernoulliClosedForm(t *testing.T) {
+	// Theorem 1 for Bernoulli(p) must reduce to Var = ((1−p)/p)·Σf².
+	// Population: f values 1..5 over a 5-tuple relation.
+	fs := []float64{1, 2, 3, 4, 5}
+	var sum, sumSq float64
+	for _, f := range fs {
+		sum += f
+		sumSq += f * f
+	}
+	ys := []float64{sum * sum, sumSq} // y_∅ = (Σf)², y_R = Σf²
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		g, _ := Bernoulli("r", p)
+		got, err := g.Variance(ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, "variance", got, (1-p)/p*sumSq, 1e-12)
+	}
+}
+
+func TestVarianceWORClosedForm(t *testing.T) {
+	// Theorem 1 for WOR(n,N) must reduce to the classical finite-population
+	// formula Var = N²(1−n/N)·S²/n with S² the population variance of f.
+	fs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	N := len(fs)
+	var sum, sumSq float64
+	for _, f := range fs {
+		sum += f
+		sumSq += f * f
+	}
+	mean := sum / float64(N)
+	var s2 float64
+	for _, f := range fs {
+		s2 += (f - mean) * (f - mean)
+	}
+	s2 /= float64(N - 1)
+	ys := []float64{sum * sum, sumSq}
+	for _, n := range []int{1, 2, 4, 7, 8} {
+		g, err := WOR("r", n, N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.Variance(ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr := float64(n) / float64(N)
+		want := float64(N) * float64(N) * (1 - fr) * s2 / float64(n)
+		approx(t, "variance", got, want, 1e-9)
+	}
+}
+
+func TestVarianceIdentityIsZero(t *testing.T) {
+	// Sampling nothing away has zero variance regardless of the data.
+	s := lineage.MustSchema("l", "o")
+	id := Identity(s)
+	ys := []float64{100, 40, 30, 20}
+	got, err := id.Variance(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got) > 1e-9 {
+		t.Errorf("identity variance = %v, want 0", got)
+	}
+}
+
+func TestVarianceErrors(t *testing.T) {
+	g, _ := Bernoulli("r", 0.5)
+	if _, err := g.Variance([]float64{1}); err == nil {
+		t.Error("wrong-length ys accepted")
+	}
+	if _, err := Null(g.Schema()).Variance([]float64{1, 1}); err == nil {
+		t.Error("variance of null GUS accepted")
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	g, _ := Bernoulli("r", 0.25)
+	if got := g.Estimate(10); got != 40 {
+		t.Errorf("Estimate = %v, want 40", got)
+	}
+	if !math.IsNaN(Null(g.Schema()).Estimate(10)) {
+		t.Error("Estimate of null GUS should be NaN")
+	}
+}
+
+func TestCSTransformMatchesNaive(t *testing.T) {
+	// The O(n·2ⁿ) Möbius transform must agree with the O(3ⁿ) definition.
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 20; trial++ {
+		names := []string{"a", "b", "c", "d"}
+		probs := make([]float64, len(names))
+		for i := range probs {
+			probs[i] = 0.05 + 0.9*rng.Float64()
+		}
+		g := randomGUS(t, names, probs)
+		fast := g.CS()
+		slow := g.csNaive()
+		for m := range fast {
+			if math.Abs(fast[m]-slow[m]) > 1e-12 {
+				t.Fatalf("CS mismatch at %v: %v vs %v", lineage.Set(m), fast[m], slow[m])
+			}
+		}
+	}
+}
+
+func TestCSZetaInverse(t *testing.T) {
+	// Σ_{T⊆S} c_T must recover b_S (zeta transform inverts Möbius) — a
+	// strong structural identity over random valid GUS parameters.
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 20; trial++ {
+		g := randomGUS(t, []string{"a", "b", "c"}, []float64{rng.Float64(), rng.Float64(), rng.Float64()})
+		cs := g.CS()
+		for m := 0; m < len(cs); m++ {
+			var sum float64
+			lineage.Set(m).Subsets(func(u lineage.Set) { sum += cs[u] })
+			if math.Abs(sum-g.B(lineage.Set(m))) > 1e-12 {
+				t.Fatalf("zeta(CS) ≠ b at %v", lineage.Set(m))
+			}
+		}
+	}
+}
+
+func TestCSSumsToA(t *testing.T) {
+	// Σ_S c_S = b_full = a for any GUS (zeta at the full set).
+	f := func(p1, p2 float64) bool {
+		q1, q2 := 0.01+0.98*abs1(p1), 0.01+0.98*abs1(p2)
+		g := mustParams(Compose(mustParams(Bernoulli("x", q1)), mustParams(Bernoulli("y", q2))))
+		var sum float64
+		for _, c := range g.CS() {
+			sum += c
+		}
+		return math.Abs(sum-g.A()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKappaBaseCases(t *testing.T) {
+	g, _ := Bernoulli("r", 0.3)
+	full := lineage.Singleton(0)
+	approx(t, "κ(S,S) = b_S", g.Kappa(lineage.Empty, lineage.Empty), g.B(0), 1e-15)
+	approx(t, "κ(full,full) = a", g.Kappa(full, full), g.A(), 1e-15)
+	// κ_{∅,R} = b_R − b_∅ = p − p².
+	approx(t, "κ(∅,R)", g.Kappa(lineage.Empty, full), 0.3-0.09, 1e-12)
+}
+
+func TestKappaPanicsOnBadArgs(t *testing.T) {
+	g, _ := Bernoulli("r", 0.3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Kappa with S ⊄ W did not panic")
+		}
+	}()
+	g.Kappa(lineage.Singleton(0), lineage.Empty)
+}
+
+func TestKappaTelescopesToCS(t *testing.T) {
+	// κ_{∅,W} = c_W by definition — cross-check the two code paths.
+	g := randomGUS(t, []string{"a", "b", "c"}, []float64{0.2, 0.5, 0.8})
+	cs := g.CS()
+	for m := 0; m < len(cs); m++ {
+		k := g.Kappa(lineage.Empty, lineage.Set(m))
+		if math.Abs(k-cs[m]) > 1e-12 {
+			t.Fatalf("κ(∅,%v)=%v ≠ c=%v", lineage.Set(m), k, cs[m])
+		}
+	}
+}
+
+// TestVarianceMatchesBruteForceTwoRelations computes Var(X) for a tiny
+// two-relation Bernoulli×Bernoulli query by full enumeration of all 2^(m+n)
+// sampling outcomes, and checks Theorem 1 against it exactly.
+func TestVarianceMatchesBruteForceTwoRelations(t *testing.T) {
+	// Relations: R (3 tuples) and S (2 tuples); join is the full cross
+	// product with f(r,s) = value_r · value_s + 1.
+	rVals := []float64{1, 2, 3}
+	sVals := []float64{5, 7}
+	p1, p2 := 0.4, 0.7
+	f := func(i, j int) float64 { return rVals[i]*sVals[j] + 1 }
+
+	// Exact data moments y_S for Theorem 1.
+	var yFull, yEmpty, yR, yS float64
+	var total float64
+	for i := range rVals {
+		var rowSum float64
+		for j := range sVals {
+			v := f(i, j)
+			yFull += v * v
+			rowSum += v
+			total += v
+		}
+		yR += rowSum * rowSum
+	}
+	for j := range sVals {
+		var colSum float64
+		for i := range rVals {
+			colSum += f(i, j)
+		}
+		yS += colSum * colSum
+	}
+	yEmpty = total * total
+
+	g1, _ := Bernoulli("R", p1)
+	g2, _ := Bernoulli("S", p2)
+	g, err := Join(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ys indexed by mask over schema (R,S): R = bit0, S = bit1.
+	ys := []float64{yEmpty, yR, yS, yFull}
+	gotVar, err := g.Variance(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Brute force: enumerate all inclusion patterns of the 5 base tuples.
+	var mean, second float64
+	a := g.A()
+	for mask := 0; mask < 1<<5; mask++ {
+		prob := 1.0
+		inR := make([]bool, 3)
+		inS := make([]bool, 2)
+		for i := 0; i < 3; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				prob *= p1
+				inR[i] = true
+			} else {
+				prob *= 1 - p1
+			}
+		}
+		for j := 0; j < 2; j++ {
+			if mask&(1<<uint(3+j)) != 0 {
+				prob *= p2
+				inS[j] = true
+			} else {
+				prob *= 1 - p2
+			}
+		}
+		var sampleSum float64
+		for i := range rVals {
+			for j := range sVals {
+				if inR[i] && inS[j] {
+					sampleSum += f(i, j)
+				}
+			}
+		}
+		x := sampleSum / a
+		mean += prob * x
+		second += prob * x * x
+	}
+	bruteVar := second - mean*mean
+
+	approx(t, "E[X] unbiased", mean, total, 1e-12)
+	approx(t, "Theorem 1 variance vs brute force", gotVar, bruteVar, 1e-9)
+}
+
+// TestVarianceMatchesBruteForceWORJoin repeats the brute-force check for a
+// mixed Bernoulli × WOR plan, enumerating WOR subsets exactly.
+func TestVarianceMatchesBruteForceWORJoin(t *testing.T) {
+	rVals := []float64{1, -2, 4}   // Bernoulli(p) side
+	sVals := []float64{3, 5, 6, 2} // WOR(k of 4) side
+	p, k := 0.35, 2
+	f := func(i, j int) float64 { return rVals[i] + sVals[j] }
+
+	var yFull, yR, yS, total float64
+	for i := range rVals {
+		var rowSum float64
+		for j := range sVals {
+			v := f(i, j)
+			yFull += v * v
+			rowSum += v
+			total += v
+		}
+		yR += rowSum * rowSum
+	}
+	for j := range sVals {
+		var colSum float64
+		for i := range rVals {
+			colSum += f(i, j)
+		}
+		yS += colSum * colSum
+	}
+	ys := []float64{total * total, yR, yS, yFull}
+
+	g1, _ := Bernoulli("R", p)
+	g2, _ := WOR("S", k, len(sVals))
+	g, _ := Join(g1, g2)
+	gotVar, err := g.Variance(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Enumerate Bernoulli patterns × all C(4,2) WOR subsets (equiprobable).
+	var worSets [][]bool
+	for m := 0; m < 16; m++ {
+		cnt := 0
+		set := make([]bool, 4)
+		for j := 0; j < 4; j++ {
+			if m&(1<<uint(j)) != 0 {
+				set[j] = true
+				cnt++
+			}
+		}
+		if cnt == k {
+			worSets = append(worSets, set)
+		}
+	}
+	a := g.A()
+	var mean, second float64
+	for mask := 0; mask < 1<<3; mask++ {
+		prob := 1.0
+		inR := make([]bool, 3)
+		for i := 0; i < 3; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				prob *= p
+				inR[i] = true
+			} else {
+				prob *= 1 - p
+			}
+		}
+		for _, inS := range worSets {
+			pw := prob / float64(len(worSets))
+			var sum float64
+			for i := range rVals {
+				for j := range sVals {
+					if inR[i] && inS[j] {
+						sum += f(i, j)
+					}
+				}
+			}
+			x := sum / a
+			mean += pw * x
+			second += pw * x * x
+		}
+	}
+	bruteVar := second - mean*mean
+	approx(t, "E[X] unbiased", mean, total, 1e-12)
+	approx(t, "Theorem 1 variance vs brute force (WOR join)", gotVar, bruteVar, 1e-9)
+}
+
+// TestCompactionVarianceBruteForce validates Prop. 8's parameters
+// operationally: stacking Bernoulli(p2) on Bernoulli(p1) over one relation
+// behaves exactly like Bernoulli(p1·p2).
+func TestCompactionVarianceBruteForce(t *testing.T) {
+	p1, p2 := 0.6, 0.5
+	g1, _ := Bernoulli("r", p1)
+	g2, _ := Bernoulli("r", p2)
+	c, err := Compact(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Bernoulli("r", p1*p2)
+	if !c.ApproxEqual(want, 1e-12) {
+		t.Fatalf("compacted Bernoullis ≠ Bernoulli(p1p2):\n%v\n%v", c, want)
+	}
+}

@@ -1,0 +1,249 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sampling-algebra/gus/internal/relation"
+)
+
+var testSchema = relation.MustSchema(
+	relation.Column{Name: "a", Kind: relation.KindInt},
+	relation.Column{Name: "b", Kind: relation.KindFloat},
+	relation.Column{Name: "s", Kind: relation.KindString},
+)
+
+var testRow = relation.Tuple{relation.Int(4), relation.Float(2.5), relation.String_("hi")}
+
+func eval(t *testing.T, e Expr) relation.Value {
+	t.Helper()
+	c, err := Compile(e, testSchema)
+	if err != nil {
+		t.Fatalf("compile %s: %v", e, err)
+	}
+	v, err := c(testRow)
+	if err != nil {
+		t.Fatalf("eval %s: %v", e, err)
+	}
+	return v
+}
+
+func evalErr(t *testing.T, e Expr) error {
+	t.Helper()
+	c, err := Compile(e, testSchema)
+	if err != nil {
+		return err
+	}
+	_, err = c(testRow)
+	return err
+}
+
+func TestColAndConst(t *testing.T) {
+	if got := eval(t, Col("a")); !got.Equal(relation.Int(4)) {
+		t.Errorf("col a = %v", got)
+	}
+	if got := eval(t, Str("x")); !got.Equal(relation.String_("x")) {
+		t.Errorf("const = %v", got)
+	}
+	if got := eval(t, Float(1.5)); !got.Equal(relation.Float(1.5)) {
+		t.Errorf("const = %v", got)
+	}
+}
+
+func TestUnknownColumnIsCompileError(t *testing.T) {
+	if _, err := Compile(Col("zz"), testSchema); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want relation.Value
+	}{
+		{Add(Col("a"), Int(1)), relation.Int(5)},
+		{Sub(Col("a"), Int(6)), relation.Int(-2)},
+		{Mul(Col("a"), Int(3)), relation.Int(12)},
+		{Add(Col("a"), Col("b")), relation.Float(6.5)},
+		{Mul(Col("b"), Float(2)), relation.Float(5)},
+		{Div(Col("a"), Int(2)), relation.Float(2)}, // / always floats
+		{Div(Col("b"), Float(0.5)), relation.Float(5)},
+	}
+	for _, c := range cases {
+		if got := eval(t, c.e); !got.Equal(c.want) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestPaperAggregateExpression(t *testing.T) {
+	// l_discount*(1.0-l_tax) from Query 1, against a matching row.
+	schema := relation.MustSchema(
+		relation.Column{Name: "l_discount", Kind: relation.KindFloat},
+		relation.Column{Name: "l_tax", Kind: relation.KindFloat},
+	)
+	e := Mul(Col("l_discount"), Sub(Float(1.0), Col("l_tax")))
+	c, err := Compile(e, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c(relation.Tuple{relation.Float(0.05), relation.Float(0.08)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := v.AsFloat()
+	if math.Abs(f-0.05*0.92) > 1e-15 {
+		t.Errorf("got %v", f)
+	}
+	if e.String() != "(l_discount * (1 - l_tax))" {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	trueCases := []Expr{
+		Eq(Col("a"), Int(4)),
+		Bin(OpNe, Col("a"), Int(5)),
+		Lt(Col("b"), Int(3)),
+		Bin(OpLe, Col("b"), Float(2.5)),
+		Gt(Col("a"), Col("b")),
+		Bin(OpGe, Col("a"), Int(4)),
+		Eq(Col("s"), Str("hi")),
+	}
+	for _, e := range trueCases {
+		if !eval(t, e).Truthy() {
+			t.Errorf("%s should be true", e)
+		}
+	}
+	falseCases := []Expr{
+		Eq(Col("a"), Int(5)),
+		Gt(Col("b"), Col("a")),
+		Eq(Col("s"), Str("bye")),
+	}
+	for _, e := range falseCases {
+		if eval(t, e).Truthy() {
+			t.Errorf("%s should be false", e)
+		}
+	}
+}
+
+func TestBooleanConnectives(t *testing.T) {
+	tr, fa := Eq(Int(1), Int(1)), Eq(Int(1), Int(2))
+	if !eval(t, And(tr, tr)).Truthy() || eval(t, And(tr, fa)).Truthy() {
+		t.Error("AND wrong")
+	}
+	if !eval(t, Or(fa, tr)).Truthy() || eval(t, Or(fa, fa)).Truthy() {
+		t.Error("OR wrong")
+	}
+	if !eval(t, Not{fa}).Truthy() || eval(t, Not{tr}).Truthy() {
+		t.Error("NOT wrong")
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	if err := evalErr(t, Div(Col("a"), Int(0))); err == nil {
+		t.Error("division by zero accepted")
+	}
+	if err := evalErr(t, Add(Col("s"), Int(1))); err == nil {
+		t.Error("string arithmetic accepted")
+	}
+	if err := evalErr(t, Lt(Col("s"), Int(1))); err == nil {
+		t.Error("string/number comparison accepted")
+	}
+}
+
+func TestIntegerOverflowSemantics(t *testing.T) {
+	// Int ops stay int (wrapping like Go); division always floats.
+	v := eval(t, Mul(Int(3), Int(4)))
+	if v.Kind() != relation.KindInt {
+		t.Error("int*int should stay int")
+	}
+	v = eval(t, Div(Int(3), Int(4)))
+	if v.Kind() != relation.KindFloat {
+		t.Error("int/int should be float")
+	}
+}
+
+func TestColumns(t *testing.T) {
+	e := And(Eq(Col("x"), Col("y")), Gt(Add(Col("x"), Col("z")), Int(0)))
+	got := Columns(e)
+	want := []string{"x", "y", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("Columns = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Columns = %v, want %v", got, want)
+		}
+	}
+	if len(Columns(Int(1))) != 0 {
+		t.Error("const has columns")
+	}
+	if cols := Columns(Not{Col("q")}); len(cols) != 1 || cols[0] != "q" {
+		t.Error("Columns through Not wrong")
+	}
+}
+
+func TestConjunctsAndAndAll(t *testing.T) {
+	a, b, c := Eq(Col("a"), Int(1)), Eq(Col("b"), Int(2)), Eq(Col("s"), Str("x"))
+	e := And(a, And(b, c))
+	parts := Conjuncts(e)
+	if len(parts) != 3 {
+		t.Fatalf("Conjuncts = %d parts", len(parts))
+	}
+	if Conjuncts(Or(a, b))[0].String() != Or(a, b).String() {
+		t.Error("OR must not be split")
+	}
+	re := AndAll(parts)
+	if re.String() != And(And(a, b), c).String() {
+		t.Errorf("AndAll = %s", re)
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) should be nil")
+	}
+	if AndAll([]Expr{a}).String() != a.String() {
+		t.Error("AndAll singleton wrong")
+	}
+}
+
+func TestEquiJoinCols(t *testing.T) {
+	l, r, ok := EquiJoinCols(Eq(Col("l_orderkey"), Col("o_orderkey")))
+	if !ok || l != "l_orderkey" || r != "o_orderkey" {
+		t.Errorf("EquiJoinCols = %q,%q,%v", l, r, ok)
+	}
+	if _, _, ok := EquiJoinCols(Eq(Col("a"), Int(1))); ok {
+		t.Error("col=const recognized as equi-join")
+	}
+	if _, _, ok := EquiJoinCols(Lt(Col("a"), Col("b"))); ok {
+		t.Error("< recognized as equi-join")
+	}
+	if _, _, ok := EquiJoinCols(Eq(Col("a"), Col("a"))); ok {
+		t.Error("self-column equality recognized as equi-join")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := And(Eq(Col("a"), Int(1)), Not{Gt(Col("b"), Float(2))})
+	want := "((a = 1) AND (NOT (b > 2)))"
+	if e.String() != want {
+		t.Errorf("String = %q, want %q", e.String(), want)
+	}
+	if Str("x").String() != "'x'" {
+		t.Error("string literal rendering wrong")
+	}
+	if FormatList([]Expr{Col("a"), Int(1)}) != "a, 1" {
+		t.Error("FormatList wrong")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "+" || OpNe.String() != "<>" || OpAnd.String() != "AND" {
+		t.Error("Op.String wrong")
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown op should still render")
+	}
+	if !OpEq.IsComparison() || OpAdd.IsComparison() || OpAnd.IsComparison() {
+		t.Error("IsComparison wrong")
+	}
+}

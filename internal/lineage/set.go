@@ -1,0 +1,291 @@
+// Package lineage models tuple lineage for the GUS sampling algebra.
+//
+// A query touches an ordered list of base relations R_0 … R_{n-1} (the
+// lineage schema, §4.2 of the paper). A subset of those relations is a Set,
+// represented as a bitmask; the GUS parameter vector b̄ assigns one
+// coefficient to every Set. The lineage of a result tuple is the vector of
+// base-tuple IDs it was derived from, one per schema slot (0 when the slot's
+// relation did not contribute, which never happens for select/join plans).
+package lineage
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// MaxRelations bounds the number of base relations in a single analyzed
+// plan. b̄ is dense over subsets, so memory is 8·2ⁿ bytes; 24 relations is
+// 128 MiB which is already far past any realistic plan (the paper targets
+// ~10 relations).
+const MaxRelations = 24
+
+// Set is a subset of the base relations of a lineage schema, as a bitmask:
+// bit i set means relation i is in the subset.
+type Set uint32
+
+// Empty is the empty relation subset (∅).
+const Empty Set = 0
+
+// Full returns the complete subset over n relations.
+func Full(n int) Set {
+	if n < 0 || n > MaxRelations {
+		panic(fmt.Sprintf("lineage: relation count %d out of range [0,%d]", n, MaxRelations))
+	}
+	return Set(1)<<uint(n) - 1
+}
+
+// Singleton returns the subset containing only relation i.
+func Singleton(i int) Set {
+	if i < 0 || i >= MaxRelations {
+		panic(fmt.Sprintf("lineage: relation index %d out of range", i))
+	}
+	return Set(1) << uint(i)
+}
+
+// Has reports whether relation i is in the subset.
+func (s Set) Has(i int) bool { return s&Singleton(i) != 0 }
+
+// With returns s ∪ {i}.
+func (s Set) With(i int) Set { return s | Singleton(i) }
+
+// Without returns s \ {i}.
+func (s Set) Without(i int) Set { return s &^ Singleton(i) }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Diff returns s \ t.
+func (s Set) Diff(t Set) Set { return s &^ t }
+
+// Complement returns the complement of s within a schema of n relations.
+func (s Set) Complement(n int) Set { return Full(n) &^ s }
+
+// SubsetOf reports whether s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// Disjoint reports whether s ∩ t = ∅.
+func (s Set) Disjoint(t Set) bool { return s&t == 0 }
+
+// Len returns |s|.
+func (s Set) Len() int { return bits.OnesCount32(uint32(s)) }
+
+// IsEmpty reports whether s = ∅.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// Members returns the relation indices in s, ascending.
+func (s Set) Members() []int {
+	out := make([]int, 0, s.Len())
+	for m := s; m != 0; {
+		i := bits.TrailingZeros32(uint32(m))
+		out = append(out, i)
+		m &^= 1 << uint(i)
+	}
+	return out
+}
+
+// String renders the subset as {0,2,3}; ∅ for the empty set.
+func (s Set) String() string {
+	if s == 0 {
+		return "∅"
+	}
+	parts := make([]string, 0, s.Len())
+	for _, i := range s.Members() {
+		parts = append(parts, fmt.Sprint(i))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Subsets calls fn for every subset of s, including ∅ and s itself.
+// Enumeration order is ascending as integers.
+func (s Set) Subsets(fn func(Set)) {
+	// Classic submask enumeration: iterate t = (t-1)&s downward, but emit in
+	// ascending order by collecting complements would cost memory; ascending
+	// isn't required anywhere, yet deterministic order is. We enumerate
+	// descending then ∅ last would be odd, so do the standard trick starting
+	// from 0 via Gray-free increment: u = (u - s) & s walks all submasks
+	// ascending.
+	u := Set(0)
+	for {
+		fn(u)
+		if u == s {
+			return
+		}
+		u = (u - s) & s
+	}
+}
+
+// SupersetsWithin calls fn for every W with s ⊆ W ⊆ within.
+func (s Set) SupersetsWithin(within Set, fn func(Set)) {
+	if !s.SubsetOf(within) {
+		return
+	}
+	free := within &^ s
+	free.Subsets(func(v Set) { fn(s | v) })
+}
+
+// SignPow returns (−1)^k.
+func SignPow(k int) float64 {
+	if k&1 == 1 {
+		return -1
+	}
+	return 1
+}
+
+// Schema is an ordered list of base-relation names; the position of a name
+// is its bit index in Sets and its slot in Vectors. Names must be unique.
+type Schema struct {
+	names []string
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given relation names.
+// It returns an error on duplicates, empty names, or too many relations.
+func NewSchema(names ...string) (*Schema, error) {
+	if len(names) > MaxRelations {
+		return nil, fmt.Errorf("lineage: %d relations exceeds maximum %d", len(names), MaxRelations)
+	}
+	s := &Schema{names: append([]string(nil), names...), index: make(map[string]int, len(names))}
+	for i, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("lineage: empty relation name at position %d", i)
+		}
+		if _, dup := s.index[n]; dup {
+			return nil, fmt.Errorf("lineage: duplicate relation name %q", n)
+		}
+		s.index[n] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and literals.
+func MustSchema(names ...string) *Schema {
+	s, err := NewSchema(names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of relations in the schema.
+func (s *Schema) Len() int { return len(s.names) }
+
+// Name returns the name of relation i.
+func (s *Schema) Name(i int) string { return s.names[i] }
+
+// Names returns a copy of the ordered relation names.
+func (s *Schema) Names() []string { return append([]string(nil), s.names...) }
+
+// Index returns the slot of the named relation and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Full returns the complete subset over this schema.
+func (s *Schema) Full() Set { return Full(len(s.names)) }
+
+// SetOf builds the subset containing the named relations.
+func (s *Schema) SetOf(names ...string) (Set, error) {
+	var out Set
+	for _, n := range names {
+		i, ok := s.index[n]
+		if !ok {
+			return 0, fmt.Errorf("lineage: relation %q not in schema %v", n, s.names)
+		}
+		out = out.With(i)
+	}
+	return out, nil
+}
+
+// MustSetOf is SetOf that panics on error; for tests and literals.
+func (s *Schema) MustSetOf(names ...string) Set {
+	out, err := s.SetOf(names...)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// SetString renders a subset using the schema's relation names (sorted by
+// slot), e.g. "{lineitem,orders}".
+func (s *Schema) SetString(m Set) string {
+	if m == 0 {
+		return "∅"
+	}
+	parts := make([]string, 0, m.Len())
+	for _, i := range m.Members() {
+		parts = append(parts, s.names[i])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Concat returns a schema holding s's relations followed by t's.
+// The relation name sets must be disjoint (Prop. 6's requirement).
+func (s *Schema) Concat(t *Schema) (*Schema, error) {
+	for _, n := range t.names {
+		if _, dup := s.index[n]; dup {
+			return nil, fmt.Errorf("lineage: overlapping lineage: relation %q on both sides (self-joins are outside GUS, §9)", n)
+		}
+	}
+	return NewSchema(append(s.Names(), t.names...)...)
+}
+
+// Equal reports whether the two schemas list the same relations in the same
+// order.
+func (s *Schema) Equal(t *Schema) bool {
+	if len(s.names) != len(t.names) {
+		return false
+	}
+	for i := range s.names {
+		if s.names[i] != t.names[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameRelations reports whether the two schemas cover the same relation
+// names, regardless of order.
+func (s *Schema) SameRelations(t *Schema) bool {
+	if len(s.names) != len(t.names) {
+		return false
+	}
+	a, b := s.Names(), t.Names()
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Translate returns, for every slot i of s, the slot of the same relation in
+// dst. It errors if some relation of s is missing from dst.
+func (s *Schema) Translate(dst *Schema) ([]int, error) {
+	out := make([]int, len(s.names))
+	for i, n := range s.names {
+		j, ok := dst.Index(n)
+		if !ok {
+			return nil, fmt.Errorf("lineage: relation %q absent from target schema %v", n, dst.names)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+// TranslateSet maps a subset of s into the corresponding subset of dst using
+// a slot mapping previously produced by Translate.
+func TranslateSet(m Set, slotMap []int) Set {
+	var out Set
+	for _, i := range m.Members() {
+		out = out.With(slotMap[i])
+	}
+	return out
+}

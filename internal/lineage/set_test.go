@@ -1,0 +1,337 @@
+package lineage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFull(t *testing.T) {
+	cases := []struct {
+		n    int
+		want Set
+	}{{0, 0}, {1, 1}, {2, 3}, {3, 7}, {10, 1023}}
+	for _, c := range cases {
+		if got := Full(c.n); got != c.want {
+			t.Errorf("Full(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFullPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Full(MaxRelations+1) did not panic")
+		}
+	}()
+	Full(MaxRelations + 1)
+}
+
+func TestSetBasicOps(t *testing.T) {
+	s := Empty.With(0).With(2).With(5)
+	if s != 0b100101 {
+		t.Fatalf("With: got %b", s)
+	}
+	if !s.Has(0) || !s.Has(2) || !s.Has(5) || s.Has(1) {
+		t.Errorf("Has wrong on %v", s)
+	}
+	if got := s.Without(2); got != 0b100001 {
+		t.Errorf("Without(2) = %b", got)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if got := s.Complement(6); got != 0b011010 {
+		t.Errorf("Complement = %b", got)
+	}
+	if !Singleton(2).SubsetOf(s) || Singleton(1).SubsetOf(s) {
+		t.Error("SubsetOf wrong")
+	}
+	if !Singleton(1).Disjoint(s) || Singleton(2).Disjoint(s) {
+		t.Error("Disjoint wrong")
+	}
+}
+
+func TestMembersRoundTrip(t *testing.T) {
+	s := Empty.With(1).With(3).With(7)
+	got := s.Members()
+	want := []int{1, 3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if Empty.String() != "∅" {
+		t.Errorf("Empty.String() = %q", Empty.String())
+	}
+	if got := (Empty.With(0).With(2)).String(); got != "{0,2}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSubsetsEnumeratesAll(t *testing.T) {
+	s := Empty.With(0).With(2).With(3)
+	seen := map[Set]bool{}
+	s.Subsets(func(u Set) {
+		if !u.SubsetOf(s) {
+			t.Errorf("enumerated non-subset %v of %v", u, s)
+		}
+		if seen[u] {
+			t.Errorf("duplicate subset %v", u)
+		}
+		seen[u] = true
+	})
+	if len(seen) != 8 {
+		t.Errorf("enumerated %d subsets, want 8", len(seen))
+	}
+}
+
+func TestSubsetsOfEmpty(t *testing.T) {
+	count := 0
+	Empty.Subsets(func(u Set) {
+		if u != Empty {
+			t.Errorf("unexpected subset %v of ∅", u)
+		}
+		count++
+	})
+	if count != 1 {
+		t.Errorf("∅ has %d subsets, want 1", count)
+	}
+}
+
+func TestSupersetsWithin(t *testing.T) {
+	s := Singleton(1)
+	within := Empty.With(0).With(1).With(2)
+	seen := map[Set]bool{}
+	s.SupersetsWithin(within, func(w Set) {
+		if !s.SubsetOf(w) || !w.SubsetOf(within) {
+			t.Errorf("bad superset %v", w)
+		}
+		seen[w] = true
+	})
+	if len(seen) != 4 {
+		t.Errorf("got %d supersets, want 4", len(seen))
+	}
+	// Non-subset start yields nothing.
+	calls := 0
+	Singleton(5).SupersetsWithin(within, func(Set) { calls++ })
+	if calls != 0 {
+		t.Errorf("SupersetsWithin with s ⊄ within produced %d calls", calls)
+	}
+}
+
+func TestSignPow(t *testing.T) {
+	if SignPow(0) != 1 || SignPow(1) != -1 || SignPow(2) != 1 || SignPow(7) != -1 {
+		t.Error("SignPow wrong")
+	}
+}
+
+func TestSubsetCountProperty(t *testing.T) {
+	// |subsets(s)| == 2^|s| for random sets.
+	f := func(raw uint32) bool {
+		s := Set(raw) & Full(12)
+		n := 0
+		s.Subsets(func(Set) { n++ })
+		return n == 1<<uint(s.Len())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionIntersectProperties(t *testing.T) {
+	// De Morgan within a fixed 16-relation universe.
+	f := func(x, y uint16) bool {
+		a, b := Set(x), Set(y)
+		n := 16
+		left := a.Union(b).Complement(n)
+		right := a.Complement(n).Intersect(b.Complement(n))
+		return left == right
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := MustSchema("lineitem", "orders")
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Name(0) != "lineitem" || s.Name(1) != "orders" {
+		t.Error("Name wrong")
+	}
+	if i, ok := s.Index("orders"); !ok || i != 1 {
+		t.Error("Index wrong")
+	}
+	if _, ok := s.Index("nope"); ok {
+		t.Error("Index found missing relation")
+	}
+	if s.Full() != 3 {
+		t.Error("Full wrong")
+	}
+	if got := s.MustSetOf("orders"); got != Singleton(1) {
+		t.Error("SetOf wrong")
+	}
+	if got := s.SetString(s.Full()); got != "{lineitem,orders}" {
+		t.Errorf("SetString = %q", got)
+	}
+	if got := s.SetString(Empty); got != "∅" {
+		t.Errorf("SetString(∅) = %q", got)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	if _, err := NewSchema("a", "a"); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if _, err := NewSchema(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	many := make([]string, MaxRelations+1)
+	for i := range many {
+		many[i] = string(rune('a' + i%26)) // duplicates too, but length fails first
+	}
+	if _, err := NewSchema(many...); err == nil {
+		t.Error("oversized schema accepted")
+	}
+	s := MustSchema("a")
+	if _, err := s.SetOf("missing"); err == nil {
+		t.Error("SetOf on missing relation accepted")
+	}
+}
+
+func TestSchemaConcat(t *testing.T) {
+	a := MustSchema("l", "o")
+	b := MustSchema("c", "p")
+	ab, err := a.Concat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.Len() != 4 || ab.Name(2) != "c" {
+		t.Error("Concat wrong")
+	}
+	if _, err := a.Concat(MustSchema("o")); err == nil {
+		t.Error("overlapping concat accepted (self-join must be rejected)")
+	}
+}
+
+func TestSchemaEqualAndSameRelations(t *testing.T) {
+	a := MustSchema("l", "o")
+	b := MustSchema("o", "l")
+	if !a.Equal(MustSchema("l", "o")) {
+		t.Error("Equal wrong")
+	}
+	if a.Equal(b) {
+		t.Error("Equal ignores order")
+	}
+	if !a.SameRelations(b) {
+		t.Error("SameRelations wrong")
+	}
+	if a.SameRelations(MustSchema("l", "c")) {
+		t.Error("SameRelations over different sets")
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	src := MustSchema("o", "l")
+	dst := MustSchema("l", "o", "c")
+	m, err := src.Translate(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0] != 1 || m[1] != 0 {
+		t.Fatalf("Translate = %v", m)
+	}
+	if got := TranslateSet(src.Full(), m); got != dst.MustSetOf("l", "o") {
+		t.Errorf("TranslateSet = %v", got)
+	}
+	if _, err := src.Translate(MustSchema("l")); err == nil {
+		t.Error("Translate with missing target accepted")
+	}
+}
+
+func TestVectorCommonPart(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{1, 9, 3}
+	if got := v.CommonPart(w); got != Empty.With(0).With(2) {
+		t.Errorf("CommonPart = %v", got)
+	}
+	if got := v.CommonPart(v); got != Full(3) {
+		t.Errorf("self CommonPart = %v", got)
+	}
+}
+
+func TestVectorConcatCloneEqual(t *testing.T) {
+	v := Vector{1, 2}
+	w := Vector{3}
+	vw := v.Concat(w)
+	if !vw.Equal(Vector{1, 2, 3}) {
+		t.Errorf("Concat = %v", vw)
+	}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone aliases original")
+	}
+	if v.Equal(w) || !v.Equal(Vector{1, 2}) {
+		t.Error("Equal wrong")
+	}
+}
+
+func TestProjectKeyInjective(t *testing.T) {
+	// Keys over the same mask collide iff projections are equal.
+	rng := rand.New(rand.NewSource(7))
+	const n = 4
+	mask := Empty.With(0).With(2)
+	type pair struct {
+		v Vector
+		k string
+	}
+	var pairs []pair
+	for i := 0; i < 200; i++ {
+		v := NewVector(n)
+		for j := range v {
+			v[j] = TupleID(rng.Intn(5))
+		}
+		pairs = append(pairs, pair{v, v.ProjectKey(mask)})
+	}
+	for _, p := range pairs {
+		for _, q := range pairs {
+			same := p.v[0] == q.v[0] && p.v[2] == q.v[2]
+			if same != (p.k == q.k) {
+				t.Fatalf("ProjectKey not injective on mask: %v vs %v", p.v, q.v)
+			}
+		}
+	}
+}
+
+func TestProjectKeyEmptyMask(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if v.ProjectKey(Empty) != w.ProjectKey(Empty) {
+		t.Error("∅ projection should collapse all tuples to one group")
+	}
+}
+
+func TestVectorKeyIsFullProjection(t *testing.T) {
+	v := Vector{7, 8}
+	if v.Key() != v.ProjectKey(Full(2)) {
+		t.Error("Key != full projection")
+	}
+}
+
+func TestCommonPartPanicsOnSchemaMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CommonPart with mismatched lengths did not panic")
+		}
+	}()
+	Vector{1}.CommonPart(Vector{1, 2})
+}

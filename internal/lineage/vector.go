@@ -1,0 +1,94 @@
+package lineage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// TupleID identifies a tuple within its base relation. IDs need only be
+// unique per base relation (§6.2); any one-to-one mapping from tuples works
+// (row IDs, primary-key encodings, or a large-domain hash).
+type TupleID uint64
+
+// Vector is the lineage of a (possibly derived) tuple: one base TupleID per
+// slot of the lineage schema it is defined against. Selection leaves lineage
+// unchanged; join concatenates the lineages of its arguments (§4.2).
+type Vector []TupleID
+
+// NewVector allocates an n-slot lineage vector.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector { return append(Vector(nil), v...) }
+
+// Concat returns the concatenation v ++ w (join lineage).
+func (v Vector) Concat(w Vector) Vector {
+	out := make(Vector, 0, len(v)+len(w))
+	out = append(out, v...)
+	return append(out, w...)
+}
+
+// CommonPart returns T(t,t′) (Fig. 3): the set of schema slots on which the
+// two lineages agree. Both vectors must be defined against the same schema.
+func (v Vector) CommonPart(w Vector) Set {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("lineage: comparing vectors of different schemas (%d vs %d slots)", len(v), len(w)))
+	}
+	var t Set
+	for i := range v {
+		if v[i] == w[i] {
+			t = t.With(i)
+		}
+	}
+	return t
+}
+
+// Equal reports whether the two lineages are identical (same tuple identity).
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string key for the whole lineage, usable as a map
+// key for grouping. It is injective over vectors of the same length.
+func (v Vector) Key() string { return v.ProjectKey(Full(len(v))) }
+
+// ProjectKey returns a map key for the projection of the lineage onto the
+// slots of s. Group-by-lineage with this key implements the y_S grouping of
+// Theorem 1 (§6.3).
+func (v Vector) ProjectKey(s Set) string {
+	var buf [8]byte
+	b := make([]byte, 0, 8*s.Len())
+	for m := s; m != 0; m &= m - 1 {
+		i := trailingZeros(m)
+		binary.LittleEndian.PutUint64(buf[:], uint64(v[i]))
+		b = append(b, buf[:]...)
+	}
+	return string(b)
+}
+
+func trailingZeros(s Set) int {
+	i := 0
+	for s&1 == 0 {
+		s >>= 1
+		i++
+	}
+	return i
+}
+
+// String renders the lineage as [3 17 5].
+func (v Vector) String() string {
+	parts := make([]string, len(v))
+	for i, id := range v {
+		parts[i] = fmt.Sprint(uint64(id))
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

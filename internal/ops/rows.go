@@ -1,0 +1,307 @@
+// Package ops implements the relational operators the GUS algebra commutes
+// with — selection, projection, joins, cross product, union and
+// intersection — over materialized row sets that carry tuple lineage
+// (§4.2–4.3 of the paper). Lineage is propagated exactly as §6.2
+// prescribes: selection leaves it unchanged, join concatenates the
+// lineages of the matching tuples.
+package ops
+
+import (
+	"fmt"
+
+	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/lineage"
+	"github.com/sampling-algebra/gus/internal/relation"
+)
+
+// Row is one result tuple: its values plus its lineage vector, aligned to
+// the owning Rows' lineage schema.
+type Row struct {
+	Lin  lineage.Vector
+	Vals relation.Tuple
+}
+
+// Rows is a materialized intermediate result: a column schema, a lineage
+// schema naming the base relations the rows derive from, and the tuples.
+type Rows struct {
+	Cols *relation.Schema
+	LSch *lineage.Schema
+	Data []Row
+}
+
+// FromRelation lifts a base relation into an operator input with
+// single-slot lineage (the relation's tuple IDs). The alias becomes the
+// lineage schema entry, so the same table can appear under distinct aliases
+// in different parts of a plan (though never joined with itself — Prop. 6).
+func FromRelation(r *relation.Relation, alias string) (*Rows, error) {
+	if alias == "" {
+		alias = r.Name()
+	}
+	ls, err := lineage.NewSchema(alias)
+	if err != nil {
+		return nil, err
+	}
+	out := &Rows{Cols: r.Schema(), LSch: ls, Data: make([]Row, 0, r.Len())}
+	for i := 0; i < r.Len(); i++ {
+		out.Data = append(out.Data, Row{
+			Lin:  lineage.Vector{r.ID(i)},
+			Vals: r.Row(i),
+		})
+	}
+	return out, nil
+}
+
+// Len returns the number of rows.
+func (r *Rows) Len() int { return len(r.Data) }
+
+// Clone copies the container and row headers (values and lineage vectors
+// are shared; operators never mutate them).
+func (r *Rows) Clone() *Rows {
+	return &Rows{Cols: r.Cols, LSch: r.LSch, Data: append([]Row(nil), r.Data...)}
+}
+
+// Select filters rows by a predicate (σ). Lineage passes through unchanged
+// (Prop. 5's precondition).
+func Select(in *Rows, pred expr.Expr) (*Rows, error) {
+	p, err := expr.Compile(pred, in.Cols)
+	if err != nil {
+		return nil, fmt.Errorf("ops: select: %w", err)
+	}
+	out := &Rows{Cols: in.Cols, LSch: in.LSch}
+	for _, row := range in.Data {
+		v, err := p(row.Vals)
+		if err != nil {
+			return nil, fmt.Errorf("ops: select: %w", err)
+		}
+		if v.Truthy() {
+			out.Data = append(out.Data, row)
+		}
+	}
+	return out, nil
+}
+
+// Project evaluates the given expressions into a new column schema with the
+// given names. Lineage passes through unchanged.
+func Project(in *Rows, names []string, exprs []expr.Expr) (*Rows, error) {
+	if len(names) != len(exprs) {
+		return nil, fmt.Errorf("ops: project: %d names for %d expressions", len(names), len(exprs))
+	}
+	compiled := make([]expr.Compiled, len(exprs))
+	cols := make([]relation.Column, len(exprs))
+	for i, e := range exprs {
+		c, err := expr.Compile(e, in.Cols)
+		if err != nil {
+			return nil, fmt.Errorf("ops: project %s: %w", e, err)
+		}
+		compiled[i] = c
+		kind := relation.KindFloat
+		if len(in.Data) > 0 {
+			v, err := c(in.Data[0].Vals)
+			if err == nil {
+				kind = v.Kind()
+			}
+		}
+		cols[i] = relation.Column{Name: names[i], Kind: kind}
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("ops: project: %w", err)
+	}
+	out := &Rows{Cols: schema, LSch: in.LSch, Data: make([]Row, 0, len(in.Data))}
+	for _, row := range in.Data {
+		vals := make(relation.Tuple, len(compiled))
+		for i, c := range compiled {
+			v, err := c(row.Vals)
+			if err != nil {
+				return nil, fmt.Errorf("ops: project: %w", err)
+			}
+			// Projections may mix int/float across rows (e.g. division);
+			// normalize to the declared column kind when widening is safe.
+			if cols[i].Kind == relation.KindFloat && v.Kind() == relation.KindInt {
+				f, _ := v.AsFloat()
+				v = relation.Float(f)
+			}
+			vals[i] = v
+		}
+		out.Data = append(out.Data, Row{Lin: row.Lin, Vals: vals})
+	}
+	return out, nil
+}
+
+// Cross returns the cross product. Result columns are left's followed by
+// right's (names must stay unique); result lineage is the concatenation.
+func Cross(l, r *Rows) (*Rows, error) {
+	cols, err := l.Cols.Concat(r.Cols)
+	if err != nil {
+		return nil, fmt.Errorf("ops: cross: %w", err)
+	}
+	lsch, err := l.LSch.Concat(r.LSch)
+	if err != nil {
+		return nil, fmt.Errorf("ops: cross: %w", err)
+	}
+	out := &Rows{Cols: cols, LSch: lsch, Data: make([]Row, 0, len(l.Data)*len(r.Data))}
+	for _, lr := range l.Data {
+		for _, rr := range r.Data {
+			out.Data = append(out.Data, combineRows(lr, rr))
+		}
+	}
+	return out, nil
+}
+
+func combineRows(l, r Row) Row {
+	vals := make(relation.Tuple, 0, len(l.Vals)+len(r.Vals))
+	vals = append(vals, l.Vals...)
+	vals = append(vals, r.Vals...)
+	return Row{Lin: l.Lin.Concat(r.Lin), Vals: vals}
+}
+
+// HashJoin computes the equi-join l ⋈ r on leftCol = rightCol, building a
+// hash table on the smaller input.
+func HashJoin(l, r *Rows, leftCol, rightCol string) (*Rows, error) {
+	li, ok := l.Cols.Index(leftCol)
+	if !ok {
+		return nil, fmt.Errorf("ops: hash join: left input has no column %q", leftCol)
+	}
+	ri, ok := r.Cols.Index(rightCol)
+	if !ok {
+		return nil, fmt.Errorf("ops: hash join: right input has no column %q", rightCol)
+	}
+	cols, err := l.Cols.Concat(r.Cols)
+	if err != nil {
+		return nil, fmt.Errorf("ops: hash join: %w", err)
+	}
+	lsch, err := l.LSch.Concat(r.LSch)
+	if err != nil {
+		return nil, fmt.Errorf("ops: hash join: %w", err)
+	}
+	out := &Rows{Cols: cols, LSch: lsch}
+	// Build on the smaller side; probe with the larger.
+	buildLeft := len(l.Data) <= len(r.Data)
+	build, probe := l, r
+	buildKey, probeKey := li, ri
+	if !buildLeft {
+		build, probe = r, l
+		buildKey, probeKey = ri, li
+	}
+	table := make(map[string][]int, len(build.Data))
+	for i, row := range build.Data {
+		k := row.Vals[buildKey].Key()
+		table[k] = append(table[k], i)
+	}
+	for _, prow := range probe.Data {
+		for _, bi := range table[prow.Vals[probeKey].Key()] {
+			brow := build.Data[bi]
+			if buildLeft {
+				out.Data = append(out.Data, combineRows(brow, prow))
+			} else {
+				out.Data = append(out.Data, combineRows(prow, brow))
+			}
+		}
+	}
+	return out, nil
+}
+
+// ThetaJoin computes l ⋈θ r for an arbitrary predicate over the combined
+// columns (nested loops).
+func ThetaJoin(l, r *Rows, pred expr.Expr) (*Rows, error) {
+	crossed, err := Cross(l, r)
+	if err != nil {
+		return nil, err
+	}
+	return Select(crossed, pred)
+}
+
+// Union merges two results of the same expression, eliminating duplicates
+// by lineage — the operational counterpart of Prop. 7 (GUS is a filter, so
+// a tuple present in both samples appears once). Column schemas must match;
+// lineage schemas must cover the same relations (right is realigned).
+func Union(l, r *Rows) (*Rows, error) {
+	ra, err := alignTo(r, l)
+	if err != nil {
+		return nil, fmt.Errorf("ops: union: %w", err)
+	}
+	out := &Rows{Cols: l.Cols, LSch: l.LSch, Data: append([]Row(nil), l.Data...)}
+	seen := make(map[string]struct{}, len(l.Data))
+	for _, row := range l.Data {
+		seen[row.Lin.Key()] = struct{}{}
+	}
+	for _, row := range ra.Data {
+		if _, dup := seen[row.Lin.Key()]; dup {
+			continue
+		}
+		seen[row.Lin.Key()] = struct{}{}
+		out.Data = append(out.Data, row)
+	}
+	return out, nil
+}
+
+// Intersect keeps rows of l whose lineage also appears in r — the
+// operational counterpart of compaction-as-intersection (Prop. 8).
+func Intersect(l, r *Rows) (*Rows, error) {
+	ra, err := alignTo(r, l)
+	if err != nil {
+		return nil, fmt.Errorf("ops: intersect: %w", err)
+	}
+	in := make(map[string]struct{}, len(ra.Data))
+	for _, row := range ra.Data {
+		in[row.Lin.Key()] = struct{}{}
+	}
+	out := &Rows{Cols: l.Cols, LSch: l.LSch}
+	for _, row := range l.Data {
+		if _, ok := in[row.Lin.Key()]; ok {
+			out.Data = append(out.Data, row)
+		}
+	}
+	return out, nil
+}
+
+// alignTo re-expresses r against l's schemas, permuting lineage slots if
+// the two lineage schemas list the same relations in different orders.
+func alignTo(r, l *Rows) (*Rows, error) {
+	if !r.Cols.Equal(l.Cols) {
+		return nil, fmt.Errorf("column schemas differ")
+	}
+	if r.LSch.Equal(l.LSch) {
+		return r, nil
+	}
+	if !r.LSch.SameRelations(l.LSch) {
+		return nil, fmt.Errorf("lineage schemas cover different relations: %v vs %v", r.LSch.Names(), l.LSch.Names())
+	}
+	slot, err := r.LSch.Translate(l.LSch)
+	if err != nil {
+		return nil, err
+	}
+	out := &Rows{Cols: l.Cols, LSch: l.LSch, Data: make([]Row, len(r.Data))}
+	for i, row := range r.Data {
+		lin := lineage.NewVector(len(row.Lin))
+		for j, id := range row.Lin {
+			lin[slot[j]] = id
+		}
+		out.Data[i] = Row{Lin: lin, Vals: row.Vals}
+	}
+	return out, nil
+}
+
+// SumF evaluates the aggregate argument f over every row and returns the
+// per-row values plus their sum — exactly the information the SBox needs
+// (§6.2: "the lineage and the value of the aggregate for each tuple").
+func SumF(in *Rows, f expr.Expr) (fs []float64, total float64, err error) {
+	c, err := expr.Compile(f, in.Cols)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ops: aggregate: %w", err)
+	}
+	fs = make([]float64, len(in.Data))
+	for i, row := range in.Data {
+		v, err := c(row.Vals)
+		if err != nil {
+			return nil, 0, fmt.Errorf("ops: aggregate: %w", err)
+		}
+		fv, err := v.AsFloat()
+		if err != nil {
+			return nil, 0, fmt.Errorf("ops: aggregate: %w", err)
+		}
+		fs[i] = fv
+		total += fv
+	}
+	return fs, total, nil
+}

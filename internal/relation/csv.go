@@ -1,0 +1,145 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/sampling-algebra/gus/internal/lineage"
+)
+
+// WriteCSV serializes the relation. The first header cell is "#id"; the
+// remaining headers are "name:type" so that the file round-trips without a
+// separate schema description.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, r.schema.Len()+1)
+	header = append(header, "#id")
+	for _, c := range r.schema.Columns() {
+		header = append(header, c.Name+":"+c.Kind.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, r.schema.Len()+1)
+	for i, row := range r.rows {
+		rec[0] = strconv.FormatUint(uint64(r.ids[i]), 10)
+		for j, v := range row {
+			rec[j+1] = v.AsString()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a relation previously produced by WriteCSV.
+func ReadCSV(name string, rd io.Reader) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation %s: reading header: %w", name, err)
+	}
+	if len(header) < 1 || header[0] != "#id" {
+		return nil, fmt.Errorf("relation %s: first header cell must be #id, got %q", name, header[0])
+	}
+	cols := make([]Column, 0, len(header)-1)
+	for _, h := range header[1:] {
+		parts := strings.SplitN(h, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("relation %s: header %q is not name:type", name, h)
+		}
+		kind, err := ParseKind(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("relation %s: %w", name, err)
+		}
+		cols = append(cols, Column{Name: parts[0], Kind: kind})
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("relation %s: %w", name, err)
+	}
+	rel, err := New(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation %s line %d: %w", name, line, err)
+		}
+		if len(rec) != len(cols)+1 {
+			return nil, fmt.Errorf("relation %s line %d: %d fields, want %d", name, line, len(rec), len(cols)+1)
+		}
+		id, err := strconv.ParseUint(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("relation %s line %d: bad id %q", name, line, rec[0])
+		}
+		t := make(Tuple, len(cols))
+		for j, c := range cols {
+			v, err := parseValue(c.Kind, rec[j+1])
+			if err != nil {
+				return nil, fmt.Errorf("relation %s line %d column %s: %w", name, line, c.Name, err)
+			}
+			t[j] = v
+		}
+		if err := rel.AppendWithID(lineage.TupleID(id), t); err != nil {
+			return nil, err
+		}
+	}
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+func parseValue(k Kind, s string) (Value, error) {
+	switch k {
+	case KindInt:
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad int %q", s)
+		}
+		return Int(v), nil
+	case KindFloat:
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad float %q", s)
+		}
+		return Float(v), nil
+	default:
+		return String_(s), nil
+	}
+}
+
+// SaveCSVFile writes the relation to the named file.
+func (r *Relation) SaveCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSVFile reads a relation from the named file, using the file's base
+// name semantics supplied by the caller as the relation name.
+func LoadCSVFile(name, path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(name, f)
+}

@@ -1,0 +1,194 @@
+package relation
+
+import (
+	"fmt"
+
+	"github.com/sampling-algebra/gus/internal/lineage"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of uniquely named columns.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a column schema, rejecting duplicate or empty names.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{cols: append([]Column(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("relation: empty column name at position %d", i)
+		}
+		if _, dup := s.index[c.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate column %q", c.Name)
+		}
+		s.index[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Col returns column i.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Index returns the position of the named column.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Concat returns the column schema of a join result: s's columns followed
+// by t's. Column names must remain unique.
+func (s *Schema) Concat(t *Schema) (*Schema, error) {
+	return NewSchema(append(s.Columns(), t.cols...)...)
+}
+
+// Equal reports whether the schemas have identical columns in order.
+func (s *Schema) Equal(t *Schema) bool {
+	if len(s.cols) != len(t.cols) {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != t.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Tuple is one row of values, positionally matching a Schema.
+type Tuple []Value
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Relation is a named, materialized base relation. Every tuple carries a
+// lineage.TupleID unique within the relation — the paper's §6.2 lineage:
+// row IDs if the engine has them, otherwise an injective encoding of the
+// primary key.
+type Relation struct {
+	name   string
+	schema *Schema
+	ids    []lineage.TupleID
+	rows   []Tuple
+	nextID lineage.TupleID
+}
+
+// New creates an empty relation with the given name and column schema.
+func New(name string, schema *Schema) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relation: empty relation name")
+	}
+	return &Relation{name: name, schema: schema, nextID: 1}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(name string, schema *Schema) *Relation {
+	r, err := New(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's column schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Row returns tuple i (shared storage; treat as read-only).
+func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+
+// ID returns the lineage ID of tuple i.
+func (r *Relation) ID(i int) lineage.TupleID { return r.ids[i] }
+
+// Append adds a tuple with an automatically assigned sequential ID.
+func (r *Relation) Append(t Tuple) error {
+	id := r.nextID
+	r.nextID++
+	return r.AppendWithID(id, t)
+}
+
+// AppendWithID adds a tuple with a caller-chosen lineage ID (e.g. a
+// primary-key encoding like l_orderkey*10+l_linenumber from §6.2).
+// IDs must be unique; uniqueness is the caller's contract and is verified
+// lazily by Validate.
+func (r *Relation) AppendWithID(id lineage.TupleID, t Tuple) error {
+	if len(t) != r.schema.Len() {
+		return fmt.Errorf("relation %s: tuple has %d values, schema has %d columns", r.name, len(t), r.schema.Len())
+	}
+	for i, v := range t {
+		if v.Kind() != r.schema.Col(i).Kind {
+			return fmt.Errorf("relation %s: column %s expects %s, got %s",
+				r.name, r.schema.Col(i).Name, r.schema.Col(i).Kind, v.Kind())
+		}
+	}
+	if id >= r.nextID {
+		r.nextID = id + 1
+	}
+	r.ids = append(r.ids, id)
+	r.rows = append(r.rows, t)
+	return nil
+}
+
+// MustAppend is Append that panics on error; for tests and generators.
+func (r *Relation) MustAppend(vals ...Value) {
+	if err := r.Append(Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// Validate checks the invariants that the estimator relies on, most
+// importantly that lineage IDs are unique within the relation.
+func (r *Relation) Validate() error {
+	seen := make(map[lineage.TupleID]struct{}, len(r.ids))
+	for i, id := range r.ids {
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("relation %s: duplicate lineage ID %d at row %d", r.name, id, i)
+		}
+		seen[id] = struct{}{}
+	}
+	return nil
+}
+
+// SumFloat sums the named numeric column over all tuples — a convenience
+// for computing exact ground truths in tests and experiments.
+func (r *Relation) SumFloat(col string) (float64, error) {
+	idx, ok := r.schema.Index(col)
+	if !ok {
+		return 0, fmt.Errorf("relation %s: no column %q", r.name, col)
+	}
+	var sum float64
+	for _, row := range r.rows {
+		f, err := row[idx].AsFloat()
+		if err != nil {
+			return 0, fmt.Errorf("relation %s: %v", r.name, err)
+		}
+		sum += f
+	}
+	return sum, nil
+}

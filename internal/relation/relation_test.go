@@ -1,0 +1,280 @@
+package relation
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"github.com/sampling-algebra/gus/internal/lineage"
+)
+
+func TestValueKindsAndConversions(t *testing.T) {
+	iv, fv, sv := Int(7), Float(2.5), String_("x")
+	if iv.Kind() != KindInt || fv.Kind() != KindFloat || sv.Kind() != KindString {
+		t.Fatal("kinds wrong")
+	}
+	if !iv.IsNumeric() || !fv.IsNumeric() || sv.IsNumeric() {
+		t.Error("IsNumeric wrong")
+	}
+	if got, err := iv.AsFloat(); err != nil || got != 7 {
+		t.Errorf("int AsFloat = %v, %v", got, err)
+	}
+	if got, err := fv.AsInt(); err != nil || got != 2 {
+		t.Errorf("float AsInt = %v, %v", got, err)
+	}
+	if _, err := sv.AsInt(); err == nil {
+		t.Error("string AsInt accepted")
+	}
+	if _, err := sv.AsFloat(); err == nil {
+		t.Error("string AsFloat accepted")
+	}
+	if sv.AsString() != "x" || iv.AsString() != "7" || fv.AsString() != "2.5" {
+		t.Error("AsString wrong")
+	}
+}
+
+func TestBoolAndTruthy(t *testing.T) {
+	if !Bool(true).Truthy() || Bool(false).Truthy() {
+		t.Error("Bool/Truthy wrong")
+	}
+	if Int(0).Truthy() || !Int(-1).Truthy() || !Float(0.5).Truthy() || Float(0).Truthy() {
+		t.Error("numeric Truthy wrong")
+	}
+	if String_("yes").Truthy() {
+		t.Error("strings must not be truthy")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(2), Float(2.0), 0},
+		{Float(1.5), Int(2), -1},
+		{String_("a"), String_("b"), -1},
+		{String_("b"), String_("b"), 0},
+	}
+	for _, c := range cases {
+		got, err := c.a.Compare(c.b)
+		if err != nil || got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, %v; want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+	if _, err := Int(1).Compare(String_("1")); err == nil {
+		t.Error("cross-type compare accepted")
+	}
+	if Int(1).Equal(String_("1")) {
+		t.Error("cross-type Equal should be false")
+	}
+	if !Int(2).Equal(Float(2)) {
+		t.Error("numeric Equal across kinds should hold")
+	}
+}
+
+func TestCompareNaN(t *testing.T) {
+	nan := Float(math.NaN())
+	if c, err := nan.Compare(Float(1)); err != nil || c != -1 {
+		t.Errorf("NaN orders first: got %d, %v", c, err)
+	}
+	if c, err := Float(1).Compare(nan); err != nil || c != 1 {
+		t.Errorf("NaN orders first: got %d, %v", c, err)
+	}
+}
+
+func TestValueKey(t *testing.T) {
+	if Int(5).Key() != Float(5).Key() {
+		t.Error("integral float and int must share join keys")
+	}
+	if Int(5).Key() == Int(6).Key() {
+		t.Error("distinct ints collide")
+	}
+	if Float(5.5).Key() == Float(5.25).Key() {
+		t.Error("distinct floats collide")
+	}
+	if String_("5").Key() == Int(5).Key() {
+		t.Error("string and int keys must differ")
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := MustSchema(Column{"a", KindInt}, Column{"b", KindFloat})
+	if s.Len() != 2 || s.Col(1).Name != "b" {
+		t.Error("schema accessors wrong")
+	}
+	if i, ok := s.Index("b"); !ok || i != 1 {
+		t.Error("Index wrong")
+	}
+	if _, ok := s.Index("z"); ok {
+		t.Error("Index found missing column")
+	}
+	if _, err := NewSchema(Column{"a", KindInt}, Column{"a", KindInt}); err == nil {
+		t.Error("duplicate columns accepted")
+	}
+	if _, err := NewSchema(Column{"", KindInt}); err == nil {
+		t.Error("empty column name accepted")
+	}
+	t2 := MustSchema(Column{"c", KindString})
+	cat, err := s.Concat(t2)
+	if err != nil || cat.Len() != 3 {
+		t.Errorf("Concat = %v, %v", cat, err)
+	}
+	if _, err := s.Concat(MustSchema(Column{"a", KindInt})); err == nil {
+		t.Error("conflicting Concat accepted")
+	}
+	if !s.Equal(MustSchema(Column{"a", KindInt}, Column{"b", KindFloat})) {
+		t.Error("Equal wrong")
+	}
+	if s.Equal(t2) {
+		t.Error("Equal over different schemas")
+	}
+}
+
+func testRelation(t *testing.T) *Relation {
+	t.Helper()
+	r := MustNew("orders", MustSchema(
+		Column{"o_orderkey", KindInt},
+		Column{"o_totalprice", KindFloat},
+		Column{"o_status", KindString},
+	))
+	r.MustAppend(Int(1), Float(100.5), String_("O"))
+	r.MustAppend(Int(2), Float(200.0), String_("F"))
+	r.MustAppend(Int(3), Float(50.25), String_("O"))
+	return r
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := testRelation(t)
+	if r.Name() != "orders" || r.Len() != 3 {
+		t.Fatal("relation basics wrong")
+	}
+	if r.ID(0) != 1 || r.ID(2) != 3 {
+		t.Error("auto IDs wrong")
+	}
+	if got := r.Row(1)[1]; !got.Equal(Float(200)) {
+		t.Error("Row wrong")
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	sum, err := r.SumFloat("o_totalprice")
+	if err != nil || math.Abs(sum-350.75) > 1e-12 {
+		t.Errorf("SumFloat = %v, %v", sum, err)
+	}
+	if _, err := r.SumFloat("nope"); err == nil {
+		t.Error("SumFloat on missing column accepted")
+	}
+	if _, err := r.SumFloat("o_status"); err == nil {
+		t.Error("SumFloat on string column accepted")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	r := testRelation(t)
+	if err := r.Append(Tuple{Int(4)}); err == nil {
+		t.Error("short tuple accepted")
+	}
+	if err := r.Append(Tuple{Float(4), Float(1), String_("O")}); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if _, err := New("", nil); err == nil {
+		t.Error("empty relation name accepted")
+	}
+}
+
+func TestAppendWithIDAndValidate(t *testing.T) {
+	r := MustNew("r", MustSchema(Column{"k", KindInt}))
+	if err := r.AppendWithID(10, Tuple{Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Auto-IDs must not collide with explicit ones.
+	r.MustAppend(Int(2))
+	if r.ID(1) != 11 {
+		t.Errorf("auto ID after explicit = %d, want 11", r.ID(1))
+	}
+	if err := r.AppendWithID(10, Tuple{Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err == nil {
+		t.Error("duplicate IDs passed Validate")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := testRelation(t)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("orders", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != r.Len() || !got.Schema().Equal(r.Schema()) {
+		t.Fatal("round trip lost shape")
+	}
+	for i := 0; i < r.Len(); i++ {
+		if got.ID(i) != r.ID(i) {
+			t.Errorf("row %d id %d ≠ %d", i, got.ID(i), r.ID(i))
+		}
+		for j := range r.Row(i) {
+			if !got.Row(i)[j].Equal(r.Row(i)[j]) {
+				t.Errorf("row %d col %d: %v ≠ %v", i, j, got.Row(i)[j], r.Row(i)[j])
+			}
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	r := testRelation(t)
+	path := filepath.Join(t.TempDir(), "orders.csv")
+	if err := r.SaveCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSVFile("orders", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Errorf("loaded %d rows", got.Len())
+	}
+	if _, err := LoadCSVFile("x", filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	bad := []string{
+		"id,a:int\n1,2\n",          // wrong first header
+		"#id,a\n1,2\n",             // header missing type
+		"#id,a:blob\n1,2\n",        // unknown type
+		"#id,a:int\nx,2\n",         // bad id
+		"#id,a:int\n1,notanint\n",  // bad int
+		"#id,a:float\n1,notnum\n",  // bad float
+		"#id,a:int\n1,2\n1,3\n",    // duplicate id
+		"#id,a:int,a:int\n1,2,3\n", // duplicate column
+	}
+	for i, s := range bad {
+		if _, err := ReadCSV("r", bytes.NewReader([]byte(s))); err == nil {
+			t.Errorf("case %d: bad CSV accepted", i)
+		}
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	tp := Tuple{Int(1), Int(2)}
+	c := tp.Clone()
+	c[0] = Int(99)
+	if !tp[0].Equal(Int(1)) {
+		t.Error("Clone aliases")
+	}
+}
+
+func TestLineageIDType(t *testing.T) {
+	// Compile-time contract: relation IDs are lineage.TupleIDs.
+	var _ lineage.TupleID = testRelation(t).ID(0)
+}

@@ -1,0 +1,198 @@
+// Package relation provides the in-memory relational storage substrate:
+// typed schemas, tuples, base relations with per-tuple identifiers (the
+// lineage IDs of §6.2), and CSV import/export.
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the supported column types.
+type Kind int
+
+// Supported value kinds.
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind parses the textual form produced by Kind.String.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "int":
+		return KindInt, nil
+	case "float":
+		return KindFloat, nil
+	case "string":
+		return KindString, nil
+	default:
+		return 0, fmt.Errorf("relation: unknown column type %q", s)
+	}
+}
+
+// Value is a dynamically typed scalar. The zero value is the integer 0.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String_ returns a string value. (Named to avoid clashing with the
+// fmt.Stringer method.)
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool encodes a boolean as the integers 1/0, the convention used by the
+// expression engine's comparison operators.
+func Bool(v bool) Value {
+	if v {
+		return Int(1)
+	}
+	return Int(0)
+}
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNumeric reports whether the value is an int or a float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// AsInt returns the value as int64; floats are truncated toward zero.
+// It errors on strings.
+func (v Value) AsInt() (int64, error) {
+	switch v.kind {
+	case KindInt:
+		return v.i, nil
+	case KindFloat:
+		return int64(v.f), nil
+	default:
+		return 0, fmt.Errorf("relation: cannot read %q as int", v.s)
+	}
+}
+
+// AsFloat returns the value as float64 (ints widen). It errors on strings.
+func (v Value) AsFloat() (float64, error) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), nil
+	case KindFloat:
+		return v.f, nil
+	default:
+		return 0, fmt.Errorf("relation: cannot read %q as float", v.s)
+	}
+}
+
+// AsString returns the value as a string. Numbers format losslessly.
+func (v Value) AsString() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return v.s
+	}
+}
+
+// Truthy reports whether the value counts as true: non-zero numbers.
+// Strings are never truthy (predicates must compare them explicitly).
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	default:
+		return false
+	}
+}
+
+// Compare orders two values: −1, 0, +1. Numeric values compare numerically
+// across kinds; strings compare lexicographically. Comparing a string with
+// a number is an error.
+func (v Value) Compare(w Value) (int, error) {
+	if v.kind == KindString || w.kind == KindString {
+		if v.kind != KindString || w.kind != KindString {
+			return 0, fmt.Errorf("relation: cannot compare %s with %s", v.kind, w.kind)
+		}
+		switch {
+		case v.s < w.s:
+			return -1, nil
+		case v.s > w.s:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if v.kind == KindInt && w.kind == KindInt {
+		switch {
+		case v.i < w.i:
+			return -1, nil
+		case v.i > w.i:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	a, _ := v.AsFloat()
+	b, _ := w.AsFloat()
+	switch {
+	case a < b || (math.IsNaN(a) && !math.IsNaN(b)):
+		return -1, nil
+	case a > b || (!math.IsNaN(a) && math.IsNaN(b)):
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}
+
+// Equal reports whether two values compare equal under Compare semantics;
+// cross-type string/number comparisons are simply unequal.
+func (v Value) Equal(w Value) bool {
+	c, err := v.Compare(w)
+	return err == nil && c == 0
+}
+
+// Key returns a string usable as a hash-join key: injective per comparable
+// value class (all numerics normalize to one key space).
+func (v Value) Key() string {
+	switch v.kind {
+	case KindInt:
+		return "i" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
+			// Integral floats share keys with ints so that joins on keys
+			// stored with different numeric kinds still match.
+			return "i" + strconv.FormatInt(int64(v.f), 10)
+		}
+		return "f" + strconv.FormatFloat(v.f, 'b', -1, 64)
+	default:
+		return "s" + v.s
+	}
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string { return v.AsString() }

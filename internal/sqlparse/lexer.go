@@ -1,0 +1,150 @@
+// Package sqlparse implements the SQL front end for the paper's query
+// dialect (§1): SELECT lists of SUM/COUNT/AVG aggregates — optionally
+// wrapped in QUANTILE(…, q) — over comma-joined tables with TABLESAMPLE
+// clauses, and a conjunctive WHERE combining join predicates and
+// selections. A recursive-descent parser produces an AST that the planner
+// lowers onto plan.Node trees.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+// token is one lexical unit with its source position (1-based).
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents lower-cased; symbols literal
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "AS": true, "SUM": true, "COUNT": true, "AVG": true,
+	"QUANTILE": true, "TABLESAMPLE": true, "PERCENT": true, "ROWS": true,
+	"BERNOULLI": true, "SYSTEM": true, "REPEATABLE": true,
+	"GROUP": true, "BY": true,
+}
+
+// lex tokenizes the input. Errors carry byte positions.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // SQL line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isLetter(c):
+			start := i
+			for i < n && (isLetter(input[i]) || isDigit(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, start + 1})
+			} else {
+				toks = append(toks, token{tokIdent, strings.ToLower(word), start + 1})
+			}
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			start := i
+			seenDot := false
+			for i < n && (isDigit(input[i]) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			// Exponent part.
+			if i < n && (input[i] == 'e' || input[i] == 'E') {
+				j := i + 1
+				if j < n && (input[j] == '+' || input[j] == '-') {
+					j++
+				}
+				if j < n && isDigit(input[j]) {
+					i = j
+					for i < n && isDigit(input[i]) {
+						i++
+					}
+				}
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start + 1})
+		case c == '\'':
+			start := i
+			i++
+			for i < n && input[i] != '\'' {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sql: unterminated string literal at position %d", start+1)
+			}
+			toks = append(toks, token{tokString, input[start+1 : i], start + 1})
+			i++
+		case strings.ContainsRune("(),*+-/=;.", rune(c)):
+			toks = append(toks, token{tokSymbol, string(c), i + 1})
+			i++
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, token{tokSymbol, input[i : i+2], i + 1})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, "<", i + 1})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, ">=", i + 1})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, ">", i + 1})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, "<>", i + 1})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected character %q at position %d", c, i+1)
+			}
+		default:
+			if c < 0x80 && !unicode.IsPrint(rune(c)) {
+				return nil, fmt.Errorf("sql: unexpected control character at position %d", i+1)
+			}
+			return nil, fmt.Errorf("sql: unexpected character %q at position %d", c, i+1)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n + 1})
+	return toks, nil
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

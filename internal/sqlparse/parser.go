@@ -1,0 +1,542 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/sampling-algebra/gus/internal/expr"
+)
+
+// AggKind enumerates the supported aggregate functions.
+type AggKind int
+
+// Aggregates. AVG is supported through the delta method (approximate, §9).
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggAvg
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggAvg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// Aggregate is one SELECT-list item.
+type Aggregate struct {
+	Kind AggKind
+	// Arg is the aggregated expression; nil for COUNT(*).
+	Arg expr.Expr
+	// Quantile, when HasQuantile, asks for the q-quantile of the
+	// estimator distribution instead of the point estimate (the paper's
+	// QUANTILE(SUM(...), q) view syntax).
+	HasQuantile bool
+	Quantile    float64
+	// Alias is the output column name (AS clause), possibly "".
+	Alias string
+}
+
+// SampleKind enumerates TABLESAMPLE variants.
+type SampleKind int
+
+// TABLESAMPLE variants: (p PERCENT) / BERNOULLI(p) are tuple Bernoulli,
+// (n ROWS) is fixed-size WOR, SYSTEM(p) is block sampling.
+const (
+	SampleNone SampleKind = iota
+	SamplePercent
+	SampleRows
+	SampleSystem
+)
+
+// TableRef is one FROM-list entry.
+type TableRef struct {
+	Name  string
+	Alias string // empty when not aliased
+	Kind  SampleKind
+	// Value is the percentage (0–100) for SamplePercent/SampleSystem or
+	// the row count for SampleRows.
+	Value float64
+	// Repeatable carries the REPEATABLE(seed) clause if present (-1 none).
+	Repeatable int64
+}
+
+// EffectiveName returns the alias if set, else the table name.
+func (t TableRef) EffectiveName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// Query is the parsed statement.
+type Query struct {
+	Aggregates []Aggregate
+	Tables     []TableRef
+	// Where is the conjunctive predicate, nil when absent.
+	Where expr.Expr
+	// GroupBy is the grouping column, "" when absent. Every group's
+	// aggregate is itself SUM-like (f·1{group}), so the paper's analysis
+	// applies per group.
+	GroupBy string
+}
+
+// Parse turns SQL text into a Query AST.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: position %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %s", kw, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errf("expected %q, got %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		agg, err := p.parseAggregate()
+		if err != nil {
+			return nil, err
+		}
+		q.Aggregates = append(q.Aggregates, *agg)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		q.Tables = append(q.Tables, *tr)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = pred
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected a column after GROUP BY, got %s", p.cur())
+		}
+		q.GroupBy = p.next().text
+		if p.acceptSymbol(",") {
+			return nil, p.errf("GROUP BY supports a single column")
+		}
+	}
+	p.acceptSymbol(";")
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %s", p.cur())
+	}
+	return q, nil
+}
+
+func (p *parser) parseAggregate() (*Aggregate, error) {
+	if p.acceptKeyword("QUANTILE") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseAggregate()
+		if err != nil {
+			return nil, err
+		}
+		if inner.HasQuantile {
+			return nil, p.errf("nested QUANTILE is not supported")
+		}
+		if err := p.expectSymbol(","); err != nil {
+			return nil, err
+		}
+		qv, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if !(qv > 0 && qv < 1) {
+			return nil, p.errf("quantile %v outside (0,1)", qv)
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		inner.HasQuantile = true
+		inner.Quantile = qv
+		p.parseAlias(inner)
+		return inner, nil
+	}
+	var kind AggKind
+	switch {
+	case p.acceptKeyword("SUM"):
+		kind = AggSum
+	case p.acceptKeyword("COUNT"):
+		kind = AggCount
+	case p.acceptKeyword("AVG"):
+		kind = AggAvg
+	default:
+		return nil, p.errf("expected an aggregate (SUM/COUNT/AVG/QUANTILE), got %s", p.cur())
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	agg := &Aggregate{Kind: kind}
+	if kind == AggCount && p.acceptSymbol("*") {
+		// COUNT(*): Arg stays nil.
+	} else {
+		arg, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		agg.Arg = arg
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	p.parseAlias(agg)
+	return agg, nil
+}
+
+func (p *parser) parseAlias(agg *Aggregate) {
+	if p.acceptKeyword("AS") {
+		if p.cur().kind == tokIdent {
+			agg.Alias = p.next().text
+		}
+	} else if p.cur().kind == tokIdent {
+		agg.Alias = p.next().text
+	}
+}
+
+func (p *parser) parseTableRef() (*TableRef, error) {
+	if p.cur().kind != tokIdent {
+		return nil, p.errf("expected table name, got %s", p.cur())
+	}
+	tr := &TableRef{Name: p.next().text, Repeatable: -1}
+	if p.acceptKeyword("AS") {
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected alias after AS, got %s", p.cur())
+		}
+		tr.Alias = p.next().text
+	} else if p.cur().kind == tokIdent {
+		tr.Alias = p.next().text
+	}
+	if !p.acceptKeyword("TABLESAMPLE") {
+		return tr, nil
+	}
+	switch {
+	case p.acceptKeyword("BERNOULLI"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		v, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		tr.Kind, tr.Value = SamplePercent, v
+	case p.acceptKeyword("SYSTEM"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		v, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		tr.Kind, tr.Value = SampleSystem, v
+	default:
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		v, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case p.acceptKeyword("PERCENT"):
+			tr.Kind, tr.Value = SamplePercent, v
+		case p.acceptKeyword("ROWS"):
+			if v != float64(int64(v)) || v < 0 {
+				return nil, p.errf("ROWS count must be a non-negative integer, got %v", v)
+			}
+			tr.Kind, tr.Value = SampleRows, v
+		default:
+			return nil, p.errf("expected PERCENT or ROWS, got %s", p.cur())
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if tr.Kind == SamplePercent || tr.Kind == SampleSystem {
+		if tr.Value < 0 || tr.Value > 100 {
+			return nil, p.errf("sampling percentage %v outside [0,100]", tr.Value)
+		}
+	}
+	if p.acceptKeyword("REPEATABLE") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		v, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		tr.Repeatable = int64(v)
+	}
+	return tr, nil
+}
+
+func (p *parser) parseNumber() (float64, error) {
+	neg := p.acceptSymbol("-")
+	if p.cur().kind != tokNumber {
+		return 0, p.errf("expected a number, got %s", p.cur())
+	}
+	v, err := strconv.ParseFloat(p.next().text, 64)
+	if err != nil {
+		return 0, p.errf("bad number: %v", err)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// Predicate / scalar expression grammar with standard precedence:
+// OR < AND < NOT < comparison < additive < multiplicative < unary.
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Or(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.And(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not{X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+var comparisonOps = map[string]expr.Op{
+	"=": expr.OpEq, "<>": expr.OpNe, "<": expr.OpLt,
+	"<=": expr.OpLe, ">": expr.OpGt, ">=": expr.OpGe,
+}
+
+func (p *parser) parseComparison() (expr.Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokSymbol {
+		if op, ok := comparisonOps[p.cur().text]; ok {
+			p.i++
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return expr.Bin(op, left, right), nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (expr.Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("+"):
+			right, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.Add(left, right)
+		case p.acceptSymbol("-"):
+			right, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.Sub(left, right)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (expr.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("*"):
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.Mul(left, right)
+		case p.acceptSymbol("/"):
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.Div(left, right)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.acceptSymbol("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Sub(expr.Int(0), x), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.i++
+		if v, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			return expr.Int(v), nil
+		}
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return expr.Float(v), nil
+	case tokString:
+		p.i++
+		return expr.Str(t.text), nil
+	case tokIdent:
+		p.i++
+		// Optional qualified form table.column; the planner resolves by
+		// the column part (column names are globally unique here).
+		if p.acceptSymbol(".") {
+			if p.cur().kind != tokIdent {
+				return nil, p.errf("expected column after '.', got %s", p.cur())
+			}
+			return expr.Col(p.next().text), nil
+		}
+		return expr.Col(t.text), nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.i++
+			inner, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+	}
+	return nil, p.errf("unexpected %s in expression", t)
+}

@@ -1,0 +1,234 @@
+package sqlparse
+
+import (
+	"fmt"
+
+	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/plan"
+	"github.com/sampling-algebra/gus/internal/relation"
+	"github.com/sampling-algebra/gus/internal/sampling"
+)
+
+// Catalog resolves table names to base relations.
+type Catalog interface {
+	Table(name string) (*relation.Relation, bool)
+}
+
+// PlannerOptions tunes lowering.
+type PlannerOptions struct {
+	// SystemBlockSize is the page size SYSTEM sampling uses (tuples per
+	// block). Zero selects the default of 32.
+	SystemBlockSize int
+	// Seed drives REPEATABLE lineage-hash sampling when a TABLESAMPLE has
+	// no explicit REPEATABLE clause of its own. (Plain Bernoulli/WOR use
+	// the executor's RNG instead.)
+	Seed uint64
+}
+
+// Planned is the lowered query.
+type Planned struct {
+	// Root is the plan producing the pre-aggregation tuples.
+	Root plan.Node
+	// Aggregates are the SELECT items to evaluate over Root's output.
+	Aggregates []Aggregate
+	// GroupBy is the grouping column ("" for a global aggregate). Each
+	// group aggregate is SUM-like, so the GUS analysis applies per group
+	// with the same top operator.
+	GroupBy string
+}
+
+// PlanQuery lowers a parsed query onto a plan tree: scans with sampling at
+// the leaves, single-table selections above their table, equi-joins chained
+// greedily along WHERE join predicates, remaining predicates as top
+// selections.
+func PlanQuery(q *Query, cat Catalog, opts PlannerOptions) (*Planned, error) {
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("sql: query has no tables")
+	}
+	if len(q.Aggregates) == 0 {
+		return nil, fmt.Errorf("sql: query has no aggregates")
+	}
+	blockSize := opts.SystemBlockSize
+	if blockSize <= 0 {
+		blockSize = 32
+	}
+
+	// Resolve tables and build the column → table index.
+	type tableState struct {
+		ref   TableRef
+		rel   *relation.Relation
+		node  plan.Node
+		preds []expr.Expr // single-table selections
+	}
+	states := make([]*tableState, len(q.Tables))
+	colOwner := map[string]int{}
+	seenNames := map[string]bool{}
+	for i, tr := range q.Tables {
+		rel, ok := cat.Table(tr.Name)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown table %q", tr.Name)
+		}
+		name := tr.EffectiveName()
+		if seenNames[name] {
+			return nil, fmt.Errorf("sql: table name %q used twice; self-joins are outside the GUS algebra (§9) — alias one occurrence and note the analysis is unsupported", name)
+		}
+		seenNames[name] = true
+		states[i] = &tableState{ref: tr, rel: rel}
+		for _, c := range rel.Schema().Columns() {
+			if other, dup := colOwner[c.Name]; dup && other != i {
+				return nil, fmt.Errorf("sql: column %q appears in multiple tables; qualified disambiguation is not supported — rename columns", c.Name)
+			}
+			colOwner[c.Name] = i
+		}
+	}
+
+	// Classify WHERE conjuncts.
+	type joinEdge struct {
+		a, b       int
+		aCol, bCol string
+		used       bool
+	}
+	var edges []joinEdge
+	var postPreds []expr.Expr
+	if q.Where != nil {
+		for _, c := range expr.Conjuncts(q.Where) {
+			tables := map[int]bool{}
+			for _, col := range expr.Columns(c) {
+				o, found := colOwner[col]
+				if !found {
+					return nil, fmt.Errorf("sql: unknown column %q in WHERE", col)
+				}
+				tables[o] = true
+			}
+			if l, r, isEq := expr.EquiJoinCols(c); isEq {
+				lo, ro := colOwner[l], colOwner[r]
+				if lo != ro {
+					edges = append(edges, joinEdge{a: lo, b: ro, aCol: l, bCol: r})
+					continue
+				}
+			}
+			switch len(tables) {
+			case 0:
+				postPreds = append(postPreds, c) // constant predicate
+			case 1:
+				for o := range tables {
+					states[o].preds = append(states[o].preds, c)
+				}
+			default:
+				postPreds = append(postPreds, c)
+			}
+		}
+	}
+
+	// Build per-table leaf plans: scan → sample → selections.
+	for _, st := range states {
+		st.node = &plan.Scan{Rel: st.rel, Alias: st.ref.EffectiveName()}
+		m, err := methodFor(st.ref, blockSize, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if m != nil {
+			st.node = &plan.Sample{Input: st.node, Method: m}
+		}
+		for _, p := range st.preds {
+			st.node = &plan.Select{Input: st.node, Pred: p}
+		}
+	}
+
+	// Greedy join chaining along the edges.
+	joined := map[int]bool{0: true}
+	root := states[0].node
+	remaining := len(states) - 1
+	for remaining > 0 {
+		progressed := false
+		for e := range edges {
+			edge := &edges[e]
+			if edge.used {
+				continue
+			}
+			var inCol, outCol string
+			var outIdx int
+			switch {
+			case joined[edge.a] && joined[edge.b]:
+				// Redundant equality within the joined set → post filter.
+				edge.used = true
+				postPreds = append(postPreds, expr.Eq(expr.Col(edge.aCol), expr.Col(edge.bCol)))
+				continue
+			case joined[edge.a]:
+				inCol, outCol, outIdx = edge.aCol, edge.bCol, edge.b
+			case joined[edge.b]:
+				inCol, outCol, outIdx = edge.bCol, edge.aCol, edge.a
+			default:
+				continue
+			}
+			edge.used = true
+			root = &plan.Join{Left: root, Right: states[outIdx].node, LeftCol: inCol, RightCol: outCol}
+			joined[outIdx] = true
+			remaining--
+			progressed = true
+		}
+		if !progressed {
+			// No connecting edge: cross-product with the next unjoined table.
+			for i, st := range states {
+				if !joined[i] {
+					root = &plan.Theta{Left: root, Right: st.node, Pred: expr.Int(1)}
+					joined[i] = true
+					remaining--
+					progressed = true
+					break
+				}
+			}
+			if !progressed {
+				return nil, fmt.Errorf("sql: internal: join chaining stalled")
+			}
+		}
+	}
+	for _, p := range postPreds {
+		root = &plan.Select{Input: root, Pred: p}
+	}
+
+	// Validate aggregate arguments against the joined column space.
+	for _, a := range q.Aggregates {
+		if a.Arg == nil {
+			continue
+		}
+		for _, col := range expr.Columns(a.Arg) {
+			if _, ok := colOwner[col]; !ok {
+				return nil, fmt.Errorf("sql: unknown column %q in %s", col, a.Kind)
+			}
+		}
+	}
+	if q.GroupBy != "" {
+		if _, ok := colOwner[q.GroupBy]; !ok {
+			return nil, fmt.Errorf("sql: unknown GROUP BY column %q", q.GroupBy)
+		}
+	}
+	return &Planned{Root: root, Aggregates: q.Aggregates, GroupBy: q.GroupBy}, nil
+}
+
+// methodFor translates a TABLESAMPLE clause into a sampling method.
+func methodFor(tr TableRef, blockSize int, seed uint64) (sampling.Method, error) {
+	name := tr.EffectiveName()
+	switch tr.Kind {
+	case SampleNone:
+		return nil, nil
+	case SamplePercent:
+		p := tr.Value / 100
+		if tr.Repeatable >= 0 {
+			return sampling.NewLineageHash(uint64(tr.Repeatable)^seed, map[string]float64{name: p})
+		}
+		return sampling.NewBernoulli(name, p)
+	case SampleRows:
+		if tr.Repeatable >= 0 {
+			return nil, fmt.Errorf("sql: REPEATABLE is not supported for ROWS sampling")
+		}
+		return sampling.NewWOR(name, int(tr.Value))
+	case SampleSystem:
+		if tr.Repeatable >= 0 {
+			return nil, fmt.Errorf("sql: REPEATABLE is not supported for SYSTEM sampling")
+		}
+		return sampling.NewBlock(name, blockSize, tr.Value/100)
+	default:
+		return nil, fmt.Errorf("sql: unknown sampling kind %d", tr.Kind)
+	}
+}

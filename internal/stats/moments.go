@@ -1,0 +1,78 @@
+package stats
+
+import "math"
+
+// Welford accumulates a stream of observations and reports mean and
+// variance in a numerically stable way (Welford's online algorithm). The
+// zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with <2 observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// PopVariance returns the population (biased, /n) variance.
+func (w *Welford) PopVariance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Coverage counts how often a reported interval contains the truth;
+// the empirical coverage of a CI procedure.
+type Coverage struct {
+	hits, trials int
+}
+
+// Observe records one trial: whether truth ∈ [lo, hi].
+func (c *Coverage) Observe(lo, hi, truth float64) {
+	c.trials++
+	if lo <= truth && truth <= hi {
+		c.hits++
+	}
+}
+
+// Rate returns the fraction of trials whose interval covered the truth.
+func (c *Coverage) Rate() float64 {
+	if c.trials == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.trials)
+}
+
+// Trials returns the number of observed trials.
+func (c *Coverage) Trials() int { return c.trials }
+
+// RelErr returns |est−truth| / |truth| (or |est| when truth is 0).
+func RelErr(est, truth float64) float64 {
+	if truth == 0 {
+		return math.Abs(est)
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// NormalCDF returns P[Z ≤ x] for a standard normal Z.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns the standard-normal quantile z_q with P[Z ≤ z_q]=q.
+// It uses the Beasley–Springer–Moro/Acklam rational approximation refined by
+// one Halley step, accurate to ~1e-15 over (0,1). It panics outside (0,1).
+func NormalQuantile(q float64) float64 {
+	if !(q > 0 && q < 1) {
+		panic(fmt.Sprintf("stats: NormalQuantile(%v) outside (0,1)", q))
+	}
+	// Acklam's coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const low, high = 0.02425, 1 - 0.02425
+	var x float64
+	switch {
+	case q < low:
+		z := math.Sqrt(-2 * math.Log(q))
+		x = (((((c[0]*z+c[1])*z+c[2])*z+c[3])*z+c[4])*z + c[5]) /
+			((((d[0]*z+d[1])*z+d[2])*z+d[3])*z + 1)
+	case q > high:
+		z := math.Sqrt(-2 * math.Log(1-q))
+		x = -(((((c[0]*z+c[1])*z+c[2])*z+c[3])*z+c[4])*z + c[5]) /
+			((((d[0]*z+d[1])*z+d[2])*z+d[3])*z + 1)
+	default:
+		z := q - 0.5
+		r := z * z
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * z /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+	// One Halley refinement using the exact CDF.
+	e := NormalCDF(x) - q
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}
+
+// ChebyshevHalfWidth returns k·σ such that P[|X−μ| ≥ kσ] ≤ 1/k² gives a
+// two-sided confidence interval at the given level (e.g. 0.95 → k=√20≈4.47,
+// matching the paper's §6.4 pessimistic interval).
+func ChebyshevHalfWidth(level, sigma float64) float64 {
+	if !(level > 0 && level < 1) {
+		panic(fmt.Sprintf("stats: Chebyshev level %v outside (0,1)", level))
+	}
+	k := math.Sqrt(1 / (1 - level))
+	return k * sigma
+}
+
+// NormalHalfWidth returns z·σ for a symmetric two-sided interval at the
+// given level under the normality assumption (0.95 → 1.96σ, §6.4).
+func NormalHalfWidth(level, sigma float64) float64 {
+	if !(level > 0 && level < 1) {
+		panic(fmt.Sprintf("stats: normal level %v outside (0,1)", level))
+	}
+	z := NormalQuantile(0.5 + level/2)
+	return z * sigma
+}

@@ -1,0 +1,85 @@
+// Package stats provides the statistical substrate for the GUS estimator:
+// a deterministic PRNG, normal-distribution helpers, Chebyshev bounds, and
+// streaming moment accumulators used by the test and benchmark harnesses.
+package stats
+
+import "math"
+
+// RNG is a SplitMix64 pseudo-random generator. It is deterministic across
+// platforms and Go versions (unlike math/rand's unspecified sequences),
+// which the reproduction harness relies on, and it doubles as the seeded
+// pseudo-random function that §7 requires for lineage-hash sub-sampling.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bernoulli reports true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }
+
+// NormFloat64 returns a standard-normal variate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	// Rejection-free polar form would cache a value; the plain form is
+	// simpler and statistically identical.
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a pseudo-random permutation of [0,n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split derives an independent generator from this one. Children with
+// distinct derivation calls produce decorrelated streams.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64() ^ 0xd1342543de82ef95) }
+
+// HashID mixes a seed with a tuple ID into a uniform [0,1) value. The same
+// (seed, id) always yields the same value: this is the pseudo-random
+// function of §7 that makes lineage-hash Bernoulli a GUS filter — a tuple
+// eliminated from a base relation is eliminated from every result tuple it
+// appears in.
+func HashID(seed, id uint64) float64 {
+	z := seed ^ (id+0x9e3779b97f4a7c15)*0xff51afd7ed558ccd
+	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53
+	z ^= z >> 33
+	z = (z + seed) * 0x9e3779b97f4a7c15
+	z ^= z >> 29
+	return float64(z>>11) / (1 << 53)
+}
