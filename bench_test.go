@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"github.com/sampling-algebra/gus/internal/core"
+	"github.com/sampling-algebra/gus/internal/engine"
 	"github.com/sampling-algebra/gus/internal/estimator"
 	"github.com/sampling-algebra/gus/internal/expr"
 	"github.com/sampling-algebra/gus/internal/lineage"
@@ -289,6 +290,58 @@ WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0`
 		if _, err := db.Query(sql, WithSeed(uint64(i))); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkQuery compares serial vs parallel partitioned execution of the
+// full Query-1 pipeline on the TPC-H generator — the engine's headline
+// speedup (see BENCH_parallel.json for a recorded baseline). Seeded
+// results are bit-identical across all sub-benchmarks; only wall-clock
+// may differ. On a single-core host the workers=N runs measure engine
+// overhead rather than speedup.
+func BenchmarkQuery(b *testing.B) {
+	db := Open()
+	if err := db.AttachTPCHConfig(tpch.Config{Orders: 20000, Customers: 2000, Parts: 500, Seed: 3}); err != nil {
+		b.Fatal(err)
+	}
+	const sql = `
+SELECT SUM(l_discount*(1.0-l_tax))
+FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS)
+WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0`
+	run := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(sql, WithSeed(uint64(i)), WithWorkers(workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("serial", run(1))
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), run(w))
+	}
+}
+
+// BenchmarkEngineExecute isolates plan execution (no estimation) serial
+// vs parallel on the engine.
+func BenchmarkEngineExecute(b *testing.B) {
+	n := query1PlanForBench(b, 20000)
+	for _, w := range []int{1, 2, 4, 8} {
+		name := "serial"
+		if w > 1 {
+			name = fmt.Sprintf("workers=%d", w)
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := engine.New(engine.Config{Workers: w})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Execute(n, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -149,7 +149,7 @@ func runQuery1(cfg benchConfig) error {
 	fmt.Print(analysis.FormatTrace())
 
 	// (b) End-to-end estimated run on generated data.
-	db := gus.Open()
+	db := cfg.open()
 	if err := db.AttachTPCHConfig(tpch.Config{
 		Orders: cfg.orders, Customers: cfg.orders / 10, Parts: cfg.orders / 40, Seed: cfg.seed,
 	}); err != nil {
@@ -292,7 +292,7 @@ func runFig5(benchConfig) error {
 // interval across sampling rates.
 func runAccuracy(cfg benchConfig) error {
 	header("E6 (reconstructed) — estimate accuracy & CI coverage vs sampling rate")
-	db := gus.Open()
+	db := cfg.open()
 	if err := db.AttachTPCHConfig(tpch.Config{
 		Orders: cfg.orders, Customers: cfg.orders / 10, Parts: cfg.orders / 40, Seed: cfg.seed,
 	}); err != nil {
@@ -480,7 +480,7 @@ func chainPlan(k int) (plan.Node, error) {
 // cost and accuracy vs the sub-sample size used for the y_S moments.
 func runSubsample(cfg benchConfig) error {
 	header("E9 — §7 sub-sampled variance estimation (claim: ~10000 rows suffice)")
-	db := gus.Open()
+	db := cfg.open()
 	if err := db.AttachTPCHConfig(tpch.Config{
 		Orders: cfg.orders * 2, Customers: cfg.orders / 5, Parts: cfg.orders / 20, Seed: cfg.seed,
 	}); err != nil {
@@ -522,7 +522,7 @@ WHERE l_orderkey = o_orderkey`
 // runRobustness is the §8 "database as a sample" application (E10).
 func runRobustness(cfg benchConfig) error {
 	header("E10 — §8 robustness: database viewed as a Bernoulli sample")
-	db := gus.Open()
+	db := cfg.open()
 	if err := db.AttachTPCHConfig(tpch.Config{
 		Orders: cfg.orders / 2, Customers: cfg.orders / 20, Parts: cfg.orders / 80, Seed: cfg.seed,
 	}); err != nil {
@@ -553,7 +553,7 @@ func runRobustness(cfg benchConfig) error {
 // predict variances of alternative designs from one sample's ŷ moments.
 func runPlanner(cfg benchConfig) error {
 	header("E11 — §8 design planner: predicted σ for alternative designs from one sample")
-	db := gus.Open()
+	db := cfg.open()
 	if err := db.AttachTPCHConfig(tpch.Config{
 		Orders: cfg.orders, Customers: cfg.orders / 10, Parts: cfg.orders / 40, Seed: cfg.seed,
 	}); err != nil {

@@ -16,18 +16,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	gus "github.com/sampling-algebra/gus"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (fig1|query1|fig4|fig5|accuracy|variance|rewrite-runtime|subsample|robustness|planner|cardinality|all)")
-		trials = flag.Int("trials", 200, "Monte-Carlo trials for statistical experiments")
-		orders = flag.Int("orders", 8000, "orders-table cardinality for generated TPC-H data")
-		seed   = flag.Uint64("seed", 42, "base RNG seed")
+		exp     = flag.String("exp", "all", "experiment to run (fig1|query1|fig4|fig5|accuracy|variance|rewrite-runtime|subsample|robustness|planner|cardinality|all)")
+		trials  = flag.Int("trials", 200, "Monte-Carlo trials for statistical experiments")
+		orders  = flag.Int("orders", 8000, "orders-table cardinality for generated TPC-H data")
+		seed    = flag.Uint64("seed", 42, "base RNG seed")
+		workers = flag.Int("workers", 0, "engine worker-pool width for query execution (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	cfg := benchConfig{trials: *trials, orders: *orders, seed: *seed}
+	cfg := benchConfig{trials: *trials, orders: *orders, seed: *seed, workers: *workers}
 	runs := map[string]func(benchConfig) error{
 		"fig1":            runFig1,
 		"query1":          runQuery1,
@@ -65,9 +68,18 @@ func main() {
 }
 
 type benchConfig struct {
-	trials int
-	orders int
-	seed   uint64
+	trials  int
+	orders  int
+	seed    uint64
+	workers int
+}
+
+// open creates a DB with the configured engine parallelism. Seeded
+// experiment outputs are identical at any -workers value.
+func (c benchConfig) open() *gus.DB {
+	db := gus.Open()
+	db.SetWorkers(c.workers)
+	return db
 }
 
 func header(title string) {

@@ -28,6 +28,7 @@ func main() {
 		level     = flag.Float64("confidence", 0.95, "confidence level")
 		chebyshev = flag.Bool("chebyshev", false, "use Chebyshev (distribution-free) intervals")
 		subsample = flag.Int("subsample", 0, "§7 variance sub-sampling target rows (0 = off)")
+		workers   = flag.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS; results are seed-stable at any width)")
 		exact     = flag.Bool("exact", false, "also run the query exactly and report the true error")
 		verbose   = flag.Bool("v", false, "print the plan and the SOA rewrite trace")
 	)
@@ -62,6 +63,9 @@ func main() {
 	}
 
 	opts := []gus.Option{gus.WithSeed(*seed), gus.WithConfidence(*level)}
+	if *workers > 0 {
+		opts = append(opts, gus.WithWorkers(*workers))
+	}
 	if *chebyshev {
 		opts = append(opts, gus.WithInterval(gus.ChebyshevInterval))
 	}

@@ -1,0 +1,274 @@
+// Command gusserve exposes a gus database as a long-lived HTTP/JSON
+// service, driving the parallel partitioned engine from concurrent
+// clients. Tables come from CSV files (-data, gusgen's format) or from
+// the in-process TPC-H generator (-gen).
+//
+//	gusserve -gen 0.01 -addr :8080
+//	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM lineitem TABLESAMPLE (10 PERCENT)","seed":7}'
+//
+// Endpoints:
+//
+//	POST /query   — estimate a SQL aggregate query (body: QueryRequest)
+//	GET  /tables  — registered tables and cardinalities
+//	GET  /healthz — liveness probe
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	gus "github.com/sampling-algebra/gus"
+)
+
+// QueryRequest is the POST /query body. Zero values select defaults.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// Seed fixes the sampling RNG (default 1; 0 is a valid seed and is
+	// honored). Identical requests return identical responses, regardless
+	// of server parallelism.
+	Seed *uint64 `json:"seed"`
+	// Confidence is the two-sided CI level (default 0.95).
+	Confidence float64 `json:"confidence"`
+	// Chebyshev selects distribution-free intervals.
+	Chebyshev bool `json:"chebyshev"`
+	// Subsample activates §7 variance sub-sampling at about this many rows.
+	Subsample int `json:"subsample"`
+	// Workers overrides the server's worker-pool width for this query.
+	Workers int `json:"workers"`
+	// Exact additionally runs the query with sampling stripped (slow on
+	// large data; for validation).
+	Exact bool `json:"exact"`
+	// Verbose includes the plan, rewrite trace and top GUS text.
+	Verbose bool `json:"verbose"`
+}
+
+// ValueResponse mirrors gus.Value.
+type ValueResponse struct {
+	Name        string   `json:"name"`
+	Kind        string   `json:"kind"`
+	Value       float64  `json:"value"`
+	Estimate    float64  `json:"estimate"`
+	StdErr      float64  `json:"stdErr"`
+	CILow       float64  `json:"ciLow"`
+	CIHigh      float64  `json:"ciHigh"`
+	Approximate bool     `json:"approximate,omitempty"`
+	Exact       *float64 `json:"exact,omitempty"`
+}
+
+// GroupResponse is one GROUP BY bucket.
+type GroupResponse struct {
+	Key    string          `json:"key"`
+	Values []ValueResponse `json:"values"`
+}
+
+// QueryResponse is the POST /query reply.
+type QueryResponse struct {
+	SampleRows int             `json:"sampleRows"`
+	ElapsedMS  float64         `json:"elapsedMs"`
+	Values     []ValueResponse `json:"values,omitempty"`
+	Groups     []GroupResponse `json:"groups,omitempty"`
+	PlanText   string          `json:"planText,omitempty"`
+	TraceText  string          `json:"traceText,omitempty"`
+	GUSText    string          `json:"gusText,omitempty"`
+}
+
+type server struct {
+	db *gus.DB
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dataDir = flag.String("data", "", "directory of CSV tables (from gusgen)")
+		genSF   = flag.Float64("gen", 0, "generate TPC-H data at this scale factor instead of loading")
+		genSeed = flag.Uint64("genseed", 42, "TPC-H generator seed")
+		workers = flag.Int("workers", 0, "default worker-pool width per query (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	db := gus.Open()
+	switch {
+	case *genSF > 0:
+		if err := db.AttachTPCH(*genSF, *genSeed); err != nil {
+			log.Fatalf("gusserve: %v", err)
+		}
+	case *dataDir != "":
+		paths, err := filepath.Glob(filepath.Join(*dataDir, "*.csv"))
+		if err != nil {
+			log.Fatalf("gusserve: %v", err)
+		}
+		if len(paths) == 0 {
+			log.Fatalf("gusserve: no *.csv files in %s", *dataDir)
+		}
+		for _, p := range paths {
+			name := strings.TrimSuffix(filepath.Base(p), ".csv")
+			if err := db.LoadCSV(name, p); err != nil {
+				log.Fatalf("gusserve: %v", err)
+			}
+			log.Printf("loaded table %s", name)
+		}
+	default:
+		log.Fatal("gusserve: provide -data DIR or -gen SF")
+	}
+	db.SetWorkers(*workers)
+
+	s := &server{db: db}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/tables", s.handleTables)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		// Queries are intentionally long-running, so the write timeout is
+		// generous; idle keep-alive connections are reaped much sooner.
+		WriteTimeout: 10 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+	go func() {
+		log.Printf("gusserve listening on %s (tables: %s)", *addr, strings.Join(db.TableNames(), ", "))
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("gusserve: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("gusserve: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("gusserve: shutdown: %v", err)
+	}
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
+		return
+	}
+	opts := []gus.Option{}
+	if req.Seed != nil {
+		opts = append(opts, gus.WithSeed(*req.Seed))
+	}
+	if req.Confidence != 0 {
+		opts = append(opts, gus.WithConfidence(req.Confidence))
+	}
+	if req.Chebyshev {
+		opts = append(opts, gus.WithInterval(gus.ChebyshevInterval))
+	}
+	if req.Subsample > 0 {
+		opts = append(opts, gus.WithVarianceSubsampling(req.Subsample))
+	}
+	if req.Workers > 0 {
+		opts = append(opts, gus.WithWorkers(req.Workers))
+	}
+
+	start := time.Now()
+	res, err := s.db.Query(req.SQL, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := QueryResponse{
+		SampleRows: res.SampleRows,
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if req.Verbose {
+		resp.PlanText, resp.TraceText, resp.GUSText = res.PlanText, res.TraceText, res.GUSText
+	}
+	var exact *gus.Result
+	if req.Exact {
+		if exact, err = s.db.Exact(req.SQL, opts...); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("exact: %w", err))
+			return
+		}
+	}
+	for i, v := range res.Values {
+		rv := toValueResponse(v)
+		if exact != nil && i < len(exact.Values) {
+			ev := exact.Values[i].Value
+			rv.Exact = &ev
+		}
+		resp.Values = append(resp.Values, rv)
+	}
+	for _, g := range res.Groups {
+		gr := GroupResponse{Key: g.Key}
+		for _, v := range g.Values {
+			gr.Values = append(gr.Values, toValueResponse(v))
+		}
+		resp.Groups = append(resp.Groups, gr)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleTables(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	type tableInfo struct {
+		Name string `json:"name"`
+		Rows int    `json:"rows"`
+	}
+	var out []tableInfo
+	for _, name := range s.db.TableNames() {
+		n, err := s.db.TableLen(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out = append(out, tableInfo{Name: name, Rows: n})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func toValueResponse(v gus.Value) ValueResponse {
+	return ValueResponse{
+		Name:        v.Name,
+		Kind:        v.Kind,
+		Value:       v.Value,
+		Estimate:    v.Estimate,
+		StdErr:      v.StdErr,
+		CILow:       v.CILow,
+		CIHigh:      v.CIHigh,
+		Approximate: v.Approximate,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("gusserve: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,3 @@
+module github.com/sampling-algebra/gus
+
+go 1.21

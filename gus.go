@@ -26,9 +26,12 @@ package gus
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"github.com/sampling-algebra/gus/internal/core"
+	"github.com/sampling-algebra/gus/internal/engine"
 	"github.com/sampling-algebra/gus/internal/estimator"
 	"github.com/sampling-algebra/gus/internal/expr"
 	"github.com/sampling-algebra/gus/internal/lineage"
@@ -69,18 +72,44 @@ const (
 )
 
 // DB is an in-memory database with estimation-aware query processing.
+// Queries execute on the parallel partitioned engine (internal/engine).
+//
+// A DB is safe for concurrent use: Query, Exact and Robustness may run
+// from many goroutines at once; catalog writes (CreateTable, LoadCSV,
+// AttachTPCH, Table.Insert) serialize against in-flight queries via an
+// internal RWMutex.
 type DB struct {
-	tables map[string]*relation.Relation
+	mu      sync.RWMutex
+	tables  map[string]*relation.Relation
+	workers int
 }
 
 // Open creates an empty database.
 func Open() *DB { return &DB{tables: map[string]*relation.Relation{}} }
 
-// Table provides write access to one base table.
-type Table struct{ rel *relation.Relation }
+// SetWorkers sets the default worker-pool width for subsequent queries
+// (per-query WithWorkers overrides it). n ≤ 0 restores the default of
+// runtime.GOMAXPROCS(0). Seeded results are bit-identical at any width.
+func (db *DB) SetWorkers(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	db.workers = n
+}
+
+// Table provides write access to one base table. Its methods serialize
+// against queries on the owning DB.
+type Table struct {
+	db  *DB
+	rel *relation.Relation
+}
 
 // CreateTable registers a new empty table.
 func (db *DB) CreateTable(name string, cols ...Column) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("gus: table %q already exists", name)
 	}
@@ -108,15 +137,21 @@ func (db *DB) CreateTable(name string, cols ...Column) (*Table, error) {
 		return nil, fmt.Errorf("gus: %w", err)
 	}
 	db.tables[name] = rel
-	return &Table{rel: rel}, nil
+	return &Table{db: db, rel: rel}, nil
 }
 
 // Len returns the table's tuple count.
-func (t *Table) Len() int { return t.rel.Len() }
+func (t *Table) Len() int {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return t.rel.Len()
+}
 
 // Insert appends one row; values must match the schema (int/int64,
 // float64, string; ints widen to float columns).
 func (t *Table) Insert(values ...any) error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
 	tup, err := toTuple(t.rel.Schema(), values)
 	if err != nil {
 		return err
@@ -128,6 +163,8 @@ func (t *Table) Insert(values ...any) error {
 // paper's l_orderkey*10+l_linenumber primary-key encoding (§6.2). IDs must
 // be unique within the table.
 func (t *Table) InsertWithID(id uint64, values ...any) error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
 	tup, err := toTuple(t.rel.Schema(), values)
 	if err != nil {
 		return err
@@ -172,12 +209,14 @@ func toTuple(schema *relation.Schema, values []any) (relation.Tuple, error) {
 // LoadCSV registers a table from a CSV file previously written by SaveCSV
 // (or following its "#id,name:type,…" header convention).
 func (db *DB) LoadCSV(name, path string) error {
-	if _, dup := db.tables[name]; dup {
-		return fmt.Errorf("gus: table %q already exists", name)
-	}
 	rel, err := relation.LoadCSVFile(name, path)
 	if err != nil {
 		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return fmt.Errorf("gus: table %q already exists", name)
 	}
 	db.tables[name] = rel
 	return nil
@@ -185,6 +224,8 @@ func (db *DB) LoadCSV(name, path string) error {
 
 // SaveCSV writes a registered table to a CSV file.
 func (db *DB) SaveCSV(name, path string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	rel, ok := db.tables[name]
 	if !ok {
 		return fmt.Errorf("gus: unknown table %q", name)
@@ -204,6 +245,8 @@ func (db *DB) AttachTPCHConfig(cfg tpch.Config) error {
 	if err != nil {
 		return err
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	for _, r := range tb.All() {
 		if _, dup := db.tables[r.Name()]; dup {
 			return fmt.Errorf("gus: table %q already exists", r.Name())
@@ -217,6 +260,8 @@ func (db *DB) AttachTPCHConfig(cfg tpch.Config) error {
 
 // TableNames lists registered tables, sorted.
 func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		out = append(out, n)
@@ -227,6 +272,8 @@ func (db *DB) TableNames() []string {
 
 // TableLen returns a table's cardinality.
 func (db *DB) TableLen(name string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	rel, ok := db.tables[name]
 	if !ok {
 		return 0, fmt.Errorf("gus: unknown table %q", name)
@@ -248,6 +295,7 @@ type queryOptions struct {
 	interval        Interval
 	maxVarianceRows int
 	systemBlockSize int
+	workers         int
 }
 
 // Option customizes Query.
@@ -273,10 +321,24 @@ func WithVarianceSubsampling(maxRows int) Option {
 // (default 32 tuples per block).
 func WithSystemBlockSize(n int) Option { return func(o *queryOptions) { o.systemBlockSize = n } }
 
-func buildOptions(opts []Option) queryOptions {
+// WithWorkers sets this query's worker-pool width (default: the DB's
+// SetWorkers value, falling back to runtime.GOMAXPROCS(0)). The engine's
+// per-partition sub-seeding makes seeded results bit-identical at any
+// width, so Workers only trades latency for cores.
+func WithWorkers(n int) Option { return func(o *queryOptions) { o.workers = n } }
+
+func (db *DB) buildOptions(opts []Option) queryOptions {
 	o := queryOptions{seed: 1, level: 0.95, systemBlockSize: 32}
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if o.workers <= 0 {
+		db.mu.RLock()
+		o.workers = db.workers
+		db.mu.RUnlock()
+	}
+	if o.workers <= 0 {
+		o.workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -332,13 +394,17 @@ type Result struct {
 	GUSText string
 }
 
-// Query parses, plans, executes and estimates a SQL aggregate query.
+// Query parses, plans, executes and estimates a SQL aggregate query. It
+// holds the catalog read-lock for its duration, so any number of queries
+// may run concurrently while catalog writes wait.
 func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
-	o := buildOptions(opts)
+	o := db.buildOptions(opts)
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	planned, err := sqlparse.PlanQuery(q, catalog{db}, sqlparse.PlannerOptions{
 		SystemBlockSize: o.systemBlockSize,
 		Seed:            o.seed,
@@ -352,11 +418,13 @@ func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
 // Exact runs the query with all sampling stripped: the true answer, for
 // validation and experiments.
 func (db *DB) Exact(sql string, opts ...Option) (*Result, error) {
-	o := buildOptions(opts)
+	o := db.buildOptions(opts)
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	planned, err := sqlparse.PlanQuery(q, catalog{db}, sqlparse.PlannerOptions{
 		SystemBlockSize: o.systemBlockSize,
 		Seed:            o.seed,
@@ -378,7 +446,7 @@ func (db *DB) Robustness(sql string, survival float64, opts ...Option) (*Result,
 	if !(survival > 0 && survival <= 1) {
 		return nil, fmt.Errorf("gus: survival rate %v outside (0,1]", survival)
 	}
-	o := buildOptions(opts)
+	o := db.buildOptions(opts)
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -388,6 +456,8 @@ func (db *DB) Robustness(sql string, survival float64, opts ...Option) (*Result,
 			return nil, fmt.Errorf("gus: robustness analysis requires a query without TABLESAMPLE (table %q has one)", tr.Name)
 		}
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	planned, err := sqlparse.PlanQuery(q, catalog{db}, sqlparse.PlannerOptions{SystemBlockSize: o.systemBlockSize, Seed: o.seed})
 	if err != nil {
 		return nil, err
@@ -410,13 +480,15 @@ func (db *DB) Robustness(sql string, survival float64, opts ...Option) (*Result,
 	return db.run(planned, o)
 }
 
-// run executes a planned query and estimates every SELECT item.
+// run executes a planned query on the parallel partitioned engine and
+// estimates every SELECT item. Must be called with db.mu read-held.
 func (db *DB) run(planned *sqlparse.Planned, o queryOptions) (*Result, error) {
 	analysis, err := plan.Analyze(planned.Root)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := plan.Execute(planned.Root, stats.NewRNG(o.seed))
+	eng := engine.New(engine.Config{Workers: o.workers})
+	rows, err := eng.Execute(planned.Root, o.seed)
 	if err != nil {
 		return nil, err
 	}
@@ -505,7 +577,11 @@ func (db *DB) evalAggregate(g *core.Params, rows *ops.Rows, agg sqlparse.Aggrega
 	if name == "" {
 		name = fmt.Sprintf("col%d", idx+1)
 	}
-	eopts := estimator.Options{MaxVarianceRows: o.maxVarianceRows, Seed: o.seed + 0x5b0c}
+	eopts := estimator.Options{
+		MaxVarianceRows: o.maxVarianceRows,
+		Seed:            o.seed + 0x5b0c,
+		Workers:         o.workers,
+	}
 	f := agg.Arg
 	if f == nil || agg.Kind == sqlparse.AggCount {
 		f = expr.Int(1) // COUNT via SUM of 1 (§1)

@@ -1,0 +1,206 @@
+// Package engine is the parallel partitioned query executor: a
+// morsel-style runtime that splits every operator's input into fixed-size
+// row partitions (ops.Partitions), processes partitions on a worker pool,
+// and merges per-partition outputs in partition order.
+//
+// Determinism contract: for a given (plan, seed), the engine produces
+// bit-identical rows at ANY worker count. Three rules enforce it:
+//
+//  1. partition boundaries depend only on the data and a fixed partition
+//     size, never on the worker count;
+//  2. every randomized decision is a pure function of (query seed, plan
+//     node id, partition index or row index) — workers own partitions, not
+//     random streams;
+//  3. per-partition outputs are concatenated in partition index order by
+//     the coordinator after all workers finish.
+//
+// GUS quasi-operators remain pass-throughs at execution time (§4.2 of the
+// paper); the engine changes how plans are *executed*, not what they mean.
+// For plans without Sample nodes the engine's output is row-for-row
+// identical to the serial plan.Execute reference executor.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/sampling-algebra/gus/internal/ops"
+	"github.com/sampling-algebra/gus/internal/plan"
+)
+
+// Config tunes an Engine. The zero value is ready to use.
+type Config struct {
+	// Workers is the worker-pool width. Zero or negative selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// PartitionSize is the morsel size in rows. Zero or negative selects
+	// ops.DefaultPartitionSize. It must be held constant across runs whose
+	// results are to be compared bit-for-bit.
+	PartitionSize int
+	// SerialCutoff is the input size (rows) at or below which an operator
+	// runs inline on the calling goroutine — tiny inputs are not worth the
+	// goroutine fan-out. Zero selects 2×PartitionSize. The serial path is
+	// the same partitioned code run on one goroutine, so the cutoff never
+	// changes results.
+	SerialCutoff int
+}
+
+// Engine executes query plans in parallel. It is stateless between calls
+// and safe for concurrent use by multiple goroutines.
+type Engine struct {
+	workers  int
+	partSize int
+	cutoff   int
+}
+
+// New builds an Engine from cfg, applying defaults.
+func New(cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	ps := cfg.PartitionSize
+	if ps <= 0 {
+		ps = ops.DefaultPartitionSize
+	}
+	cut := cfg.SerialCutoff
+	if cut <= 0 {
+		cut = 2 * ps
+	}
+	return &Engine{workers: w, partSize: ps, cutoff: cut}
+}
+
+// Workers reports the configured worker-pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// Execute runs the plan and returns the result rows with their lineage.
+// seed drives all sampling decisions; the same (plan, seed) yields the
+// same rows regardless of Config.Workers.
+func (e *Engine) Execute(root plan.Node, seed uint64) (*ops.Rows, error) {
+	ids := numberNodes(root)
+	return e.exec(root, seed, ids)
+}
+
+// numberNodes assigns each plan node a stable id by pre-order walk — the
+// per-node component of sampling sub-seeds. Rebuilding the same plan
+// yields the same numbering.
+func numberNodes(root plan.Node) map[plan.Node]uint64 {
+	ids := make(map[plan.Node]uint64)
+	var next uint64
+	plan.Walk(root, func(n plan.Node) {
+		if _, ok := ids[n]; !ok {
+			ids[n] = next
+			next++
+		}
+	})
+	return ids
+}
+
+// mix derives a sub-seed from the query seed, a plan node id and a
+// partition (or stream) index, using SplitMix64-style finalization so
+// nearby inputs yield decorrelated streams.
+func mix(seed, nodeID, part uint64) uint64 {
+	z := seed ^ (nodeID+1)*0x9e3779b97f4a7c15 ^ (part+1)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// forEach runs fn(p) for every partition index p ∈ [0, parts), fanning out
+// over the worker pool when the total row count justifies it (the serial
+// fallback for tiny inputs — same partitioned code, one goroutine). fn
+// must only write state owned by partition p.
+func (e *Engine) forEach(parts, rows int, fn func(p int) error) error {
+	workers := e.workers
+	if rows <= e.cutoff {
+		workers = 1
+	}
+	return ops.ForEachPart(workers, parts, fn)
+}
+
+// both executes two independent subplans concurrently (plan-level
+// parallelism for join/union/intersect inputs).
+func (e *Engine) both(l, r plan.Node, seed uint64, ids map[plan.Node]uint64) (lr, rr *ops.Rows, err error) {
+	if e.workers <= 1 {
+		if lr, err = e.exec(l, seed, ids); err != nil {
+			return nil, nil, err
+		}
+		if rr, err = e.exec(r, seed, ids); err != nil {
+			return nil, nil, err
+		}
+		return lr, rr, nil
+	}
+	var rerr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rr, rerr = e.exec(r, seed, ids)
+	}()
+	lr, err = e.exec(l, seed, ids)
+	<-done
+	if err != nil {
+		return nil, nil, err
+	}
+	if rerr != nil {
+		return nil, nil, rerr
+	}
+	return lr, rr, nil
+}
+
+// exec dispatches one plan node.
+func (e *Engine) exec(n plan.Node, seed uint64, ids map[plan.Node]uint64) (*ops.Rows, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		return e.execScan(t)
+	case *plan.Sample:
+		in, err := e.exec(t.Input, seed, ids)
+		if err != nil {
+			return nil, err
+		}
+		out, err := e.execSample(t, in, mix(seed, ids[n], 0))
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", t.Label(), err)
+		}
+		return out, nil
+	case *plan.Select:
+		in, err := e.exec(t.Input, seed, ids)
+		if err != nil {
+			return nil, err
+		}
+		return e.execSelect(in, t)
+	case *plan.Project:
+		in, err := e.exec(t.Input, seed, ids)
+		if err != nil {
+			return nil, err
+		}
+		return e.execProject(in, t)
+	case *plan.Join:
+		l, r, err := e.both(t.Left, t.Right, seed, ids)
+		if err != nil {
+			return nil, err
+		}
+		return e.execJoin(l, r, t.LeftCol, t.RightCol)
+	case *plan.Theta:
+		l, r, err := e.both(t.Left, t.Right, seed, ids)
+		if err != nil {
+			return nil, err
+		}
+		return e.execTheta(l, r, t)
+	case *plan.Union:
+		l, r, err := e.both(t.Left, t.Right, seed, ids)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Union(l, r)
+	case *plan.Intersect:
+		l, r, err := e.both(t.Left, t.Right, seed, ids)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Intersect(l, r)
+	case *plan.GUS:
+		return e.exec(t.Input, seed, ids)
+	default:
+		return nil, fmt.Errorf("engine: unknown node %T", n)
+	}
+}

@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/lineage"
+	"github.com/sampling-algebra/gus/internal/ops"
+	"github.com/sampling-algebra/gus/internal/plan"
+	"github.com/sampling-algebra/gus/internal/relation"
+)
+
+// execScan materializes a base relation into lineage-carrying rows,
+// filling partitions in parallel (relation storage is read-only here).
+func (e *Engine) execScan(s *plan.Scan) (*ops.Rows, error) {
+	alias := s.Alias
+	if alias == "" {
+		alias = s.Rel.Name()
+	}
+	ls, err := lineage.NewSchema(alias)
+	if err != nil {
+		return nil, err
+	}
+	n := s.Rel.Len()
+	data := make([]ops.Row, n)
+	spans := ops.Partitions(n, e.partSize)
+	err = e.forEach(len(spans), n, func(p int) error {
+		for i := spans[p].Lo; i < spans[p].Hi; i++ {
+			data[i] = ops.Row{Lin: lineage.Vector{s.Rel.ID(i)}, Vals: s.Rel.Row(i)}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ops.Rows{Cols: s.Rel.Schema(), LSch: ls, Data: data}, nil
+}
+
+// execSelect filters partitions in parallel. Compiled predicates are
+// stateless closures, so one compilation is shared by all workers.
+func (e *Engine) execSelect(in *ops.Rows, t *plan.Select) (*ops.Rows, error) {
+	pred, err := expr.Compile(t.Pred, in.Cols)
+	if err != nil {
+		return nil, fmt.Errorf("engine: select: %w", err)
+	}
+	spans := ops.Partitions(in.Len(), e.partSize)
+	parts := make([][]ops.Row, len(spans))
+	err = e.forEach(len(spans), in.Len(), func(p int) error {
+		var buf []ops.Row
+		for i := spans[p].Lo; i < spans[p].Hi; i++ {
+			v, err := pred(in.Data[i].Vals)
+			if err != nil {
+				return fmt.Errorf("engine: select: %w", err)
+			}
+			if v.Truthy() {
+				buf = append(buf, in.Data[i])
+			}
+		}
+		parts[p] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ops.Rows{Cols: in.Cols, LSch: in.LSch, Data: ops.Concat(parts)}, nil
+}
+
+// execProject evaluates projection expressions per partition. The output
+// schema is inferred once, from the globally first row (matching the
+// serial ops.Project), so every partition agrees on column kinds.
+func (e *Engine) execProject(in *ops.Rows, t *plan.Project) (*ops.Rows, error) {
+	if len(t.Names) != len(t.Exprs) {
+		return nil, fmt.Errorf("engine: project: %d names for %d expressions", len(t.Names), len(t.Exprs))
+	}
+	compiled := make([]expr.Compiled, len(t.Exprs))
+	cols := make([]relation.Column, len(t.Exprs))
+	for i, ex := range t.Exprs {
+		c, err := expr.Compile(ex, in.Cols)
+		if err != nil {
+			return nil, fmt.Errorf("engine: project %s: %w", ex, err)
+		}
+		compiled[i] = c
+		kind := relation.KindFloat
+		if len(in.Data) > 0 {
+			if v, err := c(in.Data[0].Vals); err == nil {
+				kind = v.Kind()
+			}
+		}
+		cols[i] = relation.Column{Name: t.Names[i], Kind: kind}
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("engine: project: %w", err)
+	}
+	out := make([]ops.Row, in.Len())
+	spans := ops.Partitions(in.Len(), e.partSize)
+	err = e.forEach(len(spans), in.Len(), func(p int) error {
+		for i := spans[p].Lo; i < spans[p].Hi; i++ {
+			row := in.Data[i]
+			vals := make(relation.Tuple, len(compiled))
+			for j, c := range compiled {
+				v, err := c(row.Vals)
+				if err != nil {
+					return fmt.Errorf("engine: project: %w", err)
+				}
+				if cols[j].Kind == relation.KindFloat && v.Kind() == relation.KindInt {
+					f, _ := v.AsFloat()
+					v = relation.Float(f)
+				}
+				vals[j] = v
+			}
+			out[i] = ops.Row{Lin: row.Lin, Vals: vals}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ops.Rows{Cols: schema, LSch: in.LSch, Data: out}, nil
+}
+
+// execJoin is the partitioned hash join. Build: each partition of the
+// build side hashes into a private table, and the coordinator merges the
+// partial tables in partition order — so match lists hold ascending build
+// indices, exactly as a sequential build would produce. Probe: each probe
+// partition emits its matches into its own buffer; buffers concatenate in
+// partition order. The output is therefore row-for-row identical to the
+// serial ops.HashJoin at any worker count.
+func (e *Engine) execJoin(l, r *ops.Rows, leftCol, rightCol string) (*ops.Rows, error) {
+	li, ok := l.Cols.Index(leftCol)
+	if !ok {
+		return nil, fmt.Errorf("engine: hash join: left input has no column %q", leftCol)
+	}
+	ri, ok := r.Cols.Index(rightCol)
+	if !ok {
+		return nil, fmt.Errorf("engine: hash join: right input has no column %q", rightCol)
+	}
+	cols, err := l.Cols.Concat(r.Cols)
+	if err != nil {
+		return nil, fmt.Errorf("engine: hash join: %w", err)
+	}
+	lsch, err := l.LSch.Concat(r.LSch)
+	if err != nil {
+		return nil, fmt.Errorf("engine: hash join: %w", err)
+	}
+	buildLeft := l.Len() <= r.Len()
+	build, probe := l, r
+	buildKey, probeKey := li, ri
+	if !buildLeft {
+		build, probe = r, l
+		buildKey, probeKey = ri, li
+	}
+
+	// Parallel partial build.
+	bspans := ops.Partitions(build.Len(), e.partSize)
+	partials := make([]map[string][]int32, len(bspans))
+	err = e.forEach(len(bspans), build.Len(), func(p int) error {
+		m := make(map[string][]int32, bspans[p].Hi-bspans[p].Lo)
+		for i := bspans[p].Lo; i < bspans[p].Hi; i++ {
+			k := build.Data[i].Vals[buildKey].Key()
+			m[k] = append(m[k], int32(i))
+		}
+		partials[p] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	table := make(map[string][]int32, build.Len())
+	for _, m := range partials {
+		for k, idxs := range m {
+			table[k] = append(table[k], idxs...)
+		}
+	}
+
+	// Parallel probe.
+	pspans := ops.Partitions(probe.Len(), e.partSize)
+	parts := make([][]ops.Row, len(pspans))
+	err = e.forEach(len(pspans), probe.Len(), func(p int) error {
+		var buf []ops.Row
+		for i := pspans[p].Lo; i < pspans[p].Hi; i++ {
+			prow := probe.Data[i]
+			for _, bi := range table[prow.Vals[probeKey].Key()] {
+				brow := build.Data[bi]
+				if buildLeft {
+					buf = append(buf, ops.Combine(brow, prow))
+				} else {
+					buf = append(buf, ops.Combine(prow, brow))
+				}
+			}
+		}
+		parts[p] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ops.Rows{Cols: cols, LSch: lsch, Data: ops.Concat(parts)}, nil
+}
+
+// execTheta is a partitioned nested-loops θ-join: each partition of the
+// left input is crossed with the whole right input and filtered, without
+// materializing the full cross product.
+func (e *Engine) execTheta(l, r *ops.Rows, t *plan.Theta) (*ops.Rows, error) {
+	cols, err := l.Cols.Concat(r.Cols)
+	if err != nil {
+		return nil, fmt.Errorf("engine: theta join: %w", err)
+	}
+	lsch, err := l.LSch.Concat(r.LSch)
+	if err != nil {
+		return nil, fmt.Errorf("engine: theta join: %w", err)
+	}
+	pred, err := expr.Compile(t.Pred, cols)
+	if err != nil {
+		return nil, fmt.Errorf("engine: theta join: %w", err)
+	}
+	spans := ops.Partitions(l.Len(), e.partSize)
+	parts := make([][]ops.Row, len(spans))
+	err = e.forEach(len(spans), l.Len()*max(1, r.Len()), func(p int) error {
+		var buf []ops.Row
+		for i := spans[p].Lo; i < spans[p].Hi; i++ {
+			for _, rrow := range r.Data {
+				combined := ops.Combine(l.Data[i], rrow)
+				v, err := pred(combined.Vals)
+				if err != nil {
+					return fmt.Errorf("engine: theta join: %w", err)
+				}
+				if v.Truthy() {
+					buf = append(buf, combined)
+				}
+			}
+		}
+		parts[p] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ops.Rows{Cols: cols, LSch: lsch, Data: ops.Concat(parts)}, nil
+}

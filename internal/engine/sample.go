@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sampling-algebra/gus/internal/lineage"
+	"github.com/sampling-algebra/gus/internal/ops"
+	"github.com/sampling-algebra/gus/internal/plan"
+	"github.com/sampling-algebra/gus/internal/sampling"
+	"github.com/sampling-algebra/gus/internal/stats"
+)
+
+// execSample runs one concrete sampling operator in parallel. Every
+// method's decisions are pure functions of (sub, partition/row index), so
+// the drawn sample is independent of the worker count. The sampling
+// DISTRIBUTIONS are exactly those of the serial methods; only the
+// pseudo-random stream assignment differs (per-partition sub-seeds instead
+// of one sequential stream), which is what makes partition ownership — and
+// hence parallel execution — possible.
+func (e *Engine) execSample(t *plan.Sample, in *ops.Rows, sub uint64) (*ops.Rows, error) {
+	switch m := t.Method.(type) {
+	case *sampling.Bernoulli:
+		return e.sampleBernoulli(in, m, sub)
+	case *sampling.WOR:
+		return e.sampleWOR(in, m, sub)
+	case *sampling.Block:
+		return e.sampleBlock(in, m, sub)
+	case *sampling.LineageHash:
+		return e.sampleLineageHash(in, m)
+	default:
+		// Unknown methods fall back to the serial implementation with a
+		// node-derived seed; still deterministic, just not partitioned.
+		return t.Method.Apply(in, stats.NewRNG(sub))
+	}
+}
+
+// sampleBernoulli keeps each row independently with probability P, one
+// sub-seeded RNG per partition.
+func (e *Engine) sampleBernoulli(in *ops.Rows, m *sampling.Bernoulli, sub uint64) (*ops.Rows, error) {
+	if err := requireRelation(in, m.Rel); err != nil {
+		return nil, err
+	}
+	spans := ops.Partitions(in.Len(), e.partSize)
+	parts := make([][]ops.Row, len(spans))
+	err := e.forEach(len(spans), in.Len(), func(p int) error {
+		rng := stats.NewRNG(mix(sub, 0, uint64(p)))
+		var buf []ops.Row
+		for i := spans[p].Lo; i < spans[p].Hi; i++ {
+			if rng.Bernoulli(m.P) {
+				buf = append(buf, in.Data[i])
+			}
+		}
+		parts[p] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ops.Rows{Cols: in.Cols, LSch: in.LSch, Data: ops.Concat(parts)}, nil
+}
+
+// sampleWOR draws exactly K rows uniformly without replacement by priority
+// selection: row i gets priority HashID(sub, i) — i.i.d. uniform — and the
+// K smallest priorities win, which is a uniform K-subset. Each partition
+// pre-selects its K best candidates in parallel; the coordinator merges
+// the ≤ parts·K candidates and keeps the global K, in input order (the
+// serial WOR also emits its sample in input order).
+func (e *Engine) sampleWOR(in *ops.Rows, m *sampling.WOR, sub uint64) (*ops.Rows, error) {
+	if err := requireRelation(in, m.Rel); err != nil {
+		return nil, err
+	}
+	n := in.Len()
+	if m.K >= n {
+		return in.Clone(), nil
+	}
+	type cand struct {
+		pri float64
+		idx int
+	}
+	spans := ops.Partitions(n, e.partSize)
+	parts := make([][]cand, len(spans))
+	err := e.forEach(len(spans), n, func(p int) error {
+		local := make([]cand, 0, spans[p].Hi-spans[p].Lo)
+		for i := spans[p].Lo; i < spans[p].Hi; i++ {
+			local = append(local, cand{pri: stats.HashID(sub, uint64(i)), idx: i})
+		}
+		sort.Slice(local, func(a, b int) bool {
+			if local[a].pri != local[b].pri {
+				return local[a].pri < local[b].pri
+			}
+			return local[a].idx < local[b].idx
+		})
+		if len(local) > m.K {
+			local = local[:m.K]
+		}
+		parts[p] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var merged []cand
+	for _, p := range parts {
+		merged = append(merged, p...)
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].pri != merged[b].pri {
+			return merged[a].pri < merged[b].pri
+		}
+		return merged[a].idx < merged[b].idx
+	})
+	chosen := make([]int, m.K)
+	for i := range chosen {
+		chosen[i] = merged[i].idx
+	}
+	sort.Ints(chosen)
+	out := &ops.Rows{Cols: in.Cols, LSch: in.LSch, Data: make([]ops.Row, 0, m.K)}
+	for _, i := range chosen {
+		out.Data = append(out.Data, in.Data[i])
+	}
+	return out, nil
+}
+
+// sampleBlock implements SYSTEM sampling: block b survives iff
+// HashID(sub, b) < P, and surviving rows have their lineage rewritten to
+// 1-based block IDs (the sampling unit becomes the block, as in the serial
+// method). Block membership is the global row index divided by the block
+// size, so partitions need not align with blocks.
+func (e *Engine) sampleBlock(in *ops.Rows, m *sampling.Block, sub uint64) (*ops.Rows, error) {
+	slot, ok := in.LSch.Index(m.Rel)
+	if !ok {
+		return nil, fmt.Errorf("input lineage %v does not include %q", in.LSch.Names(), m.Rel)
+	}
+	if in.LSch.Len() != 1 {
+		return nil, fmt.Errorf("SYSTEM sampling must be applied directly to a base relation")
+	}
+	spans := ops.Partitions(in.Len(), e.partSize)
+	parts := make([][]ops.Row, len(spans))
+	err := e.forEach(len(spans), in.Len(), func(p int) error {
+		var buf []ops.Row
+		for i := spans[p].Lo; i < spans[p].Hi; i++ {
+			blk := i / m.BlockSize
+			if stats.HashID(sub, uint64(blk)) >= m.P {
+				continue
+			}
+			lin := in.Data[i].Lin.Clone()
+			lin[slot] = lineage.TupleID(blk + 1)
+			buf = append(buf, ops.Row{Lin: lin, Vals: in.Data[i].Vals})
+		}
+		parts[p] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ops.Rows{Cols: in.Cols, LSch: in.LSch, Data: ops.Concat(parts)}, nil
+}
+
+// sampleLineageHash filters by the method's own pure (seed, lineage)
+// decision function — already parallel-safe, identical to serial Apply.
+func (e *Engine) sampleLineageHash(in *ops.Rows, m *sampling.LineageHash) (*ops.Rows, error) {
+	rels := m.Relations()
+	slots := make([]int, len(rels))
+	for i, r := range rels {
+		s, ok := in.LSch.Index(r)
+		if !ok {
+			return nil, fmt.Errorf("input lineage %v does not include %q", in.LSch.Names(), r)
+		}
+		slots[i] = s
+	}
+	spans := ops.Partitions(in.Len(), e.partSize)
+	parts := make([][]ops.Row, len(spans))
+	err := e.forEach(len(spans), in.Len(), func(p int) error {
+		var buf []ops.Row
+	rows:
+		for i := spans[p].Lo; i < spans[p].Hi; i++ {
+			for j, r := range rels {
+				if !m.Keeps(r, in.Data[i].Lin[slots[j]]) {
+					continue rows
+				}
+			}
+			buf = append(buf, in.Data[i])
+		}
+		parts[p] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ops.Rows{Cols: in.Cols, LSch: in.LSch, Data: ops.Concat(parts)}, nil
+}
+
+// requireRelation checks that the input's lineage schema covers the
+// sampled relation, matching the serial methods' error behavior.
+func requireRelation(in *ops.Rows, rel string) error {
+	if _, ok := in.LSch.Index(rel); !ok {
+		return fmt.Errorf("input lineage %v does not include %q", in.LSch.Names(), rel)
+	}
+	return nil
+}

@@ -60,10 +60,16 @@ func BilinearMoments(n int, lins []lineage.Vector, fs, gs []float64) ([]float64,
 //
 //	Côv = Σ_S (c_S/a²)·Ŷ_S(f,g) − Ŷ_∅(f,g).
 func Covariance(g *core.Params, lins []lineage.Vector, fs, gs []float64) (float64, error) {
+	return covarianceOpts(g, lins, fs, gs, Options{})
+}
+
+// covarianceOpts is Covariance with accumulator options (Workers enables
+// the partition-sharded bilinear moments).
+func covarianceOpts(g *core.Params, lins []lineage.Vector, fs, gs []float64, opts Options) (float64, error) {
 	if g.A() == 0 {
 		return 0, fmt.Errorf("estimator: null GUS (a=0) has no covariance")
 	}
-	y, err := BilinearMoments(g.N(), lins, fs, gs)
+	y, err := bilinearFor(g.N(), lins, fs, gs, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -101,11 +107,11 @@ func Ratio(g *core.Params, rows *ops.Rows, num, den expr.Expr, opts Options) (*R
 		return nil, fmt.Errorf("estimator: sample lineage schema %v does not match GUS schema %v",
 			rows.LSch.Names(), g.Schema().Names())
 	}
-	nfs, _, err := ops.SumF(rows, num)
+	nfs, _, err := sumF(rows, num, opts)
 	if err != nil {
 		return nil, err
 	}
-	dfs, _, err := ops.SumF(rows, den)
+	dfs, _, err := sumF(rows, den, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +130,7 @@ func Ratio(g *core.Params, rows *ops.Rows, num, den expr.Expr, opts Options) (*R
 	if dRes.Estimate == 0 {
 		return nil, fmt.Errorf("estimator: ratio with (estimated) zero denominator")
 	}
-	cov, err := Covariance(g, lins, nfs, dfs)
+	cov, err := covarianceOpts(g, lins, nfs, dfs, opts)
 	if err != nil {
 		return nil, err
 	}

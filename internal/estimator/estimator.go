@@ -58,6 +58,15 @@ type Options struct {
 	MaxVarianceRows int
 	// Seed drives the sub-sampling pseudo-random function.
 	Seed uint64
+	// Workers, when positive, accumulates the Theorem-1 sums (Σf and the
+	// Y_S group moments) in partition-sharded accumulators merged in
+	// partition order. Results are bit-identical for every positive value
+	// — the shards are per-partition, not per-worker, and partitioning
+	// depends only on the data. Zero keeps the serial single-pass path.
+	Workers int
+	// PartitionSize overrides the accumulator morsel size (default
+	// ops.DefaultPartitionSize). Comparable runs must share it.
+	PartitionSize int
 }
 
 // Result carries the SBox outputs.
@@ -109,7 +118,7 @@ func (r *Result) Quantile(q float64) float64 {
 // top GUS (from plan.Analyze); rows' lineage schema must match g's — which
 // plan.Execute guarantees for the same plan.
 func Estimate(g *core.Params, rows *ops.Rows, f expr.Expr, opts Options) (*Result, error) {
-	fs, _, err := ops.SumF(rows, f)
+	fs, _, err := sumF(rows, f, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -140,12 +149,8 @@ func FromLineage(g *core.Params, lins []lineage.Vector, fs []float64, opts Optio
 		return nil, fmt.Errorf("estimator: null GUS (a=0) cannot be estimated")
 	}
 
-	var sumF float64
-	for _, v := range fs {
-		sumF += v
-	}
 	res := &Result{
-		Estimate:   g.Estimate(sumF),
+		Estimate:   g.Estimate(totalOf(fs, opts)),
 		SampleRows: len(fs),
 	}
 
@@ -157,7 +162,7 @@ func FromLineage(g *core.Params, lins []lineage.Vector, fs []float64, opts Optio
 	res.Subsampled = sub
 	res.VarianceRows = len(varFs)
 
-	res.Y = Moments(varG.Schema().Len(), varLins, varFs)
+	res.Y = momentsFor(varG.Schema().Len(), varLins, varFs, opts)
 	res.YHat, err = UnbiasedY(varG, res.Y)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,208 @@
+// Partition-sharded accumulation of the Theorem-1 sums. The SBox needs
+// three row-scale passes: evaluating f over the sample (Σf and the
+// per-row values), the Y_S group-by-lineage moments (§6.3), and their
+// bilinear generalization. Each pass here splits the rows into fixed-size
+// partitions (ops.Partitions), accumulates a private shard per partition
+// on the worker pool, and merges shards in partition index order.
+//
+// Determinism: partition boundaries and merge order depend only on the
+// data and the partition size — never on the worker count — so every
+// positive Workers value produces bit-identical floats. Group totals are
+// additionally enumerated in first-seen order (by partition, then by row)
+// rather than by Go map iteration, removing the run-to-run jitter the
+// serial map-based paths have.
+package estimator
+
+import (
+	"fmt"
+
+	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/lineage"
+	"github.com/sampling-algebra/gus/internal/ops"
+)
+
+// partitionSize resolves the accumulator morsel size.
+func (o Options) partitionSize() int {
+	if o.PartitionSize > 0 {
+		return o.PartitionSize
+	}
+	return ops.DefaultPartitionSize
+}
+
+// sumF evaluates the aggregate argument per row, serially (Workers = 0,
+// the legacy single-pass ops.SumF) or partition-parallel. The per-row
+// values are identical either way; only the association order of the
+// total differs, and the partitioned total is fixed for any worker count.
+func sumF(in *ops.Rows, f expr.Expr, opts Options) ([]float64, float64, error) {
+	if opts.Workers <= 0 {
+		return ops.SumF(in, f)
+	}
+	c, err := expr.Compile(f, in.Cols)
+	if err != nil {
+		return nil, 0, fmt.Errorf("estimator: aggregate: %w", err)
+	}
+	n := in.Len()
+	fs := make([]float64, n)
+	spans := ops.Partitions(n, opts.partitionSize())
+	partials := make([]float64, len(spans))
+	err = ops.ForEachPart(opts.Workers, len(spans), func(p int) error {
+		var acc float64
+		for i := spans[p].Lo; i < spans[p].Hi; i++ {
+			v, err := c(in.Data[i].Vals)
+			if err != nil {
+				return fmt.Errorf("estimator: aggregate: %w", err)
+			}
+			fv, err := v.AsFloat()
+			if err != nil {
+				return fmt.Errorf("estimator: aggregate: %w", err)
+			}
+			fs[i] = fv
+			acc += fv
+		}
+		partials[p] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var total float64
+	for _, t := range partials {
+		total += t
+	}
+	return fs, total, nil
+}
+
+// totalOf sums per-row values with the same partition structure the other
+// accumulators use, so the Σf entering the estimate is worker-count
+// independent.
+func totalOf(fs []float64, opts Options) float64 {
+	if opts.Workers <= 0 {
+		var t float64
+		for _, v := range fs {
+			t += v
+		}
+		return t
+	}
+	spans := ops.Partitions(len(fs), opts.partitionSize())
+	partials := make([]float64, len(spans))
+	_ = ops.ForEachPart(opts.Workers, len(spans), func(p int) error {
+		var acc float64
+		for i := spans[p].Lo; i < spans[p].Hi; i++ {
+			acc += fs[i]
+		}
+		partials[p] = acc
+		return nil
+	})
+	var t float64
+	for _, p := range partials {
+		t += p
+	}
+	return t
+}
+
+// groupShard is one partition's private group-by-lineage accumulator:
+// sums keyed by projected lineage, with keys remembered in first-seen
+// order so the merge is deterministic.
+type groupShard struct {
+	keys []string
+	fsum map[string]float64
+	gsum map[string]float64 // nil for plain (f·f) moments
+}
+
+// shardFor builds partition p's shard for mask set over lins/fs (+gs).
+func shardFor(set lineage.Set, span ops.Span, lins []lineage.Vector, fs, gs []float64) groupShard {
+	sh := groupShard{fsum: make(map[string]float64)}
+	if gs != nil {
+		sh.gsum = make(map[string]float64)
+	}
+	for i := span.Lo; i < span.Hi; i++ {
+		k := lins[i].ProjectKey(set)
+		if _, seen := sh.fsum[k]; !seen {
+			sh.keys = append(sh.keys, k)
+		}
+		sh.fsum[k] += fs[i]
+		if gs != nil {
+			sh.gsum[k] += gs[i]
+		}
+	}
+	return sh
+}
+
+// mergeShards combines per-partition shards in partition order and
+// returns Σ_groups (Σf)(Σg) — with gs == nil, Σ_groups (Σf)². Group
+// totals are accumulated and squared in first-seen order.
+func mergeShards(shards []groupShard, bilinear bool) float64 {
+	slot := make(map[string]int)
+	var fTot, gTot []float64
+	for _, sh := range shards {
+		for _, k := range sh.keys {
+			s, ok := slot[k]
+			if !ok {
+				s = len(fTot)
+				slot[k] = s
+				fTot = append(fTot, 0)
+				if bilinear {
+					gTot = append(gTot, 0)
+				}
+			}
+			fTot[s] += sh.fsum[k]
+			if bilinear {
+				gTot[s] += sh.gsum[k]
+			}
+		}
+	}
+	var acc float64
+	for s, f := range fTot {
+		if bilinear {
+			acc += f * gTot[s]
+		} else {
+			acc += f * f
+		}
+	}
+	return acc
+}
+
+// momentsSharded computes the §6.3 Y_S moments with partition-sharded
+// accumulators. With gs non-nil it computes the bilinear cross moments
+// Y_S(f,g) instead (see BilinearMoments).
+func momentsSharded(n int, lins []lineage.Vector, fs, gs []float64, opts Options) []float64 {
+	out := make([]float64, 1<<uint(n))
+	totF := totalOf(fs, opts)
+	if gs != nil {
+		out[0] = totF * totalOf(gs, opts)
+	} else {
+		out[0] = totF * totF
+	}
+	spans := ops.Partitions(len(fs), opts.partitionSize())
+	for m := 1; m < len(out); m++ {
+		set := lineage.Set(m)
+		shards := make([]groupShard, len(spans))
+		_ = ops.ForEachPart(opts.Workers, len(spans), func(p int) error {
+			shards[p] = shardFor(set, spans[p], lins, fs, gs)
+			return nil
+		})
+		out[m] = mergeShards(shards, gs != nil)
+	}
+	return out
+}
+
+// momentsFor dispatches between the serial Moments and the sharded
+// parallel version.
+func momentsFor(n int, lins []lineage.Vector, fs []float64, opts Options) []float64 {
+	if opts.Workers <= 0 {
+		return Moments(n, lins, fs)
+	}
+	return momentsSharded(n, lins, fs, nil, opts)
+}
+
+// bilinearFor dispatches between the serial BilinearMoments and the
+// sharded parallel version.
+func bilinearFor(n int, lins []lineage.Vector, fs, gs []float64, opts Options) ([]float64, error) {
+	if len(lins) != len(fs) || len(fs) != len(gs) {
+		return nil, fmt.Errorf("estimator: bilinear moments need equal-length inputs (%d,%d,%d)", len(lins), len(fs), len(gs))
+	}
+	if opts.Workers <= 0 {
+		return BilinearMoments(n, lins, fs, gs)
+	}
+	return momentsSharded(n, lins, fs, gs, opts), nil
+}

@@ -8,6 +8,8 @@ package ops
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/sampling-algebra/gus/internal/expr"
 	"github.com/sampling-algebra/gus/internal/lineage"
@@ -53,6 +55,106 @@ func FromRelation(r *relation.Relation, alias string) (*Rows, error) {
 
 // Len returns the number of rows.
 func (r *Rows) Len() int { return len(r.Data) }
+
+// DefaultPartitionSize is the morsel size parallel operators split row sets
+// into. It is a property of the data layout, NOT of the worker count: a
+// fixed partitioning is what lets the engine produce bit-identical results
+// at any parallelism.
+const DefaultPartitionSize = 4096
+
+// Span is a half-open row range [Lo, Hi) — one morsel of a partitioned
+// row set.
+type Span struct{ Lo, Hi int }
+
+// Partitions splits n rows into ⌈n/size⌉ consecutive spans of at most size
+// rows each (size ≤ 0 selects DefaultPartitionSize). n = 0 yields no spans.
+func Partitions(n, size int) []Span {
+	if size <= 0 {
+		size = DefaultPartitionSize
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Span, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Span{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// ForEachPart runs fn(p) for every partition index p in [0, parts),
+// fanning out over up to workers goroutines (workers ≤ 1 runs inline on
+// the calling goroutine). Partitions are claimed from a shared atomic
+// counter; fn must only write state owned by partition p. On error the
+// unclaimed partitions are cancelled, and the error of the
+// lowest-numbered failing partition that ran is returned — biasing
+// toward the error the serial path would surface.
+func ForEachPart(workers, parts int, fn func(p int) error) error {
+	if parts == 0 {
+		return nil
+	}
+	if workers > parts {
+		workers = parts
+	}
+	if workers <= 1 {
+		for p := 0; p < parts; p++ {
+			if err := fn(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		stop   atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		firstP = parts
+		firstE error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				p := int(next.Add(1)) - 1
+				if p >= parts {
+					return
+				}
+				if err := fn(p); err != nil {
+					stop.Store(true)
+					mu.Lock()
+					if p < firstP {
+						firstP, firstE = p, err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstE
+}
+
+// Concat assembles per-partition output buffers into one row slice,
+// preserving partition order — the deterministic merge step of every
+// partition-parallel operator.
+func Concat(parts [][]Row) []Row {
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]Row, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
 
 // Clone copies the container and row headers (values and lineage vectors
 // are shared; operators never mutate them).
@@ -142,13 +244,16 @@ func Cross(l, r *Rows) (*Rows, error) {
 	out := &Rows{Cols: cols, LSch: lsch, Data: make([]Row, 0, len(l.Data)*len(r.Data))}
 	for _, lr := range l.Data {
 		for _, rr := range r.Data {
-			out.Data = append(out.Data, combineRows(lr, rr))
+			out.Data = append(out.Data, Combine(lr, rr))
 		}
 	}
 	return out, nil
 }
 
-func combineRows(l, r Row) Row {
+// Combine concatenates two rows into one join-result row: values appended
+// left-to-right, lineage concatenated (§4.2). Exported for the parallel
+// engine's partitioned join and θ-join.
+func Combine(l, r Row) Row {
 	vals := make(relation.Tuple, 0, len(l.Vals)+len(r.Vals))
 	vals = append(vals, l.Vals...)
 	vals = append(vals, r.Vals...)
@@ -192,9 +297,9 @@ func HashJoin(l, r *Rows, leftCol, rightCol string) (*Rows, error) {
 		for _, bi := range table[prow.Vals[probeKey].Key()] {
 			brow := build.Data[bi]
 			if buildLeft {
-				out.Data = append(out.Data, combineRows(brow, prow))
+				out.Data = append(out.Data, Combine(brow, prow))
 			} else {
-				out.Data = append(out.Data, combineRows(prow, brow))
+				out.Data = append(out.Data, Combine(prow, brow))
 			}
 		}
 	}

@@ -7,10 +7,16 @@ import (
 	"github.com/sampling-algebra/gus/internal/stats"
 )
 
-// Execute runs the plan, performing real sampling with the given RNG, and
-// returns the result rows with their lineage. GUS quasi-operators are
-// pass-throughs at execution time (§4.2: "there is no need to provide …
-// an implementation of a general GUS operator").
+// Execute is the serial reference executor: it runs the plan on one
+// goroutine, performing real sampling with the given RNG, and returns the
+// result rows with their lineage. GUS quasi-operators are pass-throughs
+// at execution time (§4.2: "there is no need to provide … an
+// implementation of a general GUS operator").
+//
+// Production queries route through internal/engine, the parallel
+// partitioned executor; Execute remains the semantics oracle the engine
+// is tested against (for sampling-free plans the two produce identical
+// rows) and the executor for one-shot internal row counts.
 func Execute(n Node, rng *stats.RNG) (*ops.Rows, error) {
 	switch t := n.(type) {
 	case *Scan:
@@ -98,6 +104,18 @@ func deterministicCount(n Node) (int, error) {
 	})
 	if random != nil {
 		return 0, fmt.Errorf("plan: cardinality of a randomized input is data-dependent (%s below a fixed-size sample)", random.Label())
+	}
+	// The common shape — WOR applied directly to a base table, possibly
+	// under GUS quasi-operators — needs no execution at all.
+	for {
+		switch t := n.(type) {
+		case *Scan:
+			return t.Rel.Len(), nil
+		case *GUS:
+			n = t.Input
+			continue
+		}
+		break
 	}
 	rows, err := Execute(n, nil)
 	if err != nil {

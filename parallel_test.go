@@ -1,0 +1,273 @@
+package gus
+
+// Tests for the parallel partitioned engine as seen through the public
+// API: seeded results must be bit-identical at every worker count, and a
+// DB must serve many concurrent queries (run with -race to check the
+// engine's and catalog's synchronization).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// requireSameValue compares two result values bit-for-bit.
+func requireSameValue(t *testing.T, label string, a, b Value) {
+	t.Helper()
+	if a.Name != b.Name || a.Kind != b.Kind {
+		t.Fatalf("%s: identity %q/%q vs %q/%q", label, a.Name, a.Kind, b.Name, b.Kind)
+	}
+	checks := []struct {
+		what string
+		x, y float64
+	}{
+		{"Value", a.Value, b.Value},
+		{"Estimate", a.Estimate, b.Estimate},
+		{"StdErr", a.StdErr, b.StdErr},
+		{"CILow", a.CILow, b.CILow},
+		{"CIHigh", a.CIHigh, b.CIHigh},
+	}
+	for _, c := range checks {
+		if c.x != c.y {
+			t.Fatalf("%s: %s differs across worker counts: %.17g vs %.17g", label, c.what, c.x, c.y)
+		}
+	}
+}
+
+func requireSameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.SampleRows != b.SampleRows {
+		t.Fatalf("%s: sample rows %d vs %d", label, a.SampleRows, b.SampleRows)
+	}
+	if len(a.Values) != len(b.Values) || len(a.Groups) != len(b.Groups) {
+		t.Fatalf("%s: shape differs", label)
+	}
+	for i := range a.Values {
+		requireSameValue(t, fmt.Sprintf("%s value %d", label, i), a.Values[i], b.Values[i])
+	}
+	for i := range a.Groups {
+		if a.Groups[i].Key != b.Groups[i].Key {
+			t.Fatalf("%s: group key %q vs %q", label, a.Groups[i].Key, b.Groups[i].Key)
+		}
+		for j := range a.Groups[i].Values {
+			requireSameValue(t, fmt.Sprintf("%s group %s value %d", label, a.Groups[i].Key, j),
+				a.Groups[i].Values[j], b.Groups[i].Values[j])
+		}
+	}
+}
+
+// TestWorkerCountInvariance: the engine determinism contract end to end,
+// across the TPC-H query suite, several seeds, and 1 vs 2 vs 8 workers.
+func TestWorkerCountInvariance(t *testing.T) {
+	db := testDB(t, 3000)
+	queries := []string{
+		paperQuery1,
+		`SELECT QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.05) AS lo,
+		        QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.95) AS hi
+		 FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS)
+		 WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0`,
+		`SELECT COUNT(*) AS n, AVG(l_extendedprice) AS m
+		 FROM lineitem TABLESAMPLE (20 PERCENT)`,
+		`SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (30 PERCENT) REPEATABLE (9)`,
+		`SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE SYSTEM (25)`,
+	}
+	for qi, sql := range queries {
+		for seed := uint64(1); seed <= 3; seed++ {
+			ref, err := db.Query(sql, WithSeed(seed), WithWorkers(1))
+			if err != nil {
+				t.Fatalf("query %d seed %d: %v", qi, seed, err)
+			}
+			for _, w := range []int{2, 8} {
+				got, err := db.Query(sql, WithSeed(seed), WithWorkers(w))
+				if err != nil {
+					t.Fatalf("query %d seed %d workers %d: %v", qi, seed, w, err)
+				}
+				requireSameResult(t, fmt.Sprintf("query %d seed %d workers %d", qi, seed, w), ref, got)
+			}
+		}
+	}
+}
+
+// TestWorkerCountInvarianceGroupBy covers the GROUP BY path, whose
+// per-group estimates re-enter the sharded accumulators on row subsets.
+func TestWorkerCountInvarianceGroupBy(t *testing.T) {
+	db := Open()
+	tb, err := db.CreateTable("ev", Column{"cat", Int}, Column{"v", Float})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6000; i++ {
+		if err := tb.Insert(i%5, float64(i%97)+0.25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sql := `SELECT SUM(v) AS s, COUNT(*) AS n FROM ev TABLESAMPLE (25 PERCENT) GROUP BY cat`
+	ref, err := db.Query(sql, WithSeed(12), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Groups) != 5 {
+		t.Fatalf("groups = %d", len(ref.Groups))
+	}
+	for _, w := range []int{2, 8} {
+		got, err := db.Query(sql, WithSeed(12), WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, fmt.Sprintf("groupby workers=%d", w), ref, got)
+	}
+}
+
+// TestWorkerCountInvarianceAnalyses covers Exact, Robustness and variance
+// sub-sampling.
+func TestWorkerCountInvarianceAnalyses(t *testing.T) {
+	db := testDB(t, 2000)
+	joinSQL := `SELECT SUM(l_extendedprice) FROM lineitem, orders WHERE l_orderkey = o_orderkey`
+	ref, err := db.Exact(joinSQL, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Exact(joinSQL, WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "exact", ref, got)
+
+	refR, err := db.Robustness(joinSQL, 0.95, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotR, err := db.Robustness(joinSQL, 0.95, WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "robustness", refR, gotR)
+
+	subSQL := `SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (50 PERCENT)`
+	refS, err := db.Query(subSQL, WithSeed(2), WithWorkers(1), WithVarianceSubsampling(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotS, err := db.Query(subSQL, WithSeed(2), WithWorkers(8), WithVarianceSubsampling(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "subsample", refS, gotS)
+}
+
+// TestConcurrentQueries hammers one DB with concurrent mixed queries —
+// the service workload gusserve handles. Run with -race.
+func TestConcurrentQueries(t *testing.T) {
+	db := testDB(t, 1500)
+	queries := []string{
+		paperQuery1,
+		`SELECT COUNT(*) FROM lineitem TABLESAMPLE (15 PERCENT)`,
+		`SELECT AVG(l_quantity) FROM lineitem TABLESAMPLE (20 PERCENT)`,
+		`SELECT SUM(o_totalprice) FROM orders TABLESAMPLE (500 ROWS)`,
+	}
+	// Reference results per (query, seed) for cross-goroutine agreement.
+	type key struct {
+		q    int
+		seed uint64
+	}
+	refs := map[key]*Result{}
+	for qi := range queries {
+		for seed := uint64(0); seed < 4; seed++ {
+			r, err := db.Query(queries[qi], WithSeed(seed), WithWorkers(2))
+			if err != nil {
+				t.Fatalf("query %d: %v", qi, err)
+			}
+			refs[key{qi, seed}] = r
+		}
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 6; iter++ {
+				qi := (g + iter) % len(queries)
+				seed := uint64((g * 7) % 4)
+				res, err := db.Query(queries[qi], WithSeed(seed), WithWorkers(2))
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %w", g, err)
+					return
+				}
+				want := refs[key{qi, seed}]
+				if res.SampleRows != want.SampleRows ||
+					len(res.Values) != len(want.Values) ||
+					res.Values[0].Estimate != want.Values[0].Estimate {
+					errs <- fmt.Errorf("goroutine %d: result drifted under concurrency", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentQueriesWithWrites interleaves queries with catalog writes
+// on an unrelated table: the RWMutex must serialize them without races.
+func TestConcurrentQueriesWithWrites(t *testing.T) {
+	db := testDB(t, 800)
+	scratch, err := db.CreateTable("scratch", Column{"v", Float})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 9)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := db.Query(`SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (10 PERCENT)`,
+					WithSeed(uint64(g*10+i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if err := scratch.Insert(float64(i)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if scratch.Len() != 200 {
+		t.Errorf("scratch rows = %d", scratch.Len())
+	}
+}
+
+// TestSetWorkersDefault: SetWorkers changes the default without changing
+// results.
+func TestSetWorkersDefault(t *testing.T) {
+	db := testDB(t, 1000)
+	ref, err := db.Query(paperQuery1, WithSeed(3), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetWorkers(8)
+	got, err := db.Query(paperQuery1, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "SetWorkers(8) default", ref, got)
+	db.SetWorkers(0) // restore GOMAXPROCS default
+}
