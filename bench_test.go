@@ -293,35 +293,58 @@ WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0`
 	}
 }
 
-// BenchmarkQuery compares serial vs parallel partitioned execution of the
-// full Query-1 pipeline on the TPC-H generator — the engine's headline
-// speedup (see BENCH_parallel.json for a recorded baseline). Seeded
-// results are bit-identical across all sub-benchmarks; only wall-clock
-// may differ. On a single-core host the workers=N runs measure engine
-// overhead rather than speedup.
+// BenchmarkQuery measures the full pipeline (parse, plan, execute,
+// estimate) on the TPC-H generator, in two dimensions:
+//
+//   - join/…  — the paper's Query-1 shape (two sampled scans, hash join,
+//     selection), serial vs parallel, columnar vs the row-at-a-time
+//     baseline (…-rowpath);
+//   - scanheavy/… — a TPC-H Q1-style single-table aggregation (sampled
+//     scan, predicate, three aggregates): the vectorized hot path's
+//     headline case, recorded in BENCH_columnar.json.
+//
+// Seeded results are bit-identical across every sub-benchmark; only
+// wall-clock may differ. On a single-core host workers=N measures engine
+// overhead, not speedup; the columnar-vs-rowpath comparison is valid on
+// any core count.
 func BenchmarkQuery(b *testing.B) {
 	db := Open()
 	if err := db.AttachTPCHConfig(tpch.Config{Orders: 20000, Customers: 2000, Parts: 500, Seed: 3}); err != nil {
 		b.Fatal(err)
 	}
-	const sql = `
+	const joinSQL = `
 SELECT SUM(l_discount*(1.0-l_tax))
 FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS)
 WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0`
-	run := func(workers int) func(*testing.B) {
+	// TPC-H Q1 style: scan-dominated single-table aggregation.
+	const scanSQL = `
+SELECT SUM(l_extendedprice*(1.0-l_discount)) AS revenue,
+       SUM(l_quantity) AS qty,
+       COUNT(*) AS n
+FROM lineitem TABLESAMPLE (25 PERCENT)
+WHERE l_quantity < 24.0`
+	run := func(sql string, workers int, rowPath bool) func(*testing.B) {
 		return func(b *testing.B) {
+			opts := []Option{WithWorkers(workers)}
+			if rowPath {
+				opts = append(opts, withRowEngine())
+			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := db.Query(sql, WithSeed(uint64(i)), WithWorkers(workers)); err != nil {
+				if _, err := db.Query(sql, append(opts, WithSeed(uint64(i)))...); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}
 	}
-	b.Run("serial", run(1))
+	b.Run("serial", run(joinSQL, 1, false))
 	for _, w := range []int{2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", w), run(w))
+		b.Run(fmt.Sprintf("workers=%d", w), run(joinSQL, w, false))
 	}
+	b.Run("serial-rowpath", run(joinSQL, 1, true))
+	b.Run("scanheavy/columnar", run(scanSQL, 1, false))
+	b.Run("scanheavy/columnar-workers=4", run(scanSQL, 4, false))
+	b.Run("scanheavy/rowpath", run(scanSQL, 1, true))
 }
 
 // BenchmarkEngineExecute isolates plan execution (no estimation) serial

@@ -217,10 +217,25 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Values = append(resp.Values, rv)
 	}
+	// Exact answers for grouped queries match by group key: the sampled
+	// run can miss groups entirely and the two runs may order differently,
+	// so positional matching would attach wrong truths.
+	exactGroups := map[string][]gus.Value{}
+	if exact != nil {
+		for _, g := range exact.Groups {
+			exactGroups[g.Key] = g.Values
+		}
+	}
 	for _, g := range res.Groups {
 		gr := GroupResponse{Key: g.Key}
-		for _, v := range g.Values {
-			gr.Values = append(gr.Values, toValueResponse(v))
+		ev := exactGroups[g.Key]
+		for i, v := range g.Values {
+			rv := toValueResponse(v)
+			if i < len(ev) {
+				x := ev[i].Value
+				rv.Exact = &x
+			}
+			gr.Values = append(gr.Values, rv)
 		}
 		resp.Groups = append(resp.Groups, gr)
 	}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	gus "github.com/sampling-algebra/gus"
+)
+
+// testServer builds a server around a small in-memory database.
+func testServer(t *testing.T) *server {
+	t.Helper()
+	db := gus.Open()
+	tb, err := db.CreateTable("ev",
+		gus.Column{Name: "cat", Type: gus.Int},
+		gus.Column{Name: "v", Type: gus.Float},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		if err := tb.Insert(i%12, float64(i%97)+0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &server{db: db}
+}
+
+func postQuery(t *testing.T, s *server, body string) (*httptest.ResponseRecorder, *QueryResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewBufferString(body))
+	rec := httptest.NewRecorder()
+	s.handleQuery(rec, req)
+	if rec.Code != http.StatusOK {
+		return rec, nil
+	}
+	var resp QueryResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return rec, &resp
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, resp := postQuery(t, s,
+		`{"sql":"SELECT SUM(v) AS s, COUNT(*) AS n FROM ev TABLESAMPLE (25 PERCENT)","seed":7}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if len(resp.Values) != 2 || len(resp.Groups) != 0 {
+		t.Fatalf("shape: %d values, %d groups", len(resp.Values), len(resp.Groups))
+	}
+	if resp.Values[0].Name != "s" || resp.Values[1].Name != "n" {
+		t.Fatalf("names %q, %q", resp.Values[0].Name, resp.Values[1].Name)
+	}
+	if resp.Values[0].Estimate <= 0 || resp.SampleRows == 0 {
+		t.Fatal("empty estimate")
+	}
+	if resp.Values[0].Exact != nil {
+		t.Fatal("exact attached without being requested")
+	}
+
+	// Identical requests return identical estimates (determinism through
+	// the HTTP layer).
+	_, resp2 := postQuery(t, s,
+		`{"sql":"SELECT SUM(v) AS s, COUNT(*) AS n FROM ev TABLESAMPLE (25 PERCENT)","seed":7}`)
+	if resp2.Values[0].Estimate != resp.Values[0].Estimate {
+		t.Fatal("same request, different estimate")
+	}
+}
+
+// TestQueryExactValues: "exact": true must attach truths to flat values.
+func TestQueryExactValues(t *testing.T) {
+	s := testServer(t)
+	rec, resp := postQuery(t, s,
+		`{"sql":"SELECT SUM(v) AS s FROM ev TABLESAMPLE (50 PERCENT)","seed":3,"exact":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	v := resp.Values[0]
+	if v.Exact == nil {
+		t.Fatal("exact missing")
+	}
+	// Exact SUM(v) over the full table.
+	var want float64
+	for i := 0; i < 4000; i++ {
+		want += float64(i%97) + 0.5
+	}
+	if *v.Exact != want {
+		t.Fatalf("exact %v, want %v", *v.Exact, want)
+	}
+	if v.CILow > *v.Exact || *v.Exact > v.CIHigh {
+		t.Logf("note: truth outside this seed's CI (possible, rare): [%v, %v] vs %v", v.CILow, v.CIHigh, *v.Exact)
+	}
+}
+
+// TestQueryExactGroups is the regression for the dropped grouped exact
+// answers: every returned group must carry its own truth, matched by key.
+func TestQueryExactGroups(t *testing.T) {
+	s := testServer(t)
+	rec, resp := postQuery(t, s,
+		`{"sql":"SELECT SUM(v) AS s FROM ev TABLESAMPLE (40 PERCENT) GROUP BY cat","seed":5,"exact":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if len(resp.Groups) == 0 {
+		t.Fatal("no groups")
+	}
+	// Per-category truth: rows i with i%12 == c contribute i%97 + 0.5.
+	truth := map[string]float64{}
+	for i := 0; i < 4000; i++ {
+		truth[strconv.Itoa(i%12)] += float64(i%97) + 0.5
+	}
+	for _, g := range resp.Groups {
+		if len(g.Values) != 1 {
+			t.Fatalf("group %s: %d values", g.Key, len(g.Values))
+		}
+		v := g.Values[0]
+		if v.Exact == nil {
+			t.Fatalf("group %s: exact missing", g.Key)
+		}
+		if want := truth[g.Key]; *v.Exact != want {
+			t.Fatalf("group %s: exact %v, want %v (mismatched by key?)", g.Key, *v.Exact, want)
+		}
+	}
+	// Numeric GROUP BY keys arrive in numeric order.
+	for i := 1; i < len(resp.Groups); i++ {
+		if len(resp.Groups[i-1].Key) > len(resp.Groups[i].Key) ||
+			(len(resp.Groups[i-1].Key) == len(resp.Groups[i].Key) && resp.Groups[i-1].Key >= resp.Groups[i].Key) {
+			t.Fatalf("groups out of numeric order: %q before %q", resp.Groups[i-1].Key, resp.Groups[i].Key)
+		}
+	}
+}
+
+func TestQueryBadRequests(t *testing.T) {
+	s := testServer(t)
+	cases := map[string]string{
+		"malformed json":  `{"sql": "SELECT`,
+		"missing sql":     `{}`,
+		"blank sql":       `{"sql":"   "}`,
+		"bad sql":         `{"sql":"SELEKT broken"}`,
+		"unknown table":   `{"sql":"SELECT COUNT(*) FROM nope"}`,
+		"oversized body":  `{"sql":"` + strings.Repeat("x", 1<<20+100) + `"}`,
+		"wrong body type": `[1,2,3]`,
+	}
+	for name, body := range cases {
+		rec, _ := postQuery(t, s, body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, rec.Code)
+		}
+		var e map[string]string
+		if err := json.NewDecoder(rec.Body).Decode(&e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body missing (%v)", name, err)
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/query", nil)
+	rec := httptest.NewRecorder()
+	s.handleQuery(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query: status %d, want 405", rec.Code)
+	}
+}
+
+func TestTablesEndpoint(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/tables", nil)
+	rec := httptest.NewRecorder()
+	s.handleTables(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var tables []struct {
+		Name string `json:"name"`
+		Rows int    `json:"rows"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&tables); err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].Name != "ev" || tables[0].Rows != 4000 {
+		t.Fatalf("tables: %+v", tables)
+	}
+
+	post := httptest.NewRequest(http.MethodPost, "/tables", nil)
+	rec = httptest.NewRecorder()
+	s.handleTables(rec, post)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /tables: status %d, want 405", rec.Code)
+	}
+}

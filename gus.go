@@ -30,6 +30,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/sampling-algebra/gus/internal/batch"
 	"github.com/sampling-algebra/gus/internal/core"
 	"github.com/sampling-algebra/gus/internal/engine"
 	"github.com/sampling-algebra/gus/internal/estimator"
@@ -209,6 +210,15 @@ func toTuple(schema *relation.Schema, values []any) (relation.Tuple, error) {
 // LoadCSV registers a table from a CSV file previously written by SaveCSV
 // (or following its "#id,name:type,…" header convention).
 func (db *DB) LoadCSV(name, path string) error {
+	// Reject duplicate names before parsing the file, matching
+	// CreateTable's error ordering; re-checked under the write lock in
+	// case a concurrent load won the race.
+	db.mu.RLock()
+	_, dup := db.tables[name]
+	db.mu.RUnlock()
+	if dup {
+		return fmt.Errorf("gus: table %q already exists", name)
+	}
 	rel, err := relation.LoadCSVFile(name, path)
 	if err != nil {
 		return err
@@ -296,6 +306,7 @@ type queryOptions struct {
 	maxVarianceRows int
 	systemBlockSize int
 	workers         int
+	rowEngine       bool
 }
 
 // Option customizes Query.
@@ -326,6 +337,12 @@ func WithSystemBlockSize(n int) Option { return func(o *queryOptions) { o.system
 // per-partition sub-seeding makes seeded results bit-identical at any
 // width, so Workers only trades latency for cores.
 func WithWorkers(n int) Option { return func(o *queryOptions) { o.workers = n } }
+
+// withRowEngine routes the query through the legacy row-at-a-time engine
+// and the row-major estimator — the in-tree baseline that the vectorized
+// columnar path is regression-tested and benchmarked against. Results are
+// bit-identical to the default path.
+func withRowEngine() Option { return func(o *queryOptions) { o.rowEngine = true } }
 
 func (db *DB) buildOptions(opts []Option) queryOptions {
 	o := queryOptions{seed: 1, level: 0.95, systemBlockSize: 32}
@@ -382,7 +399,9 @@ type Result struct {
 	// Values holds one entry per SELECT item, in order. Empty for GROUP
 	// BY queries (see Groups).
 	Values []Value
-	// Groups holds per-group results for GROUP BY queries, sorted by key.
+	// Groups holds per-group results for GROUP BY queries, sorted by the
+	// grouping column's value: numerically for Int/Float columns,
+	// lexicographically for strings.
 	Groups []Group
 	// SampleRows is the number of tuples the sampled plan produced.
 	SampleRows int
@@ -480,17 +499,29 @@ func (db *DB) Robustness(sql string, survival float64, opts ...Option) (*Result,
 	return db.run(planned, o)
 }
 
-// run executes a planned query on the parallel partitioned engine and
-// estimates every SELECT item. Must be called with db.mu read-held.
+// run executes a planned query — on the vectorized columnar engine by
+// default, or on the legacy row-at-a-time path under withRowEngine — and
+// estimates every SELECT item. The two paths produce bit-identical
+// results. Must be called with db.mu read-held.
 func (db *DB) run(planned *sqlparse.Planned, o queryOptions) (*Result, error) {
 	analysis, err := plan.Analyze(planned.Root)
 	if err != nil {
 		return nil, err
 	}
 	eng := engine.New(engine.Config{Workers: o.workers})
-	rows, err := eng.Execute(planned.Root, o.seed)
-	if err != nil {
-		return nil, err
+	var sample aggSample
+	if o.rowEngine {
+		rows, err := eng.ExecuteRows(planned.Root, o.seed)
+		if err != nil {
+			return nil, err
+		}
+		sample = aggSample{rows: rows}
+	} else {
+		b, err := eng.ExecuteBatch(planned.Root, o.seed)
+		if err != nil {
+			return nil, err
+		}
+		sample = aggSample{b: b}
 	}
 	cards := map[string]int{}
 	plan.Walk(planned.Root, func(n plan.Node) {
@@ -503,20 +534,20 @@ func (db *DB) run(planned *sqlparse.Planned, o queryOptions) (*Result, error) {
 		}
 	})
 	res := &Result{
-		SampleRows: rows.Len(),
+		SampleRows: sample.len(),
 		PlanText:   plan.Format(planned.Root),
 		TraceText:  analysis.FormatTrace(),
 		GUSText:    analysis.G.String(),
 	}
 	if planned.GroupBy != "" {
-		groups, err := partitionByColumn(rows, planned.GroupBy)
+		groups, err := sample.partitionBy(planned.GroupBy)
 		if err != nil {
 			return nil, err
 		}
 		for _, grp := range groups {
 			g := Group{Key: grp.key}
 			for i, agg := range planned.Aggregates {
-				v, err := db.evalAggregate(analysis.G, grp.rows, agg, i, o)
+				v, err := db.evalAggregate(analysis.G, grp.sample, agg, i, o)
 				if err != nil {
 					return nil, fmt.Errorf("gus: group %q: %w", grp.key, err)
 				}
@@ -528,7 +559,7 @@ func (db *DB) run(planned *sqlparse.Planned, o queryOptions) (*Result, error) {
 		return res, nil
 	}
 	for i, agg := range planned.Aggregates {
-		v, err := db.evalAggregate(analysis.G, rows, agg, i, o)
+		v, err := db.evalAggregate(analysis.G, sample, agg, i, o)
 		if err != nil {
 			return nil, err
 		}
@@ -538,41 +569,121 @@ func (db *DB) run(planned *sqlparse.Planned, o queryOptions) (*Result, error) {
 	return res, nil
 }
 
-type rowGroup struct {
-	key  string
+// aggSample is one executed sample in whichever representation the chosen
+// engine path produced: a columnar batch (default) or row-major rows
+// (legacy baseline). The estimator entry points keep the two bit-identical.
+type aggSample struct {
+	b    *batch.Batch
 	rows *ops.Rows
 }
 
-// partitionByColumn splits sample rows into GROUP BY buckets. Restricting
-// the sample to one group is exactly evaluating the SUM-like aggregate
-// f·1{group=k} over the whole sample, so each bucket inherits the plan's
-// top GUS unchanged.
-func partitionByColumn(rows *ops.Rows, col string) ([]rowGroup, error) {
+func (s aggSample) len() int {
+	if s.b != nil {
+		return s.b.Len()
+	}
+	return s.rows.Len()
+}
+
+func (s aggSample) estimate(g *core.Params, f expr.Expr, eopts estimator.Options) (*estimator.Result, error) {
+	if s.b != nil {
+		return estimator.EstimateBatch(g, s.b, f, eopts)
+	}
+	return estimator.Estimate(g, s.rows, f, eopts)
+}
+
+func (s aggSample) ratio(g *core.Params, num, den expr.Expr, eopts estimator.Options) (*estimator.RatioResult, error) {
+	if s.b != nil {
+		return estimator.RatioBatch(g, s.b, num, den, eopts)
+	}
+	return estimator.Ratio(g, s.rows, num, den, eopts)
+}
+
+type sampleGroup struct {
+	key    string
+	sample aggSample
+}
+
+// partitionBy splits the sample into GROUP BY buckets, ordered by the
+// grouping column's value (numerically for Int/Float columns — so keys
+// come back 1, 2, 10 rather than "1", "10", "2" — lexicographically for
+// strings). Restricting the sample to one group is exactly evaluating the
+// SUM-like aggregate f·1{group=k} over the whole sample, so each bucket
+// inherits the plan's top GUS unchanged.
+func (s aggSample) partitionBy(col string) ([]sampleGroup, error) {
+	if s.b != nil {
+		return partitionBatchByColumn(s.b, col)
+	}
+	return partitionRowsByColumn(s.rows, col)
+}
+
+// groupOrder sorts first-seen group keys by their column value: numeric
+// kinds numerically, strings lexicographically (Value.Compare semantics).
+func groupOrder(keys []string, vals map[string]relation.Value) {
+	sort.Slice(keys, func(a, b int) bool {
+		c, err := vals[keys[a]].Compare(vals[keys[b]])
+		if err != nil {
+			// Mixed-kind keys cannot arise from a typed column; fall back
+			// to the textual order for safety.
+			return keys[a] < keys[b]
+		}
+		return c < 0
+	})
+}
+
+func partitionBatchByColumn(b *batch.Batch, col string) ([]sampleGroup, error) {
+	idx, ok := b.Schema.Index(col)
+	if !ok {
+		return nil, fmt.Errorf("gus: unknown GROUP BY column %q", col)
+	}
+	sels := map[string][]int32{}
+	vals := map[string]relation.Value{}
+	var keys []string
+	for i := 0; i < b.Len(); i++ {
+		v := b.ValueAt(i, idx)
+		k := v.AsString()
+		if _, seen := sels[k]; !seen {
+			keys = append(keys, k)
+			vals[k] = v
+		}
+		sels[k] = append(sels[k], int32(i))
+	}
+	groupOrder(keys, vals)
+	out := make([]sampleGroup, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, sampleGroup{key: k, sample: aggSample{b: b.Gather(sels[k])}})
+	}
+	return out, nil
+}
+
+func partitionRowsByColumn(rows *ops.Rows, col string) ([]sampleGroup, error) {
 	idx, ok := rows.Cols.Index(col)
 	if !ok {
 		return nil, fmt.Errorf("gus: unknown GROUP BY column %q", col)
 	}
 	buckets := map[string]*ops.Rows{}
+	vals := map[string]relation.Value{}
 	var keys []string
 	for _, row := range rows.Data {
-		k := row.Vals[idx].AsString()
+		v := row.Vals[idx]
+		k := v.AsString()
 		b, ok := buckets[k]
 		if !ok {
 			b = &ops.Rows{Cols: rows.Cols, LSch: rows.LSch}
 			buckets[k] = b
 			keys = append(keys, k)
+			vals[k] = v
 		}
 		b.Data = append(b.Data, row)
 	}
-	sort.Strings(keys)
-	out := make([]rowGroup, 0, len(keys))
+	groupOrder(keys, vals)
+	out := make([]sampleGroup, 0, len(keys))
 	for _, k := range keys {
-		out = append(out, rowGroup{key: k, rows: buckets[k]})
+		out = append(out, sampleGroup{key: k, sample: aggSample{rows: buckets[k]}})
 	}
 	return out, nil
 }
 
-func (db *DB) evalAggregate(g *core.Params, rows *ops.Rows, agg sqlparse.Aggregate, idx int, o queryOptions) (*Value, error) {
+func (db *DB) evalAggregate(g *core.Params, s aggSample, agg sqlparse.Aggregate, idx int, o queryOptions) (*Value, error) {
 	name := agg.Alias
 	if name == "" {
 		name = fmt.Sprintf("col%d", idx+1)
@@ -588,9 +699,18 @@ func (db *DB) evalAggregate(g *core.Params, rows *ops.Rows, agg sqlparse.Aggrega
 	}
 	v := &Value{Name: name, Kind: agg.Kind.String(), schema: g.Schema()}
 
+	// QUANTILE answers follow the query's interval choice: normal
+	// approximation by default, the distribution-free Cantelli bound under
+	// WithInterval(ChebyshevInterval) — never a normal quantile glued to a
+	// Chebyshev interval.
+	ciMethod := estimator.Normal
+	if o.interval == ChebyshevInterval {
+		ciMethod = estimator.Chebyshev
+	}
+
 	switch agg.Kind {
 	case sqlparse.AggSum, sqlparse.AggCount:
-		er, err := estimator.Estimate(g, rows, f, eopts)
+		er, err := s.estimate(g, f, eopts)
 		if err != nil {
 			return nil, err
 		}
@@ -599,30 +719,30 @@ func (db *DB) evalAggregate(g *core.Params, rows *ops.Rows, agg sqlparse.Aggrega
 		v.yhat = er.YHat
 		if agg.HasQuantile {
 			v.Kind = fmt.Sprintf("QUANTILE(%s,%g)", agg.Kind, agg.Quantile)
-			v.Value = er.Quantile(agg.Quantile)
+			v.Value = er.QuantileWith(agg.Quantile, ciMethod)
 		} else {
 			v.Value = er.Estimate
 		}
-		switch o.interval {
-		case ChebyshevInterval:
-			v.CILow, v.CIHigh = er.CI(o.level, estimator.Chebyshev)
-		default:
-			v.CILow, v.CIHigh = er.CI(o.level, estimator.Normal)
-		}
+		v.CILow, v.CIHigh = er.CI(o.level, ciMethod)
 	case sqlparse.AggAvg:
-		est, sd, err := avgDelta(g, rows, agg.Arg, eopts)
+		est, sd, err := avgDelta(g, s, agg.Arg, eopts)
 		if err != nil {
 			return nil, err
 		}
 		v.Estimate, v.StdErr, v.Approximate = est, sd, true
 		if agg.HasQuantile {
 			v.Kind = fmt.Sprintf("QUANTILE(AVG,%g)", agg.Quantile)
-			v.Value = est + stats.NormalQuantile(agg.Quantile)*sd
+			switch ciMethod {
+			case estimator.Chebyshev:
+				v.Value = est + stats.CantelliQuantile(agg.Quantile)*sd
+			default:
+				v.Value = est + stats.NormalQuantile(agg.Quantile)*sd
+			}
 		} else {
 			v.Value = est
 		}
-		switch o.interval {
-		case ChebyshevInterval:
+		switch ciMethod {
+		case estimator.Chebyshev:
 			h := stats.ChebyshevHalfWidth(o.level, sd)
 			v.CILow, v.CIHigh = est-h, est+h
 		default:
@@ -639,11 +759,11 @@ func (db *DB) evalAggregate(g *core.Params, rows *ops.Rows, agg sqlparse.Aggrega
 // (§9: "good quality approximations can be provided, using for example the
 // delta method"), delegating to the estimator's Ratio machinery, which
 // estimates Cov(SUM, COUNT) from unbiased bilinear lineage moments.
-func avgDelta(g *core.Params, rows *ops.Rows, f expr.Expr, eopts estimator.Options) (est, sd float64, err error) {
+func avgDelta(g *core.Params, s aggSample, f expr.Expr, eopts estimator.Options) (est, sd float64, err error) {
 	if f == nil {
 		return 0, 0, fmt.Errorf("gus: AVG(*) is not valid SQL")
 	}
-	r, err := estimator.Ratio(g, rows, f, expr.Int(1), eopts)
+	r, err := s.ratio(g, f, expr.Int(1), eopts)
 	if err != nil {
 		return 0, 0, fmt.Errorf("gus: AVG: %w", err)
 	}

@@ -1,0 +1,836 @@
+// Columnar execution: the engine's vectorized hot path. Plans execute over
+// typed batch.Batch columns instead of boxed rows, with the same morsel
+// partitioning and the same per-(seed, node, partition) sampling decisions
+// as the row-at-a-time path — so for any (plan, seed, worker count) the
+// two produce bit-identical rows, and all the determinism guarantees of
+// the row engine carry over unchanged.
+//
+// The common TABLESAMPLE shape — scan → {Bernoulli, SYSTEM, lineage-hash}
+// sample → selections → optional projection — runs as ONE fused
+// partition-at-a-time kernel (pipe): each partition computes a selection
+// vector through sampling and every predicate, and only surviving rows are
+// ever gathered or projected, directly into their final output position.
+// WOR sampling, joins and the lineage set operators are separate columnar
+// operators; sampling methods the engine does not know fall back to the
+// row representation for just that node.
+package engine
+
+import (
+	"fmt"
+
+	"github.com/sampling-algebra/gus/internal/batch"
+	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/lineage"
+	"github.com/sampling-algebra/gus/internal/ops"
+	"github.com/sampling-algebra/gus/internal/plan"
+	"github.com/sampling-algebra/gus/internal/relation"
+	"github.com/sampling-algebra/gus/internal/sampling"
+	"github.com/sampling-algebra/gus/internal/stats"
+)
+
+// ExecuteBatch runs the plan on the columnar path and returns the result
+// as a typed batch. Determinism contract: identical to Execute (which is
+// this batch converted to rows) for any (plan, seed) at any worker count.
+func (e *Engine) ExecuteBatch(root plan.Node, seed uint64) (*batch.Batch, error) {
+	ids := numberNodes(root)
+	return e.execB(root, seed, ids)
+}
+
+// bothB is execBoth on the columnar path.
+func (e *Engine) bothB(l, r plan.Node, seed uint64, ids map[plan.Node]uint64) (*batch.Batch, *batch.Batch, error) {
+	return execBoth(e.workers, l, r, func(n plan.Node) (*batch.Batch, error) {
+		return e.execB(n, seed, ids)
+	})
+}
+
+// execB dispatches one plan node on the columnar path.
+func (e *Engine) execB(n plan.Node, seed uint64, ids map[plan.Node]uint64) (*batch.Batch, error) {
+	if c := fusedChainOf(n); c != nil {
+		return e.execFused(c, seed, ids)
+	}
+	switch t := n.(type) {
+	case *plan.Scan:
+		return batch.FromRelation(t.Rel, t.Alias)
+	case *plan.GUS:
+		return e.execB(t.Input, seed, ids)
+	case *plan.Sample:
+		in, err := e.execB(t.Input, seed, ids)
+		if err != nil {
+			return nil, err
+		}
+		out, err := e.execSampleB(t, in, mix(seed, ids[n], 0))
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", t.Label(), err)
+		}
+		return out, nil
+	case *plan.Select:
+		in, err := e.execB(t.Input, seed, ids)
+		if err != nil {
+			return nil, err
+		}
+		return e.execSelectB(in, t.Pred)
+	case *plan.Project:
+		in, err := e.execB(t.Input, seed, ids)
+		if err != nil {
+			return nil, err
+		}
+		return e.execProjectB(in, t.Names, t.Exprs)
+	case *plan.Join:
+		l, r, err := e.bothB(t.Left, t.Right, seed, ids)
+		if err != nil {
+			return nil, err
+		}
+		return e.execJoinB(l, r, t.LeftCol, t.RightCol)
+	case *plan.Theta:
+		l, r, err := e.bothB(t.Left, t.Right, seed, ids)
+		if err != nil {
+			return nil, err
+		}
+		return e.execThetaB(l, r, t.Pred)
+	case *plan.Union:
+		l, r, err := e.bothB(t.Left, t.Right, seed, ids)
+		if err != nil {
+			return nil, err
+		}
+		return execUnionB(l, r)
+	case *plan.Intersect:
+		l, r, err := e.bothB(t.Left, t.Right, seed, ids)
+		if err != nil {
+			return nil, err
+		}
+		return execIntersectB(l, r)
+	default:
+		return nil, fmt.Errorf("engine: unknown node %T", n)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fused scan→sample→select→project chains.
+
+// fusedChain is a plan fragment the fused kernel executes in one pass:
+// project? ← select* ← sample? ← scan, with GUS quasi-operators (pure
+// pass-throughs) allowed anywhere in between.
+type fusedChain struct {
+	scan    *plan.Scan
+	sample  *plan.Sample // nil, or Bernoulli/Block/LineageHash directly above the scan
+	preds   []expr.Expr  // in application (bottom-up) order
+	project *plan.Project
+}
+
+// fusedChainOf recognizes the fusable shape rooted at n, or returns nil.
+// Only a sample sitting directly above the scan fuses: its partition spans
+// are then the relation's spans, exactly as on the row path.
+func fusedChainOf(n plan.Node) *fusedChain {
+	c := &fusedChain{}
+	n = stripGUS(n)
+	if p, ok := n.(*plan.Project); ok {
+		c.project = p
+		n = stripGUS(p.Input)
+	}
+	for {
+		s, ok := n.(*plan.Select)
+		if !ok {
+			break
+		}
+		c.preds = append(c.preds, s.Pred)
+		n = stripGUS(s.Input)
+	}
+	// Collected top-down; apply bottom-up.
+	for i, j := 0, len(c.preds)-1; i < j; i, j = i+1, j-1 {
+		c.preds[i], c.preds[j] = c.preds[j], c.preds[i]
+	}
+	if s, ok := n.(*plan.Sample); ok {
+		switch s.Method.(type) {
+		case *sampling.Bernoulli, *sampling.Block, *sampling.LineageHash:
+			if _, isScan := stripGUS(s.Input).(*plan.Scan); isScan {
+				c.sample = s
+				n = stripGUS(s.Input)
+			}
+		}
+	}
+	scan, ok := n.(*plan.Scan)
+	if !ok {
+		return nil
+	}
+	c.scan = scan
+	// A bare scan (or GUS-wrapped scan) is cheaper on the direct path.
+	if c.sample == nil && len(c.preds) == 0 && c.project == nil {
+		return nil
+	}
+	return c
+}
+
+func stripGUS(n plan.Node) plan.Node {
+	for {
+		g, ok := n.(*plan.GUS)
+		if !ok {
+			return n
+		}
+		n = g.Input
+	}
+}
+
+func (e *Engine) execFused(c *fusedChain, seed uint64, ids map[plan.Node]uint64) (*batch.Batch, error) {
+	in, err := batch.FromRelation(c.scan.Rel, c.scan.Alias)
+	if err != nil {
+		return nil, err
+	}
+	var smp *sampleStage
+	if c.sample != nil {
+		smp, err = newSampleStage(c.sample.Method, in, mix(seed, ids[c.sample], 0))
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", c.sample.Label(), err)
+		}
+	}
+	var proj *projSpec
+	if c.project != nil {
+		proj, err = newProjSpec(in.Schema, c.project.Names, c.project.Exprs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	preds, err := compilePreds(c.preds, in.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return e.pipe(in, smp, preds, proj)
+}
+
+func compilePreds(preds []expr.Expr, schema *relation.Schema) ([]*expr.VecCompiled, error) {
+	out := make([]*expr.VecCompiled, len(preds))
+	for i, p := range preds {
+		c, err := expr.CompileVec(p, schema)
+		if err != nil {
+			return nil, fmt.Errorf("engine: select: %w", err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// sampleStage is the fusable part of a sampling operator: a per-row keep
+// decision that is a pure function of (sub-seed, partition, row index) or
+// of the row's lineage — never of other rows.
+type sampleStage struct {
+	method sampling.Method
+	sub    uint64
+
+	bern *sampling.Bernoulli
+
+	block     *sampling.Block
+	blockSlot int // lineage slot rewritten to 1-based block IDs
+
+	lh      *sampling.LineageHash
+	lhSlots []int
+	lhRels  []string
+}
+
+func newSampleStage(m sampling.Method, in *batch.Batch, sub uint64) (*sampleStage, error) {
+	s := &sampleStage{method: m, sub: sub}
+	switch t := m.(type) {
+	case *sampling.Bernoulli:
+		if err := requireRelationB(in, t.Rel); err != nil {
+			return nil, err
+		}
+		s.bern = t
+	case *sampling.Block:
+		slot, ok := in.LSch.Index(t.Rel)
+		if !ok {
+			return nil, fmt.Errorf("input lineage %v does not include %q", in.LSch.Names(), t.Rel)
+		}
+		if in.LSch.Len() != 1 {
+			return nil, fmt.Errorf("SYSTEM sampling must be applied directly to a base relation")
+		}
+		s.block, s.blockSlot = t, slot
+	case *sampling.LineageHash:
+		rels := t.Relations()
+		slots := make([]int, len(rels))
+		for i, r := range rels {
+			sl, ok := in.LSch.Index(r)
+			if !ok {
+				return nil, fmt.Errorf("input lineage %v does not include %q", in.LSch.Names(), r)
+			}
+			slots[i] = sl
+		}
+		s.lh, s.lhSlots, s.lhRels = t, slots, rels
+	default:
+		return nil, fmt.Errorf("engine: sample stage for unknown method %T", m)
+	}
+	return s, nil
+}
+
+// selectSpan appends the kept row indices of span to sel. Decisions match
+// the row-path samplers bit for bit: same sub-seeds, same per-partition
+// RNG consumption, same hash functions.
+func (s *sampleStage) selectSpan(in *batch.Batch, p int, span ops.Span, sel []int32) []int32 {
+	switch {
+	case s.bern != nil:
+		rng := stats.NewRNG(mix(s.sub, 0, uint64(p)))
+		for i := span.Lo; i < span.Hi; i++ {
+			if rng.Bernoulli(s.bern.P) {
+				sel = append(sel, int32(i))
+			}
+		}
+	case s.block != nil:
+		for i := span.Lo; i < span.Hi; i++ {
+			if stats.HashID(s.sub, uint64(i/s.block.BlockSize)) < s.block.P {
+				sel = append(sel, int32(i))
+			}
+		}
+	default: // lineage hash
+		ids := make([][]lineage.TupleID, len(s.lhSlots))
+		for j, slot := range s.lhSlots {
+			ids[j] = in.Lin[slot]
+		}
+	rows:
+		for i := span.Lo; i < span.Hi; i++ {
+			for j, r := range s.lhRels {
+				if !s.lh.Keeps(r, ids[j][i]) {
+					continue rows
+				}
+			}
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel
+}
+
+// projSpec is a compiled projection: output names, kernels, and the
+// statically inferred output kinds.
+type projSpec struct {
+	names    []string
+	compiled []*expr.VecCompiled
+}
+
+func newProjSpec(schema *relation.Schema, names []string, exprs []expr.Expr) (*projSpec, error) {
+	if len(names) != len(exprs) {
+		return nil, fmt.Errorf("engine: project: %d names for %d expressions", len(names), len(exprs))
+	}
+	ps := &projSpec{names: names, compiled: make([]*expr.VecCompiled, len(exprs))}
+	for i, ex := range exprs {
+		c, err := expr.CompileVec(ex, schema)
+		if err != nil {
+			return nil, fmt.Errorf("engine: project %s: %w", ex, err)
+		}
+		ps.compiled[i] = c
+	}
+	return ps, nil
+}
+
+// schemaFor builds the output schema. With at least one output row the
+// kinds are the kernels' static kinds (identical to what the row path
+// infers from the first row); an empty output defaults every column to
+// float, again matching the row path.
+func (ps *projSpec) schemaFor(total int) (*relation.Schema, error) {
+	cols := make([]relation.Column, len(ps.compiled))
+	for i, c := range ps.compiled {
+		kind := relation.KindFloat
+		if total > 0 {
+			kind = c.Kind()
+		}
+		cols[i] = relation.Column{Name: ps.names[i], Kind: kind}
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("engine: project: %w", err)
+	}
+	return schema, nil
+}
+
+// pipe is the fused partition-at-a-time kernel. Phase 1 computes each
+// partition's final selection vector (sampling, then every predicate);
+// phase 2 prefix-sums partition offsets; phase 3 gathers or projects the
+// surviving rows directly into their final output positions. Partition
+// boundaries depend only on the input length and partition size, and
+// phase-3 workers write disjoint ranges, so results are bit-identical at
+// any worker count.
+//
+// Partitions that need no per-row selection — no sampling stage, and
+// either no predicates or none evaluated yet — work on zero-copy column
+// slices (expr.Vec.Slice + EvalAll) instead of building identity
+// selection vectors and gathering.
+func (e *Engine) pipe(in *batch.Batch, smp *sampleStage, preds []*expr.VecCompiled, proj *projSpec) (*batch.Batch, error) {
+	n := in.Len()
+	spans := ops.Partitions(n, e.partSize)
+	sels := make([][]int32, len(spans))
+	full := make([]bool, len(spans)) // whole span survives; sels[p] unused
+	counts := make([]int, len(spans))
+	spanCols := func(span ops.Span) []expr.Vec {
+		cols := make([]expr.Vec, len(in.Cols))
+		for j, c := range in.Cols {
+			cols[j] = c.Slice(span.Lo, span.Hi)
+		}
+		return cols
+	}
+	err := e.forEach(len(spans), n, func(p int) error {
+		span := spans[p]
+		var sel []int32
+		rest := preds
+		switch {
+		case smp != nil:
+			sel = smp.selectSpan(in, p, span, nil)
+		case len(preds) > 0:
+			// First predicate over zero-copy span slices.
+			v, err := preds[0].EvalAll(spanCols(span), span.Hi-span.Lo)
+			if err != nil {
+				return fmt.Errorf("engine: select: %w", err)
+			}
+			for k := 0; k < span.Hi-span.Lo; k++ {
+				if v.TruthyAt(k) {
+					sel = append(sel, int32(span.Lo+k))
+				}
+			}
+			rest = preds[1:]
+		default:
+			full[p], counts[p] = true, span.Hi-span.Lo
+			return nil
+		}
+		for _, pred := range rest {
+			if len(sel) == 0 {
+				break
+			}
+			v, err := pred.Eval(in.Cols, sel)
+			if err != nil {
+				return fmt.Errorf("engine: select: %w", err)
+			}
+			kept := sel[:0]
+			for k, i := range sel {
+				if v.TruthyAt(k) {
+					kept = append(kept, i)
+				}
+			}
+			sel = kept
+		}
+		sels[p], counts[p] = sel, len(sel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	offs := make([]int, len(spans)+1)
+	for p, c := range counts {
+		offs[p+1] = offs[p] + c
+	}
+	total := offs[len(spans)]
+
+	outSchema := in.Schema
+	if proj != nil {
+		if outSchema, err = proj.schemaFor(total); err != nil {
+			return nil, err
+		}
+	}
+	out := batch.Alloc(outSchema, in.LSch, total)
+	err = e.forEach(len(spans), n, func(p int) error {
+		if counts[p] == 0 {
+			return nil
+		}
+		span, sel, off := spans[p], sels[p], offs[p]
+		switch {
+		case proj == nil && full[p]:
+			for j := range in.Cols {
+				copyVec(in.Cols[j].Slice(span.Lo, span.Hi), out.Cols[j], off)
+			}
+		case proj == nil:
+			for j := range in.Cols {
+				batch.GatherVec(in.Cols[j], sel, out.Cols[j], off)
+			}
+		case full[p]:
+			cols := spanCols(span)
+			for j, c := range proj.compiled {
+				v, err := c.EvalAll(cols, counts[p])
+				if err != nil {
+					return fmt.Errorf("engine: project: %w", err)
+				}
+				copyVec(v, out.Cols[j], off)
+			}
+		default:
+			for j, c := range proj.compiled {
+				v, err := c.Eval(in.Cols, sel)
+				if err != nil {
+					return fmt.Errorf("engine: project: %w", err)
+				}
+				copyVec(v, out.Cols[j], off)
+			}
+		}
+		for s := range in.Lin {
+			if full[p] {
+				copy(out.Lin[s][off:off+counts[p]], in.Lin[s][span.Lo:span.Hi])
+				continue
+			}
+			if smp != nil && smp.block != nil && s == smp.blockSlot {
+				dst := out.Lin[s][off:]
+				for k, i := range sel {
+					dst[k] = lineage.TupleID(int(i)/smp.block.BlockSize + 1)
+				}
+				continue
+			}
+			batch.GatherIDs(in.Lin[s], sel, out.Lin[s], off)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// copyVec copies a dense kernel result into an output column at offset.
+// Kinds match by construction except the row path's int→float widening
+// of project results, mirrored here (only reachable on the empty-input
+// float-default schema, but kept for safety).
+func copyVec(src, dst expr.Vec, off int) {
+	if src.Kind == relation.KindInt && dst.Kind == relation.KindFloat {
+		out := dst.F[off:]
+		for k, v := range src.I {
+			out[k] = float64(v)
+		}
+		return
+	}
+	switch src.Kind {
+	case relation.KindInt:
+		copy(dst.I[off:], src.I)
+	case relation.KindFloat:
+		copy(dst.F[off:], src.F)
+	default:
+		copy(dst.S[off:], src.S)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Standalone columnar operators.
+
+func (e *Engine) execSelectB(in *batch.Batch, pred expr.Expr) (*batch.Batch, error) {
+	c, err := expr.CompileVec(pred, in.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("engine: select: %w", err)
+	}
+	return e.pipe(in, nil, []*expr.VecCompiled{c}, nil)
+}
+
+func (e *Engine) execProjectB(in *batch.Batch, names []string, exprs []expr.Expr) (*batch.Batch, error) {
+	ps, err := newProjSpec(in.Schema, names, exprs)
+	if err != nil {
+		return nil, err
+	}
+	return e.pipe(in, nil, nil, ps)
+}
+
+// execSampleB runs one sampling operator columnar. Bernoulli, SYSTEM and
+// lineage-hash reuse the fused kernel with only a sampling stage; WOR has
+// its own global top-K implementation; unknown methods fall back to the
+// row representation for this one node (serial, node-seeded — exactly the
+// row path's fallback).
+func (e *Engine) execSampleB(t *plan.Sample, in *batch.Batch, sub uint64) (*batch.Batch, error) {
+	switch m := t.Method.(type) {
+	case *sampling.Bernoulli, *sampling.Block, *sampling.LineageHash:
+		smp, err := newSampleStage(t.Method, in, sub)
+		if err != nil {
+			return nil, err
+		}
+		return e.pipe(in, smp, nil, nil)
+	case *sampling.WOR:
+		return e.sampleWORB(in, m, sub)
+	default:
+		rows, err := t.Method.Apply(in.ToRows(), stats.NewRNG(sub))
+		if err != nil {
+			return nil, err
+		}
+		return batch.FromRows(rows)
+	}
+}
+
+// sampleWORB is the columnar WOR: the same worChoose K-subset as the row
+// path, materialized with one gather.
+func (e *Engine) sampleWORB(in *batch.Batch, m *sampling.WOR, sub uint64) (*batch.Batch, error) {
+	if err := requireRelationB(in, m.Rel); err != nil {
+		return nil, err
+	}
+	n := in.Len()
+	if m.K >= n {
+		return in, nil
+	}
+	chosen, err := e.worChoose(n, m.K, sub)
+	if err != nil {
+		return nil, err
+	}
+	sel := make([]int32, len(chosen))
+	for i, c := range chosen {
+		sel[i] = int32(c)
+	}
+	return in.Gather(sel), nil
+}
+
+// execJoinB is the columnar partitioned hash join: same build-side choice,
+// same partial-build merge order and same probe order as the row path, so
+// the output rows are identical; only the materialization is columnar
+// (two gather index lists instead of per-pair tuple allocations).
+func (e *Engine) execJoinB(l, r *batch.Batch, leftCol, rightCol string) (*batch.Batch, error) {
+	li, ok := l.Schema.Index(leftCol)
+	if !ok {
+		return nil, fmt.Errorf("engine: hash join: left input has no column %q", leftCol)
+	}
+	ri, ok := r.Schema.Index(rightCol)
+	if !ok {
+		return nil, fmt.Errorf("engine: hash join: right input has no column %q", rightCol)
+	}
+	cols, err := l.Schema.Concat(r.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("engine: hash join: %w", err)
+	}
+	lsch, err := l.LSch.Concat(r.LSch)
+	if err != nil {
+		return nil, fmt.Errorf("engine: hash join: %w", err)
+	}
+	buildLeft := l.Len() <= r.Len()
+	build, probe := l, r
+	buildKey, probeKey := li, ri
+	if !buildLeft {
+		build, probe = r, l
+		buildKey, probeKey = ri, li
+	}
+
+	// Parallel partial build, merged in partition order.
+	bspans := ops.Partitions(build.Len(), e.partSize)
+	partials := make([]map[string][]int32, len(bspans))
+	err = e.forEach(len(bspans), build.Len(), func(p int) error {
+		m := make(map[string][]int32, bspans[p].Hi-bspans[p].Lo)
+		for i := bspans[p].Lo; i < bspans[p].Hi; i++ {
+			k := build.KeyAt(buildKey, i)
+			m[k] = append(m[k], int32(i))
+		}
+		partials[p] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	table := make(map[string][]int32, build.Len())
+	for _, m := range partials {
+		for k, idxs := range m {
+			table[k] = append(table[k], idxs...)
+		}
+	}
+
+	// Parallel probe into per-partition (build, probe) index pairs.
+	pspans := ops.Partitions(probe.Len(), e.partSize)
+	bIdx := make([][]int32, len(pspans))
+	pIdx := make([][]int32, len(pspans))
+	err = e.forEach(len(pspans), probe.Len(), func(p int) error {
+		var bs, ps []int32
+		for i := pspans[p].Lo; i < pspans[p].Hi; i++ {
+			for _, bi := range table[probe.KeyAt(probeKey, i)] {
+				bs = append(bs, bi)
+				ps = append(ps, int32(i))
+			}
+		}
+		bIdx[p], pIdx[p] = bs, ps
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	offs := make([]int, len(pspans)+1)
+	for p := range bIdx {
+		offs[p+1] = offs[p] + len(bIdx[p])
+	}
+	out := batch.Alloc(cols, lsch, offs[len(pspans)])
+	err = e.forEach(len(pspans), probe.Len(), func(p int) error {
+		lSel, rSel := bIdx[p], pIdx[p]
+		if !buildLeft {
+			lSel, rSel = pIdx[p], bIdx[p]
+		}
+		gatherConcat(l, r, lSel, rSel, out, offs[p])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// gatherConcat fills out[off:off+len(lSel)] with l-rows lSel concatenated
+// with r-rows rSel (columns left-then-right, lineage likewise).
+func gatherConcat(l, r *batch.Batch, lSel, rSel []int32, out *batch.Batch, off int) {
+	for j := range l.Cols {
+		batch.GatherVec(l.Cols[j], lSel, out.Cols[j], off)
+	}
+	nl := len(l.Cols)
+	for j := range r.Cols {
+		batch.GatherVec(r.Cols[j], rSel, out.Cols[nl+j], off)
+	}
+	for s := range l.Lin {
+		batch.GatherIDs(l.Lin[s], lSel, out.Lin[s], off)
+	}
+	nls := len(l.Lin)
+	for s := range r.Lin {
+		batch.GatherIDs(r.Lin[s], rSel, out.Lin[nls+s], off)
+	}
+}
+
+// execThetaB is the columnar partitioned nested-loops θ-join: each left
+// row's predicate is evaluated vectorized over the whole right input, with
+// the left row's values pinned as broadcast constants — no per-pair tuple
+// is ever materialized, only matching (i, j) index pairs.
+func (e *Engine) execThetaB(l, r *batch.Batch, pred expr.Expr) (*batch.Batch, error) {
+	cols, err := l.Schema.Concat(r.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("engine: theta join: %w", err)
+	}
+	lsch, err := l.LSch.Concat(r.LSch)
+	if err != nil {
+		return nil, fmt.Errorf("engine: theta join: %w", err)
+	}
+	c, err := expr.CompileVec(pred, cols)
+	if err != nil {
+		return nil, fmt.Errorf("engine: theta join: %w", err)
+	}
+	rn := r.Len()
+	spans := ops.Partitions(l.Len(), e.partSize)
+	lIdx := make([][]int32, len(spans))
+	rIdx := make([][]int32, len(spans))
+	err = e.forEach(len(spans), l.Len()*max(1, rn), func(p int) error {
+		// Combined column view: left columns as broadcast constants
+		// (mutated per left row), right columns as-is.
+		nl := len(l.Cols)
+		view := make([]expr.Vec, nl+len(r.Cols))
+		for j := range l.Cols {
+			v := batch.AllocVec(l.Cols[j].Kind, 1)
+			v.Const = true
+			view[j] = v
+		}
+		copy(view[nl:], r.Cols)
+		var ls, rs []int32
+		for i := spans[p].Lo; i < spans[p].Hi; i++ {
+			for j := range l.Cols {
+				setConst(&view[j], l.Cols[j], i)
+			}
+			// EvalAll: right columns pass through the kernels zero-copy;
+			// only the broadcast left constants change per left row.
+			v, err := c.EvalAll(view, rn)
+			if err != nil {
+				return fmt.Errorf("engine: theta join: %w", err)
+			}
+			for k := 0; k < rn; k++ {
+				if v.TruthyAt(k) {
+					ls = append(ls, int32(i))
+					rs = append(rs, int32(k))
+				}
+			}
+		}
+		lIdx[p], rIdx[p] = ls, rs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	offs := make([]int, len(spans)+1)
+	for p := range lIdx {
+		offs[p+1] = offs[p] + len(lIdx[p])
+	}
+	out := batch.Alloc(cols, lsch, offs[len(spans)])
+	err = e.forEach(len(spans), l.Len()*max(1, rn), func(p int) error {
+		gatherConcat(l, r, lIdx[p], rIdx[p], out, offs[p])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// setConst points the broadcast vec at src's element i.
+func setConst(dst *expr.Vec, src expr.Vec, i int) {
+	switch src.Kind {
+	case relation.KindInt:
+		dst.I[0] = src.I[i]
+	case relation.KindFloat:
+		dst.F[0] = src.F[i]
+	default:
+		dst.S[0] = src.S[i]
+	}
+}
+
+// execUnionB merges two samples of the same expression, deduplicating by
+// lineage in the same l-then-r first-seen order as ops.Union.
+func execUnionB(l, r *batch.Batch) (*batch.Batch, error) {
+	ra, err := alignToB(r, l)
+	if err != nil {
+		return nil, fmt.Errorf("engine: union: %w", err)
+	}
+	seen := make(map[string]struct{}, l.Len())
+	for i := 0; i < l.Len(); i++ {
+		seen[l.LinKeyAt(i)] = struct{}{}
+	}
+	var extra []int32
+	for i := 0; i < ra.Len(); i++ {
+		k := ra.LinKeyAt(i)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		extra = append(extra, int32(i))
+	}
+	out := batch.Alloc(l.Schema, l.LSch, l.Len()+len(extra))
+	for j := range l.Cols {
+		copyVec(l.Cols[j], out.Cols[j], 0)
+	}
+	for s := range l.Lin {
+		copy(out.Lin[s], l.Lin[s])
+	}
+	ra.GatherInto(out, l.Len(), extra)
+	return out, nil
+}
+
+// execIntersectB keeps l-rows whose lineage also appears in r (compaction,
+// Prop. 8), columnar counterpart of ops.Intersect.
+func execIntersectB(l, r *batch.Batch) (*batch.Batch, error) {
+	ra, err := alignToB(r, l)
+	if err != nil {
+		return nil, fmt.Errorf("engine: intersect: %w", err)
+	}
+	in := make(map[string]struct{}, ra.Len())
+	for i := 0; i < ra.Len(); i++ {
+		in[ra.LinKeyAt(i)] = struct{}{}
+	}
+	var sel []int32
+	for i := 0; i < l.Len(); i++ {
+		if _, ok := in[l.LinKeyAt(i)]; ok {
+			sel = append(sel, int32(i))
+		}
+	}
+	return l.Gather(sel), nil
+}
+
+// alignToB re-expresses r against l's schemas, permuting lineage slot
+// columns when the schemas list the same relations in different orders —
+// a slice-header permutation, no per-row work.
+func alignToB(r, l *batch.Batch) (*batch.Batch, error) {
+	if !r.Schema.Equal(l.Schema) {
+		return nil, fmt.Errorf("column schemas differ")
+	}
+	if r.LSch.Equal(l.LSch) {
+		return r, nil
+	}
+	if !r.LSch.SameRelations(l.LSch) {
+		return nil, fmt.Errorf("lineage schemas cover different relations: %v vs %v", r.LSch.Names(), l.LSch.Names())
+	}
+	slot, err := r.LSch.Translate(l.LSch)
+	if err != nil {
+		return nil, err
+	}
+	lin := make([][]lineage.TupleID, len(r.Lin))
+	for j := range r.Lin {
+		lin[slot[j]] = r.Lin[j]
+	}
+	return batch.New(l.Schema, l.LSch, r.Cols, lin, r.Len())
+}
+
+// requireRelationB checks that the batch's lineage schema covers the
+// sampled relation, matching the row-path error behavior.
+func requireRelationB(in *batch.Batch, rel string) error {
+	if _, ok := in.LSch.Index(rel); !ok {
+		return fmt.Errorf("input lineage %v does not include %q", in.LSch.Names(), rel)
+	}
+	return nil
+}

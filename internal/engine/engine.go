@@ -76,7 +76,22 @@ func (e *Engine) Workers() int { return e.workers }
 // Execute runs the plan and returns the result rows with their lineage.
 // seed drives all sampling decisions; the same (plan, seed) yields the
 // same rows regardless of Config.Workers.
+//
+// Execution routes through the vectorized columnar path (ExecuteBatch)
+// and materializes rows at the end; ExecuteRows is the original
+// row-at-a-time path, kept as the in-tree baseline the columnar kernels
+// are tested and benchmarked against. All three entry points produce
+// bit-identical rows for the same (plan, seed) at any worker count.
 func (e *Engine) Execute(root plan.Node, seed uint64) (*ops.Rows, error) {
+	b, err := e.ExecuteBatch(root, seed)
+	if err != nil {
+		return nil, err
+	}
+	return b.ToRows(), nil
+}
+
+// ExecuteRows runs the plan on the row-at-a-time partitioned path.
+func (e *Engine) ExecuteRows(root plan.Node, seed uint64) (*ops.Rows, error) {
 	ids := numberNodes(root)
 	return e.exec(root, seed, ids)
 }
@@ -118,33 +133,37 @@ func (e *Engine) forEach(parts, rows int, fn func(p int) error) error {
 	return ops.ForEachPart(workers, parts, fn)
 }
 
-// both executes two independent subplans concurrently (plan-level
-// parallelism for join/union/intersect inputs).
-func (e *Engine) both(l, r plan.Node, seed uint64, ids map[plan.Node]uint64) (lr, rr *ops.Rows, err error) {
-	if e.workers <= 1 {
-		if lr, err = e.exec(l, seed, ids); err != nil {
-			return nil, nil, err
+// execBoth executes two independent subplans concurrently (plan-level
+// parallelism for join/union/intersect inputs), generically over the
+// result representation. The left plan runs on the calling goroutine and
+// a left error wins, for both the row and columnar paths.
+func execBoth[T any](workers int, l, r plan.Node, exec func(plan.Node) (T, error)) (lr, rr T, err error) {
+	if workers <= 1 {
+		if lr, err = exec(l); err != nil {
+			return lr, rr, err
 		}
-		if rr, err = e.exec(r, seed, ids); err != nil {
-			return nil, nil, err
-		}
-		return lr, rr, nil
+		rr, err = exec(r)
+		return lr, rr, err
 	}
 	var rerr error
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		rr, rerr = e.exec(r, seed, ids)
+		rr, rerr = exec(r)
 	}()
-	lr, err = e.exec(l, seed, ids)
+	lr, err = exec(l)
 	<-done
-	if err != nil {
-		return nil, nil, err
+	if err == nil {
+		err = rerr
 	}
-	if rerr != nil {
-		return nil, nil, rerr
-	}
-	return lr, rr, nil
+	return lr, rr, err
+}
+
+// both is execBoth on the row-at-a-time path.
+func (e *Engine) both(l, r plan.Node, seed uint64, ids map[plan.Node]uint64) (*ops.Rows, *ops.Rows, error) {
+	return execBoth(e.workers, l, r, func(n plan.Node) (*ops.Rows, error) {
+		return e.exec(n, seed, ids)
+	})
 }
 
 // exec dispatches one plan node.

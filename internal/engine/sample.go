@@ -60,23 +60,25 @@ func (e *Engine) sampleBernoulli(in *ops.Rows, m *sampling.Bernoulli, sub uint64
 	return &ops.Rows{Cols: in.Cols, LSch: in.LSch, Data: ops.Concat(parts)}, nil
 }
 
-// sampleWOR draws exactly K rows uniformly without replacement by priority
-// selection: row i gets priority HashID(sub, i) — i.i.d. uniform — and the
-// K smallest priorities win, which is a uniform K-subset. Each partition
-// pre-selects its K best candidates in parallel; the coordinator merges
-// the ≤ parts·K candidates and keeps the global K, in input order (the
-// serial WOR also emits its sample in input order).
-func (e *Engine) sampleWOR(in *ops.Rows, m *sampling.WOR, sub uint64) (*ops.Rows, error) {
-	if err := requireRelation(in, m.Rel); err != nil {
-		return nil, err
-	}
-	n := in.Len()
-	if m.K >= n {
-		return in.Clone(), nil
-	}
+// worChoose picks the K-subset the priority-selection WOR keeps from n
+// input rows, in ascending input order: row i gets priority HashID(sub, i)
+// — i.i.d. uniform — and the K smallest priorities win, which is a uniform
+// K-subset. Each partition pre-selects its K best candidates in parallel;
+// the coordinator merges the ≤ parts·K candidates and keeps the global K.
+// Both the row and columnar samplers materialize from this one choice, so
+// their samples are identical by construction.
+func (e *Engine) worChoose(n, k int, sub uint64) ([]int, error) {
 	type cand struct {
 		pri float64
 		idx int
+	}
+	byPriority := func(c []cand) func(a, b int) bool {
+		return func(a, b int) bool {
+			if c[a].pri != c[b].pri {
+				return c[a].pri < c[b].pri
+			}
+			return c[a].idx < c[b].idx
+		}
 	}
 	spans := ops.Partitions(n, e.partSize)
 	parts := make([][]cand, len(spans))
@@ -85,14 +87,9 @@ func (e *Engine) sampleWOR(in *ops.Rows, m *sampling.WOR, sub uint64) (*ops.Rows
 		for i := spans[p].Lo; i < spans[p].Hi; i++ {
 			local = append(local, cand{pri: stats.HashID(sub, uint64(i)), idx: i})
 		}
-		sort.Slice(local, func(a, b int) bool {
-			if local[a].pri != local[b].pri {
-				return local[a].pri < local[b].pri
-			}
-			return local[a].idx < local[b].idx
-		})
-		if len(local) > m.K {
-			local = local[:m.K]
+		sort.Slice(local, byPriority(local))
+		if len(local) > k {
+			local = local[:k]
 		}
 		parts[p] = local
 		return nil
@@ -104,17 +101,29 @@ func (e *Engine) sampleWOR(in *ops.Rows, m *sampling.WOR, sub uint64) (*ops.Rows
 	for _, p := range parts {
 		merged = append(merged, p...)
 	}
-	sort.Slice(merged, func(a, b int) bool {
-		if merged[a].pri != merged[b].pri {
-			return merged[a].pri < merged[b].pri
-		}
-		return merged[a].idx < merged[b].idx
-	})
-	chosen := make([]int, m.K)
+	sort.Slice(merged, byPriority(merged))
+	chosen := make([]int, k)
 	for i := range chosen {
 		chosen[i] = merged[i].idx
 	}
 	sort.Ints(chosen)
+	return chosen, nil
+}
+
+// sampleWOR draws exactly K rows uniformly without replacement via
+// worChoose, emitting the sample in input order (as the serial WOR does).
+func (e *Engine) sampleWOR(in *ops.Rows, m *sampling.WOR, sub uint64) (*ops.Rows, error) {
+	if err := requireRelation(in, m.Rel); err != nil {
+		return nil, err
+	}
+	n := in.Len()
+	if m.K >= n {
+		return in.Clone(), nil
+	}
+	chosen, err := e.worChoose(n, m.K, sub)
+	if err != nil {
+		return nil, err
+	}
 	out := &ops.Rows{Cols: in.Cols, LSch: in.LSch, Data: make([]ops.Row, 0, m.K)}
 	for _, i := range chosen {
 		out.Data = append(out.Data, in.Data[i])

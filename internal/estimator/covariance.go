@@ -25,32 +25,7 @@ func BilinearMoments(n int, lins []lineage.Vector, fs, gs []float64) ([]float64,
 	if len(lins) != len(fs) || len(fs) != len(gs) {
 		return nil, fmt.Errorf("estimator: bilinear moments need equal-length inputs (%d,%d,%d)", len(lins), len(fs), len(gs))
 	}
-	out := make([]float64, 1<<uint(n))
-	var totF, totG float64
-	for i := range fs {
-		totF += fs[i]
-		totG += gs[i]
-	}
-	out[0] = totF * totG
-	type pair struct{ f, g float64 }
-	groups := make(map[string]pair, len(fs))
-	for m := 1; m < len(out); m++ {
-		set := lineage.Set(m)
-		clear(groups)
-		for i, l := range lins {
-			k := l.ProjectKey(set)
-			p := groups[k]
-			p.f += fs[i]
-			p.g += gs[i]
-			groups[k] = p
-		}
-		var acc float64
-		for _, p := range groups {
-			acc += p.f * p.g
-		}
-		out[m] = acc
-	}
-	return out, nil
+	return momentsSerial(n, vecLins(lins), fs, gs), nil
 }
 
 // Covariance estimates Cov(X_f, X_g) for the two SUM estimators computed
@@ -60,16 +35,19 @@ func BilinearMoments(n int, lins []lineage.Vector, fs, gs []float64) ([]float64,
 //
 //	Côv = Σ_S (c_S/a²)·Ŷ_S(f,g) − Ŷ_∅(f,g).
 func Covariance(g *core.Params, lins []lineage.Vector, fs, gs []float64) (float64, error) {
-	return covarianceOpts(g, lins, fs, gs, Options{})
+	if len(lins) != len(fs) {
+		return 0, fmt.Errorf("estimator: %d lineage vectors for %d aggregate values", len(lins), len(fs))
+	}
+	return covarianceSrc(g, vecLins(lins), fs, gs, Options{})
 }
 
-// covarianceOpts is Covariance with accumulator options (Workers enables
-// the partition-sharded bilinear moments).
-func covarianceOpts(g *core.Params, lins []lineage.Vector, fs, gs []float64, opts Options) (float64, error) {
+// covarianceSrc is Covariance over any lineage storage, with accumulator
+// options (Workers enables the partition-sharded bilinear moments).
+func covarianceSrc(g *core.Params, src linSource, fs, gs []float64, opts Options) (float64, error) {
 	if g.A() == 0 {
 		return 0, fmt.Errorf("estimator: null GUS (a=0) has no covariance")
 	}
-	y, err := bilinearFor(g.N(), lins, fs, gs, opts)
+	y, err := bilinearFor(g.N(), src, fs, gs, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -119,18 +97,23 @@ func Ratio(g *core.Params, rows *ops.Rows, num, den expr.Expr, opts Options) (*R
 	for i, row := range rows.Data {
 		lins[i] = row.Lin
 	}
-	nRes, err := FromLineage(g, lins, nfs, opts)
+	return ratioSrc(g, vecLins(lins), nfs, dfs, opts)
+}
+
+// ratioSrc is the storage-agnostic core behind Ratio and RatioBatch.
+func ratioSrc(g *core.Params, src linSource, nfs, dfs []float64, opts Options) (*RatioResult, error) {
+	nRes, err := fromSource(g, src, nfs, opts)
 	if err != nil {
 		return nil, err
 	}
-	dRes, err := FromLineage(g, lins, dfs, opts)
+	dRes, err := fromSource(g, src, dfs, opts)
 	if err != nil {
 		return nil, err
 	}
 	if dRes.Estimate == 0 {
 		return nil, fmt.Errorf("estimator: ratio with (estimated) zero denominator")
 	}
-	cov, err := covarianceOpts(g, lins, nfs, dfs, opts)
+	cov, err := covarianceSrc(g, src, nfs, dfs, opts)
 	if err != nil {
 		return nil, err
 	}

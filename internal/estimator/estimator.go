@@ -114,6 +114,19 @@ func (r *Result) Quantile(q float64) float64 {
 	return r.Estimate + stats.NormalQuantile(q)*r.StdDev()
 }
 
+// QuantileWith returns the q-quantile under the given interval method, so
+// QUANTILE answers stay consistent with the query's interval choice:
+// Normal uses the normal approximation, Chebyshev the distribution-free
+// one-sided Cantelli bound (valid for any distribution, wider).
+func (r *Result) QuantileWith(q float64, method CIMethod) float64 {
+	switch method {
+	case Chebyshev:
+		return r.Estimate + stats.CantelliQuantile(q)*r.StdDev()
+	default:
+		return r.Quantile(q)
+	}
+}
+
 // Estimate runs the SBox over executed sample rows. g must be the plan's
 // top GUS (from plan.Analyze); rows' lineage schema must match g's — which
 // plan.Execute guarantees for the same plan.
@@ -145,6 +158,45 @@ func FromLineage(g *core.Params, lins []lineage.Vector, fs []float64, opts Optio
 			return nil, fmt.Errorf("estimator: lineage vector %d has %d slots, GUS schema has %d", i, len(l), n)
 		}
 	}
+	return fromSource(g, vecLins(lins), fs, opts)
+}
+
+// linSource abstracts how sample lineage is stored — row-major
+// []lineage.Vector or the columnar batch layout — so the Theorem-1
+// accumulators run identically (same keys, same accumulation order, hence
+// bit-identical floats) over both.
+type linSource interface {
+	// projectKey returns row i's grouping key for the slots of s, equal to
+	// lineage.Vector.ProjectKey on the equivalent row-major vector.
+	projectKey(i int, s lineage.Set) string
+	// id returns row i's tuple ID in the given lineage slot.
+	id(i, slot int) lineage.TupleID
+}
+
+// vecLins adapts row-major lineage vectors.
+type vecLins []lineage.Vector
+
+func (v vecLins) projectKey(i int, s lineage.Set) string { return v[i].ProjectKey(s) }
+func (v vecLins) id(i, slot int) lineage.TupleID         { return v[i][slot] }
+
+// colLins adapts columnar per-slot lineage columns (batch.Batch.Lin).
+type colLins [][]lineage.TupleID
+
+func (c colLins) projectKey(i int, s lineage.Set) string {
+	buf := make([]byte, 0, 8*s.Len())
+	for slot := 0; slot < len(c); slot++ {
+		if s.Has(slot) {
+			buf = lineage.AppendID(buf, c[slot][i])
+		}
+	}
+	return string(buf)
+}
+
+func (c colLins) id(i, slot int) lineage.TupleID { return c[slot][i] }
+
+// fromSource is the storage-agnostic SBox core behind FromLineage and
+// EstimateBatch.
+func fromSource(g *core.Params, src linSource, fs []float64, opts Options) (*Result, error) {
 	if g.A() == 0 {
 		return nil, fmt.Errorf("estimator: null GUS (a=0) cannot be estimated")
 	}
@@ -155,14 +207,14 @@ func FromLineage(g *core.Params, lins []lineage.Vector, fs []float64, opts Optio
 	}
 
 	// §7: optionally estimate the y_S moments from a sub-sample.
-	varG, varLins, varFs, sub, err := maybeSubsample(g, lins, fs, opts)
+	varG, varSrc, varFs, sub, err := maybeSubsample(g, src, fs, opts)
 	if err != nil {
 		return nil, err
 	}
 	res.Subsampled = sub
 	res.VarianceRows = len(varFs)
 
-	res.Y = momentsFor(varG.Schema().Len(), varLins, varFs, opts)
+	res.Y = momentsFor(varG.Schema().Len(), varSrc, varFs, opts)
 	res.YHat, err = UnbiasedY(varG, res.Y)
 	if err != nil {
 		return nil, err
@@ -184,9 +236,9 @@ func FromLineage(g *core.Params, lins []lineage.Vector, fs []float64, opts Optio
 // exceeds opts.MaxVarianceRows, returning the GUS that governs the rows
 // used for moment estimation (Prop. 8 compaction of g with the
 // sub-sampler's multi-dimensional Bernoulli).
-func maybeSubsample(g *core.Params, lins []lineage.Vector, fs []float64, opts Options) (*core.Params, []lineage.Vector, []float64, bool, error) {
+func maybeSubsample(g *core.Params, src linSource, fs []float64, opts Options) (*core.Params, linSource, []float64, bool, error) {
 	if opts.MaxVarianceRows <= 0 || len(fs) <= opts.MaxVarianceRows {
-		return g, lins, fs, false, nil
+		return g, src, fs, false, nil
 	}
 	n := g.N()
 	// Uniform per-dimension rate whose product is the target row fraction.
@@ -201,9 +253,9 @@ func maybeSubsample(g *core.Params, lins []lineage.Vector, fs []float64, opts Op
 		return nil, nil, nil, false, err
 	}
 	// The method's relation order is sorted; map slots of g's schema.
-	keep := func(l lineage.Vector) bool {
-		for i := 0; i < n; i++ {
-			if !m.Keeps(g.Schema().Name(i), l[i]) {
+	keep := func(i int) bool {
+		for slot := 0; slot < n; slot++ {
+			if !m.Keeps(g.Schema().Name(slot), src.id(i, slot)) {
 				return false
 			}
 		}
@@ -211,8 +263,12 @@ func maybeSubsample(g *core.Params, lins []lineage.Vector, fs []float64, opts Op
 	}
 	var subLins []lineage.Vector
 	var subFs []float64
-	for i, l := range lins {
-		if keep(l) {
+	for i := range fs {
+		if keep(i) {
+			l := lineage.NewVector(n)
+			for slot := 0; slot < n; slot++ {
+				l[slot] = src.id(i, slot)
+			}
 			subLins = append(subLins, l)
 			subFs = append(subFs, fs[i])
 		}
@@ -229,34 +285,16 @@ func maybeSubsample(g *core.Params, lins []lineage.Vector, fs []float64, opts Op
 	if err != nil {
 		return nil, nil, nil, false, err
 	}
-	return gSub, subLins, subFs, true, nil
+	return gSub, vecLins(subLins), subFs, true, nil
 }
 
 // Moments computes the raw sample moments Y_S for every S ⊆ {1:n}:
 // group the sample by the projection of lineage onto S, sum f within each
 // group, and sum the squares of the group totals (§6.3's GROUP BY queries).
-// Y_∅ degenerates to (Σf)².
+// Y_∅ degenerates to (Σf)². Group squares accumulate in first-seen order,
+// so repeated calls return bit-identical floats.
 func Moments(n int, lins []lineage.Vector, fs []float64) []float64 {
-	out := make([]float64, 1<<uint(n))
-	var total float64
-	for _, v := range fs {
-		total += v
-	}
-	out[0] = total * total
-	groups := make(map[string]float64, len(fs))
-	for m := 1; m < len(out); m++ {
-		set := lineage.Set(m)
-		clear(groups)
-		for i, l := range lins {
-			groups[l.ProjectKey(set)] += fs[i]
-		}
-		var acc float64
-		for _, s := range groups {
-			acc += s * s
-		}
-		out[m] = acc
-	}
-	return out
+	return momentsSerial(n, vecLins(lins), fs, nil)
 }
 
 // UnbiasedY turns raw sample moments Y_S into unbiased estimates Ŷ_S of

@@ -102,21 +102,26 @@ func totalOf(fs []float64, opts Options) float64 {
 
 // groupShard is one partition's private group-by-lineage accumulator:
 // sums keyed by projected lineage, with keys remembered in first-seen
-// order so the merge is deterministic.
-type groupShard struct {
-	keys []string
-	fsum map[string]float64
-	gsum map[string]float64 // nil for plain (f·f) moments
+// order so the merge is deterministic. The key type is whatever compact
+// encoding is injective for the mask at hand (see keyedMoment) — only
+// group identity and first-seen order matter, both invariant under the
+// encoding, so every encoding yields bit-identical sums.
+type groupShard[K comparable] struct {
+	keys []K
+	fsum map[K]float64
+	gsum map[K]float64 // nil for plain (f·f) moments
 }
 
-// shardFor builds partition p's shard for mask set over lins/fs (+gs).
-func shardFor(set lineage.Set, span ops.Span, lins []lineage.Vector, fs, gs []float64) groupShard {
-	sh := groupShard{fsum: make(map[string]float64)}
+// shardFor builds partition p's shard, keying row i by key(i). Maps are
+// pre-sized for the worst case (every row its own group — the norm for
+// single-relation samples, whose lineage is unique per row).
+func shardFor[K comparable](span ops.Span, key func(i int) K, fs, gs []float64) groupShard[K] {
+	sh := groupShard[K]{fsum: make(map[K]float64, span.Hi-span.Lo)}
 	if gs != nil {
-		sh.gsum = make(map[string]float64)
+		sh.gsum = make(map[K]float64, span.Hi-span.Lo)
 	}
 	for i := span.Lo; i < span.Hi; i++ {
-		k := lins[i].ProjectKey(set)
+		k := key(i)
 		if _, seen := sh.fsum[k]; !seen {
 			sh.keys = append(sh.keys, k)
 		}
@@ -129,11 +134,19 @@ func shardFor(set lineage.Set, span ops.Span, lins []lineage.Vector, fs, gs []fl
 }
 
 // mergeShards combines per-partition shards in partition order and
-// returns Σ_groups (Σf)(Σg) — with gs == nil, Σ_groups (Σf)². Group
+// returns Σ_groups (Σf)(Σg) — with bilinear false, Σ_groups (Σf)². Group
 // totals are accumulated and squared in first-seen order.
-func mergeShards(shards []groupShard, bilinear bool) float64 {
-	slot := make(map[string]int)
-	var fTot, gTot []float64
+func mergeShards[K comparable](shards []groupShard[K], bilinear bool) float64 {
+	var total int
+	for _, sh := range shards {
+		total += len(sh.keys)
+	}
+	slot := make(map[K]int, total)
+	fTot := make([]float64, 0, total)
+	var gTot []float64
+	if bilinear {
+		gTot = make([]float64, 0, total)
+	}
 	for _, sh := range shards {
 		for _, k := range sh.keys {
 			s, ok := slot[k]
@@ -162,10 +175,24 @@ func mergeShards(shards []groupShard, bilinear bool) float64 {
 	return acc
 }
 
+// keyedMoment runs the sharded accumulation for one mask with the given
+// key encoding.
+func keyedMoment[K comparable](spans []ops.Span, key func(i int) K, fs, gs []float64, opts Options) float64 {
+	shards := make([]groupShard[K], len(spans))
+	_ = ops.ForEachPart(opts.Workers, len(spans), func(p int) error {
+		shards[p] = shardFor(spans[p], key, fs, gs)
+		return nil
+	})
+	return mergeShards(shards, gs != nil)
+}
+
 // momentsSharded computes the §6.3 Y_S moments with partition-sharded
 // accumulators. With gs non-nil it computes the bilinear cross moments
-// Y_S(f,g) instead (see BilinearMoments).
-func momentsSharded(n int, lins []lineage.Vector, fs, gs []float64, opts Options) []float64 {
+// Y_S(f,g) instead (see BilinearMoments). One- and two-slot masks — every
+// mask of the common 1- and 2-relation queries — group on integer tuple
+// IDs directly instead of encoded strings: same groups, same order, same
+// floats, a fraction of the hash cost.
+func momentsSharded(n int, src linSource, fs, gs []float64, opts Options) []float64 {
 	out := make([]float64, 1<<uint(n))
 	totF := totalOf(fs, opts)
 	if gs != nil {
@@ -176,33 +203,69 @@ func momentsSharded(n int, lins []lineage.Vector, fs, gs []float64, opts Options
 	spans := ops.Partitions(len(fs), opts.partitionSize())
 	for m := 1; m < len(out); m++ {
 		set := lineage.Set(m)
-		shards := make([]groupShard, len(spans))
-		_ = ops.ForEachPart(opts.Workers, len(spans), func(p int) error {
-			shards[p] = shardFor(set, spans[p], lins, fs, gs)
-			return nil
-		})
-		out[m] = mergeShards(shards, gs != nil)
+		switch slots := set.Members(); len(slots) {
+		case 1:
+			s0 := slots[0]
+			out[m] = keyedMoment(spans, func(i int) lineage.TupleID {
+				return src.id(i, s0)
+			}, fs, gs, opts)
+		case 2:
+			s0, s1 := slots[0], slots[1]
+			out[m] = keyedMoment(spans, func(i int) [2]lineage.TupleID {
+				return [2]lineage.TupleID{src.id(i, s0), src.id(i, s1)}
+			}, fs, gs, opts)
+		default:
+			out[m] = keyedMoment(spans, func(i int) string {
+				return src.projectKey(i, set)
+			}, fs, gs, opts)
+		}
 	}
 	return out
 }
 
-// momentsFor dispatches between the serial Moments and the sharded
-// parallel version.
-func momentsFor(n int, lins []lineage.Vector, fs []float64, opts Options) []float64 {
-	if opts.Workers <= 0 {
-		return Moments(n, lins, fs)
+// momentsSerial is the Workers≤0 path: a single pass per mask with group
+// totals accumulated and combined in first-seen order — deterministic,
+// unlike the historical map-iteration sum (which gave run-to-run float
+// jitter; no caller may rely on randomness, so fixing the order is safe).
+func momentsSerial(n int, src linSource, fs, gs []float64) []float64 {
+	out := make([]float64, 1<<uint(n))
+	var totF, totG float64
+	for i, v := range fs {
+		totF += v
+		if gs != nil {
+			totG += gs[i]
+		}
 	}
-	return momentsSharded(n, lins, fs, nil, opts)
+	if gs != nil {
+		out[0] = totF * totG
+	} else {
+		out[0] = totF * totF
+	}
+	span := ops.Span{Lo: 0, Hi: len(fs)}
+	for m := 1; m < len(out); m++ {
+		set := lineage.Set(m)
+		sh := shardFor(span, func(i int) string { return src.projectKey(i, set) }, fs, gs)
+		out[m] = mergeShards([]groupShard[string]{sh}, gs != nil)
+	}
+	return out
 }
 
-// bilinearFor dispatches between the serial BilinearMoments and the
-// sharded parallel version.
-func bilinearFor(n int, lins []lineage.Vector, fs, gs []float64, opts Options) ([]float64, error) {
-	if len(lins) != len(fs) || len(fs) != len(gs) {
-		return nil, fmt.Errorf("estimator: bilinear moments need equal-length inputs (%d,%d,%d)", len(lins), len(fs), len(gs))
+// momentsFor dispatches between the serial and sharded accumulators.
+func momentsFor(n int, src linSource, fs []float64, opts Options) []float64 {
+	if opts.Workers <= 0 {
+		return momentsSerial(n, src, fs, nil)
+	}
+	return momentsSharded(n, src, fs, nil, opts)
+}
+
+// bilinearFor dispatches between the serial and sharded bilinear
+// accumulators.
+func bilinearFor(n int, src linSource, fs, gs []float64, opts Options) ([]float64, error) {
+	if len(fs) != len(gs) {
+		return nil, fmt.Errorf("estimator: bilinear moments need equal-length inputs (%d,%d)", len(fs), len(gs))
 	}
 	if opts.Workers <= 0 {
-		return BilinearMoments(n, lins, fs, gs)
+		return momentsSerial(n, src, fs, gs), nil
 	}
-	return momentsSharded(n, lins, fs, gs, opts), nil
+	return momentsSharded(n, src, fs, gs, opts), nil
 }

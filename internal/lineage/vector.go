@@ -65,14 +65,23 @@ func (v Vector) Key() string { return v.ProjectKey(Full(len(v))) }
 // slots of s. Group-by-lineage with this key implements the y_S grouping of
 // Theorem 1 (§6.3).
 func (v Vector) ProjectKey(s Set) string {
-	var buf [8]byte
 	b := make([]byte, 0, 8*s.Len())
 	for m := s; m != 0; m &= m - 1 {
-		i := trailingZeros(m)
-		binary.LittleEndian.PutUint64(buf[:], uint64(v[i]))
-		b = append(b, buf[:]...)
+		b = AppendID(b, v[trailingZeros(m)])
 	}
 	return string(b)
+}
+
+// AppendID appends the canonical 8-byte little-endian encoding of one
+// tuple ID to buf. It is THE key encoding: every grouping or dedup key
+// built from lineage — row-major ProjectKey/Key, the estimator's columnar
+// moment keys, the batch layer's set-operator keys — must concatenate
+// AppendID bytes in ascending slot order, or the row and columnar paths
+// would group differently.
+func AppendID(buf []byte, id TupleID) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(id))
+	return append(buf, b[:]...)
 }
 
 func trailingZeros(s Set) int {

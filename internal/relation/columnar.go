@@ -1,0 +1,69 @@
+package relation
+
+import (
+	"github.com/sampling-algebra/gus/internal/lineage"
+)
+
+// ColumnSlice is one column of a Snapshot in flat typed storage: exactly
+// one of Ints, Floats or Strs is non-nil, selected by Kind. Flat arrays are
+// what the vectorized execution engine consumes — no per-value boxing.
+type ColumnSlice struct {
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+}
+
+// Snapshot is a columnar image of a relation: per-column typed slices plus
+// the parallel lineage-ID column. It is immutable; readers must not write
+// through its slices.
+type Snapshot struct {
+	Cols []ColumnSlice
+	IDs  []lineage.TupleID
+	Rows int
+}
+
+// Snapshot returns the relation's columnar image, building and caching it
+// on first use. The cache is invalidated by appends; concurrent readers may
+// each build a snapshot, in which case either (identical) result is kept.
+// Callers must hold whatever lock serializes reads against writes (the DB's
+// RWMutex in the public API).
+func (r *Relation) Snapshot() *Snapshot {
+	if s := r.snap.Load(); s != nil {
+		return s
+	}
+	s := r.buildSnapshot()
+	r.snap.Store(s)
+	return s
+}
+
+func (r *Relation) buildSnapshot() *Snapshot {
+	n := len(r.rows)
+	s := &Snapshot{Cols: make([]ColumnSlice, r.schema.Len()), Rows: n}
+	for j := range s.Cols {
+		kind := r.schema.Col(j).Kind
+		s.Cols[j].Kind = kind
+		switch kind {
+		case KindInt:
+			col := make([]int64, n)
+			for i, row := range r.rows {
+				col[i] = row[j].i
+			}
+			s.Cols[j].Ints = col
+		case KindFloat:
+			col := make([]float64, n)
+			for i, row := range r.rows {
+				col[i] = row[j].f
+			}
+			s.Cols[j].Floats = col
+		default:
+			col := make([]string, n)
+			for i, row := range r.rows {
+				col[i] = row[j].s
+			}
+			s.Cols[j].Strs = col
+		}
+	}
+	s.IDs = append([]lineage.TupleID(nil), r.ids...)
+	return s
+}

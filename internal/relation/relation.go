@@ -2,6 +2,7 @@ package relation
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/sampling-algebra/gus/internal/lineage"
 )
@@ -92,6 +93,7 @@ type Relation struct {
 	ids    []lineage.TupleID
 	rows   []Tuple
 	nextID lineage.TupleID
+	snap   atomic.Pointer[Snapshot] // lazy columnar image; nil after writes
 }
 
 // New creates an empty relation with the given name and column schema.
@@ -152,6 +154,7 @@ func (r *Relation) AppendWithID(id lineage.TupleID, t Tuple) error {
 	}
 	r.ids = append(r.ids, id)
 	r.rows = append(r.rows, t)
+	r.snap.Store(nil)
 	return nil
 }
 

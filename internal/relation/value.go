@@ -181,18 +181,32 @@ func (v Value) Equal(w Value) bool {
 func (v Value) Key() string {
 	switch v.kind {
 	case KindInt:
-		return "i" + strconv.FormatInt(v.i, 10)
+		return IntKey(v.i)
 	case KindFloat:
-		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
-			// Integral floats share keys with ints so that joins on keys
-			// stored with different numeric kinds still match.
-			return "i" + strconv.FormatInt(int64(v.f), 10)
-		}
-		return "f" + strconv.FormatFloat(v.f, 'b', -1, 64)
+		return FloatKey(v.f)
 	default:
-		return "s" + v.s
+		return StringKey(v.s)
 	}
 }
+
+// IntKey, FloatKey and StringKey are THE per-kind join-key encodings,
+// shared by the boxed Value.Key and the columnar batch layer so row and
+// columnar joins always agree on matches.
+
+// IntKey encodes an integer join key.
+func IntKey(v int64) string { return "i" + strconv.FormatInt(v, 10) }
+
+// FloatKey encodes a float join key. Integral floats share keys with ints
+// so that joins on keys stored with different numeric kinds still match.
+func FloatKey(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return "i" + strconv.FormatInt(int64(v), 10)
+	}
+	return "f" + strconv.FormatFloat(v, 'b', -1, 64)
+}
+
+// StringKey encodes a string join key.
+func StringKey(v string) string { return "s" + v }
 
 // String implements fmt.Stringer.
 func (v Value) String() string { return v.AsString() }
