@@ -13,6 +13,7 @@ package gus
 //	E6/E7 accuracy     → driven by cmd/gusbench (statistical, not timed)
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -437,5 +438,58 @@ func BenchmarkGUSAlgebra(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			g1.CS()
 		}
+	})
+}
+
+// BenchmarkProgressive measures online aggregation's time-to-accuracy on
+// a TPC-H Q1-style revenue aggregate (~120k lineitems):
+//
+//   - to-1pct-ci    — QueryProgressive with WithTargetRelativeCI(0.01):
+//     stops as soon as the CI half-width is within 1% of the estimate
+//     (the "%scanned" metric reports how much data that took);
+//   - full-stream   — the same stream run to completion (its final
+//     update is bit-identical to Query);
+//   - one-shot      — plain Query, the baseline all of it converges to.
+//
+// Recorded in BENCH_online.json: the headline is to-1pct-ci wall-clock
+// versus one-shot, i.e. what an accuracy budget saves over a full scan.
+func BenchmarkProgressive(b *testing.B) {
+	db := Open()
+	if err := db.AttachTPCHConfig(tpch.Config{Orders: 30000, Customers: 3000, Parts: 750, Seed: 31}); err != nil {
+		b.Fatal(err)
+	}
+	const sql = `
+SELECT SUM(l_extendedprice*(1.0-l_discount)) AS revenue
+FROM lineitem TABLESAMPLE (90 PERCENT)
+WHERE l_quantity < 45.0`
+	stream := func(opts ...Option) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				ch, wait := db.QueryProgressive(context.Background(), sql,
+					append([]Option{WithSeed(7)}, opts...)...)
+				var last Update
+				for u := range ch {
+					last = u
+				}
+				if err := wait(); err != nil {
+					b.Fatal(err)
+				}
+				frac = last.FractionScanned
+			}
+			b.ReportMetric(100*frac, "%scanned")
+		}
+	}
+	b.Run("to-1pct-ci", stream(WithTargetRelativeCI(0.01)))
+	b.Run("full-stream", stream())
+	b.Run("one-shot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(sql, WithSeed(7)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(100, "%scanned")
 	})
 }

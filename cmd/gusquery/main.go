@@ -7,14 +7,24 @@
 //
 //	gusquery -gen 0.001 -q "SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (10 PERCENT)"
 //	gusquery -data ./data -v -q "$(cat query.sql)"
+//
+// With -progressive the query runs as online aggregation: one line per
+// partition wave (estimate, confidence interval, % scanned), stopping at
+// -target relative CI accuracy, -deadline, -maxfrac scan budget, or the
+// complete scan — whichever comes first:
+//
+//	gusquery -gen 0.02 -progressive -target 0.01 \
+//	    -q "SELECT SUM(l_extendedprice*(1.0-l_discount)) FROM lineitem TABLESAMPLE (90 PERCENT)"
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	gus "github.com/sampling-algebra/gus"
 )
@@ -31,6 +41,12 @@ func main() {
 		workers   = flag.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS; results are seed-stable at any width)")
 		exact     = flag.Bool("exact", false, "also run the query exactly and report the true error")
 		verbose   = flag.Bool("v", false, "print the plan and the SOA rewrite trace")
+
+		progressive = flag.Bool("progressive", false, "online aggregation: print one refining estimate per partition wave")
+		target      = flag.Float64("target", 0, "with -progressive: stop once the CI half-width is at most this fraction of the estimate (0 = off)")
+		deadline    = flag.Duration("deadline", 0, "with -progressive: stop at the first wave boundary after this duration (0 = off)")
+		maxFrac     = flag.Float64("maxfrac", 0, "with -progressive: stop after scanning this fraction of the data (0 = off)")
+		waveRows    = flag.Int("waverows", 0, "with -progressive: input rows per wave (0 = default 8192)")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -72,6 +88,10 @@ func main() {
 	if *subsample > 0 {
 		opts = append(opts, gus.WithVarianceSubsampling(*subsample))
 	}
+	if *progressive {
+		runProgressive(db, *query, opts, *target, *deadline, *maxFrac, *waveRows, *level, *exact)
+		return
+	}
 	res, err := db.Query(*query, opts...)
 	if err != nil {
 		fail(err)
@@ -102,6 +122,54 @@ func main() {
 		for i, v := range ex.Values {
 			fmt.Printf("exact %s = %.6g (estimate rel.err %.4f%%)\n",
 				v.Name, v.Value, 100*relErr(res.Values[i].Estimate, v.Value))
+		}
+	}
+}
+
+// runProgressive streams the query as online aggregation, printing one
+// line per wave and exiting when the stream's stop condition fires.
+func runProgressive(db *gus.DB, query string, opts []gus.Option, target float64, deadline time.Duration, maxFrac float64, waveRows int, level float64, exact bool) {
+	if target > 0 {
+		opts = append(opts, gus.WithTargetRelativeCI(target))
+	}
+	if deadline > 0 {
+		opts = append(opts, gus.WithDeadline(deadline))
+	}
+	if maxFrac > 0 {
+		opts = append(opts, gus.WithMaxFraction(maxFrac))
+	}
+	if waveRows > 0 {
+		opts = append(opts, gus.WithWaveRows(waveRows))
+	}
+	ch, wait := db.QueryProgressive(context.Background(), query, opts...)
+	var last gus.Update
+	for u := range ch {
+		last = u
+		for _, v := range u.Values {
+			rel := ""
+			if v.RelHalfWidth < 1e6 {
+				rel = fmt.Sprintf("  rel ±%.3f%%", 100*v.RelHalfWidth)
+			}
+			fmt.Printf("wave %3d  %6.2f%% scanned  %8d sample rows  %s [%s] = %.6g  %.0f%% CI [%.6g, %.6g]%s\n",
+				u.Wave, 100*u.FractionScanned, u.SampleRows, v.Name, v.Kind, v.Value,
+				level*100, v.CILow, v.CIHigh, rel)
+		}
+	}
+	if err := wait(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("stopped: %s (scanned %.2f%% of the data)\n", last.Reason, 100*last.FractionScanned)
+	if exact {
+		ex, err := db.Exact(query)
+		if err != nil {
+			fail(err)
+		}
+		for i, v := range ex.Values {
+			if i >= len(last.Values) {
+				break
+			}
+			fmt.Printf("exact %s = %.6g (estimate rel.err %.4f%%)\n",
+				v.Name, v.Value, 100*relErr(last.Values[i].Estimate, v.Value))
 		}
 	}
 }

@@ -8,9 +8,16 @@
 //
 // Endpoints:
 //
-//	POST /query   — estimate a SQL aggregate query (body: QueryRequest)
-//	GET  /tables  — registered tables and cardinalities
-//	GET  /healthz — liveness probe
+//	POST /query        — estimate a SQL aggregate query (body: QueryRequest)
+//	POST /query/stream — online aggregation: NDJSON stream of refining
+//	                     estimates, one line per partition wave, honoring
+//	                     stop conditions and client disconnect
+//	                     (body: StreamRequest)
+//	GET  /tables       — registered tables and cardinalities
+//	GET  /healthz      — liveness probe
+//
+// Both query endpoints are wired to the request context: when the client
+// disconnects, the engine stops scanning at the next partition boundary.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -51,6 +59,78 @@ type QueryRequest struct {
 	Exact bool `json:"exact"`
 	// Verbose includes the plan, rewrite trace and top GUS text.
 	Verbose bool `json:"verbose"`
+}
+
+// options translates the request into query options.
+func (req QueryRequest) options() []gus.Option {
+	opts := []gus.Option{}
+	if req.Seed != nil {
+		opts = append(opts, gus.WithSeed(*req.Seed))
+	}
+	if req.Confidence != 0 {
+		opts = append(opts, gus.WithConfidence(req.Confidence))
+	}
+	if req.Chebyshev {
+		opts = append(opts, gus.WithInterval(gus.ChebyshevInterval))
+	}
+	if req.Subsample > 0 {
+		opts = append(opts, gus.WithVarianceSubsampling(req.Subsample))
+	}
+	if req.Workers > 0 {
+		opts = append(opts, gus.WithWorkers(req.Workers))
+	}
+	return opts
+}
+
+// StreamRequest is the POST /query/stream body: a QueryRequest (Exact and
+// Verbose are ignored) plus online-aggregation stop conditions. With no
+// stop condition set the stream runs to the complete scan.
+type StreamRequest struct {
+	QueryRequest
+	// TargetRelCI stops once every item's CI half-width is at most this
+	// fraction of its estimate (e.g. 0.01 for ±1%).
+	TargetRelCI float64 `json:"targetRelCi"`
+	// DeadlineMS stops at the first wave boundary after this many
+	// milliseconds.
+	DeadlineMS float64 `json:"deadlineMs"`
+	// MaxFraction stops once this fraction of the data has been scanned.
+	MaxFraction float64 `json:"maxFraction"`
+	// WaveRows sets the input rows per wave (0 = default).
+	WaveRows int `json:"waveRows"`
+}
+
+// StreamValue is one SELECT item inside a stream update. Estimator fields
+// are pointers: null until the item is estimable (e.g. an AVG before any
+// row survived), and relHalfWidth is null while the estimate is zero.
+type StreamValue struct {
+	Name         string   `json:"name"`
+	Kind         string   `json:"kind"`
+	Value        *float64 `json:"value"`
+	Estimate     *float64 `json:"estimate"`
+	StdErr       *float64 `json:"stdErr"`
+	CILow        *float64 `json:"ciLow"`
+	CIHigh       *float64 `json:"ciHigh"`
+	Approximate  bool     `json:"approximate,omitempty"`
+	RelHalfWidth *float64 `json:"relHalfWidth"`
+}
+
+// StreamUpdate is one NDJSON line of the /query/stream response. The
+// top-level estimator fields mirror values[0].
+type StreamUpdate struct {
+	Wave            int           `json:"wave"`
+	FractionScanned float64       `json:"fractionScanned"`
+	RowsScanned     int           `json:"rowsScanned"`
+	SampleRows      int           `json:"sampleRows"`
+	Final           bool          `json:"final"`
+	Done            bool          `json:"done"`
+	Reason          string        `json:"reason,omitempty"`
+	ElapsedMS       float64       `json:"elapsedMs"`
+	Estimate        *float64      `json:"estimate"`
+	StdErr          *float64      `json:"stdErr"`
+	CILow           *float64      `json:"ciLow"`
+	CIHigh          *float64      `json:"ciHigh"`
+	Values          []StreamValue `json:"values"`
+	Error           string        `json:"error,omitempty"`
 }
 
 // ValueResponse mirrors gus.Value.
@@ -126,6 +206,7 @@ func main() {
 	s := &server{db: db}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/query/stream", s.handleQueryStream)
 	mux.HandleFunc("/tables", s.handleTables)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -172,25 +253,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
 		return
 	}
-	opts := []gus.Option{}
-	if req.Seed != nil {
-		opts = append(opts, gus.WithSeed(*req.Seed))
-	}
-	if req.Confidence != 0 {
-		opts = append(opts, gus.WithConfidence(req.Confidence))
-	}
-	if req.Chebyshev {
-		opts = append(opts, gus.WithInterval(gus.ChebyshevInterval))
-	}
-	if req.Subsample > 0 {
-		opts = append(opts, gus.WithVarianceSubsampling(req.Subsample))
-	}
-	if req.Workers > 0 {
-		opts = append(opts, gus.WithWorkers(req.Workers))
-	}
+	opts := req.options()
 
 	start := time.Now()
-	res, err := s.db.Query(req.SQL, opts...)
+	res, err := s.db.QueryContext(r.Context(), req.SQL, opts...)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -204,7 +270,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var exact *gus.Result
 	if req.Exact {
-		if exact, err = s.db.Exact(req.SQL, opts...); err != nil {
+		if exact, err = s.db.ExactContext(r.Context(), req.SQL, opts...); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("exact: %w", err))
 			return
 		}
@@ -240,6 +306,117 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Groups = append(resp.Groups, gr)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleQueryStream runs a query as online aggregation and streams one
+// NDJSON update per partition wave, flushing each line immediately. The
+// stream is driven by the request context: a disconnected client cancels
+// the query at the next wave boundary.
+func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req StreamRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
+		return
+	}
+	opts := req.options()
+	if req.TargetRelCI > 0 {
+		opts = append(opts, gus.WithTargetRelativeCI(req.TargetRelCI))
+	}
+	if req.DeadlineMS > 0 {
+		opts = append(opts, gus.WithDeadline(time.Duration(req.DeadlineMS*float64(time.Millisecond))))
+	}
+	if req.MaxFraction > 0 {
+		opts = append(opts, gus.WithMaxFraction(req.MaxFraction))
+	}
+	if req.WaveRows > 0 {
+		opts = append(opts, gus.WithWaveRows(req.WaveRows))
+	}
+
+	start := time.Now()
+	ch, wait := s.db.QueryProgressive(r.Context(), req.SQL, opts...)
+
+	// Hold the status line until the first update: a stream that dies
+	// before producing anything (bad SQL, unknown table, GROUP BY) gets a
+	// real 400 with a plain JSON error, exactly like /query.
+	first, ok := <-ch
+	if !ok {
+		if err := wait(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("stream produced no updates"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for u, ok := first, true; ok; u, ok = <-ch {
+		if err := enc.Encode(toStreamUpdate(u, start)); err != nil {
+			// Client is gone; wait() below cancels the producer, so no
+			// further waves are scanned for a dead connection.
+			break
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := wait(); err != nil && r.Context().Err() == nil {
+		// Mid-stream terminal error with the client still there: report
+		// it as a final NDJSON line — the status line is long gone.
+		if encErr := enc.Encode(StreamUpdate{Error: err.Error()}); encErr == nil && flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// fptr boxes finite floats and maps NaN/±Inf (not representable in JSON)
+// to null.
+func fptr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func toStreamUpdate(u gus.Update, start time.Time) StreamUpdate {
+	out := StreamUpdate{
+		Wave:            u.Wave,
+		FractionScanned: u.FractionScanned,
+		RowsScanned:     u.RowsScanned,
+		SampleRows:      u.SampleRows,
+		Final:           u.Final,
+		Done:            u.Done,
+		Reason:          u.Reason,
+		ElapsedMS:       float64(time.Since(start).Microseconds()) / 1000,
+		Estimate:        fptr(u.Estimate),
+		StdErr:          fptr(u.StdErr),
+		CILow:           fptr(u.CILow),
+		CIHigh:          fptr(u.CIHigh),
+	}
+	for _, v := range u.Values {
+		out.Values = append(out.Values, StreamValue{
+			Name:         v.Name,
+			Kind:         v.Kind,
+			Value:        fptr(v.Value),
+			Estimate:     fptr(v.Estimate),
+			StdErr:       fptr(v.StdErr),
+			CILow:        fptr(v.CILow),
+			CIHigh:       fptr(v.CIHigh),
+			Approximate:  v.Approximate,
+			RelHalfWidth: fptr(v.RelHalfWidth),
+		})
+	}
+	return out
 }
 
 func (s *server) handleTables(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	gus "github.com/sampling-algebra/gus"
 )
@@ -192,5 +193,177 @@ func TestTablesEndpoint(t *testing.T) {
 	s.handleTables(rec, post)
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("POST /tables: status %d, want 405", rec.Code)
+	}
+}
+
+// streamServer builds a server whose table spans several engine
+// partitions (4096 rows each) — waves are whole partitions, so streaming
+// tests need more than one.
+func streamServer(t *testing.T) *server {
+	t.Helper()
+	db := gus.Open()
+	tb, err := db.CreateTable("ev",
+		gus.Column{Name: "cat", Type: gus.Int},
+		gus.Column{Name: "v", Type: gus.Float},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		if err := tb.Insert(i%12, float64(i%97)+0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &server{db: db}
+}
+
+// streamLines POSTs to /query/stream and splits the NDJSON response.
+func streamLines(t *testing.T, s *server, body string) (*httptest.ResponseRecorder, []StreamUpdate) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/query/stream", bytes.NewBufferString(body))
+	rec := httptest.NewRecorder()
+	s.handleQueryStream(rec, req)
+	var ups []StreamUpdate
+	for _, line := range strings.Split(strings.TrimSpace(rec.Body.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var u StreamUpdate
+		if err := json.Unmarshal([]byte(line), &u); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		ups = append(ups, u)
+	}
+	return rec, ups
+}
+
+func TestQueryStreamEndpoint(t *testing.T) {
+	s := streamServer(t)
+	rec, ups := streamLines(t, s,
+		`{"sql":"SELECT SUM(v) AS s FROM ev TABLESAMPLE (50 PERCENT)","seed":7,"waveRows":500}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	if len(ups) < 2 {
+		t.Fatalf("expected several waves, got %d lines", len(ups))
+	}
+	last := ups[len(ups)-1]
+	if !last.Final || !last.Done || last.Reason != "complete" || last.FractionScanned != 1 {
+		t.Fatalf("last line not a completed scan: %+v", last)
+	}
+	if last.Estimate == nil || *last.Estimate <= 0 {
+		t.Fatalf("final estimate missing: %+v", last)
+	}
+	// Final line must agree with the one-shot endpoint bit for bit.
+	_, one := postQuery(t, s, `{"sql":"SELECT SUM(v) AS s FROM ev TABLESAMPLE (50 PERCENT)","seed":7}`)
+	if *last.Estimate != one.Values[0].Estimate || *last.StdErr != one.Values[0].StdErr {
+		t.Fatalf("stream final (%v ± %v) != one-shot (%v ± %v)",
+			*last.Estimate, *last.StdErr, one.Values[0].Estimate, one.Values[0].StdErr)
+	}
+	for i, u := range ups {
+		if u.Wave != i {
+			t.Fatalf("wave numbering: line %d has wave %d", i, u.Wave)
+		}
+		if len(u.Values) != 1 || u.Values[0].Name != "s" {
+			t.Fatalf("line %d shape: %+v", i, u)
+		}
+	}
+}
+
+func TestQueryStreamStopsOnTarget(t *testing.T) {
+	s := streamServer(t)
+	rec, ups := streamLines(t, s,
+		`{"sql":"SELECT SUM(v) FROM ev TABLESAMPLE (90 PERCENT)","seed":3,"waveRows":256,"targetRelCi":0.2}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	last := ups[len(ups)-1]
+	if !last.Done {
+		t.Fatalf("stream did not stop: %+v", last)
+	}
+	if last.Reason != "target-ci" && last.Reason != "complete" {
+		t.Fatalf("unexpected reason %q", last.Reason)
+	}
+	if last.Reason == "target-ci" {
+		if last.FractionScanned >= 1 {
+			t.Fatal("target stop without early exit")
+		}
+		v := last.Values[0]
+		if v.RelHalfWidth == nil || *v.RelHalfWidth > 0.2 {
+			t.Fatalf("target not met: %+v", v)
+		}
+	}
+}
+
+func TestQueryStreamErrors(t *testing.T) {
+	s := testServer(t)
+	// Malformed body: straight 400.
+	req := httptest.NewRequest(http.MethodPost, "/query/stream", bytes.NewBufferString("{"))
+	rec := httptest.NewRecorder()
+	s.handleQueryStream(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", rec.Code)
+	}
+	// Bad SQL fails before the first update, so the stream endpoint can
+	// still answer with a real 400 — consistent with /query.
+	req2 := httptest.NewRequest(http.MethodPost, "/query/stream", bytes.NewBufferString(`{"sql":"SELECT FROM nope"}`))
+	rec2 := httptest.NewRecorder()
+	s.handleQueryStream(rec2, req2)
+	if rec2.Code != http.StatusBadRequest {
+		t.Fatalf("bad sql: status %d, want 400", rec2.Code)
+	}
+	var e map[string]string
+	if err := json.NewDecoder(rec2.Body).Decode(&e); err != nil || e["error"] == "" {
+		t.Fatalf("bad sql: error body missing (%v)", err)
+	}
+	// GROUP BY (rejected by the progressive executor) also 400s.
+	req2b := httptest.NewRequest(http.MethodPost, "/query/stream",
+		bytes.NewBufferString(`{"sql":"SELECT SUM(v) FROM ev TABLESAMPLE (50 PERCENT) GROUP BY cat"}`))
+	rec2b := httptest.NewRecorder()
+	s.handleQueryStream(rec2b, req2b)
+	if rec2b.Code != http.StatusBadRequest {
+		t.Fatalf("group by: status %d, want 400", rec2b.Code)
+	}
+	// GET is rejected.
+	req3 := httptest.NewRequest(http.MethodGet, "/query/stream", nil)
+	rec3 := httptest.NewRecorder()
+	s.handleQueryStream(rec3, req3)
+	if rec3.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d", rec3.Code)
+	}
+}
+
+// TestQueryStreamClientDisconnect drives the handler through a real HTTP
+// server and drops the connection after the first line: the stream must
+// terminate (the request context cancels the query) without wedging the
+// handler.
+func TestQueryStreamClientDisconnect(t *testing.T) {
+	s := streamServer(t)
+	mux := http.NewServeMux()
+	done := make(chan struct{})
+	mux.HandleFunc("/query/stream", func(w http.ResponseWriter, r *http.Request) {
+		defer close(done)
+		s.handleQueryStream(w, r)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	body := `{"sql":"SELECT SUM(v) FROM ev TABLESAMPLE (90 PERCENT)","seed":1,"waveRows":256}`
+	resp, err := http.Post(srv.URL+"/query/stream", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("reading first byte: %v", err)
+	}
+	resp.Body.Close() // disconnect mid-stream
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not return after client disconnect")
 	}
 }

@@ -25,10 +25,12 @@
 package gus
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/sampling-algebra/gus/internal/batch"
 	"github.com/sampling-algebra/gus/internal/core"
@@ -75,10 +77,12 @@ const (
 // DB is an in-memory database with estimation-aware query processing.
 // Queries execute on the parallel partitioned engine (internal/engine).
 //
-// A DB is safe for concurrent use: Query, Exact and Robustness may run
-// from many goroutines at once; catalog writes (CreateTable, LoadCSV,
-// AttachTPCH, Table.Insert) serialize against in-flight queries via an
-// internal RWMutex.
+// A DB is safe for concurrent use: Query, Exact, Robustness and
+// QueryProgressive may run from many goroutines at once; catalog writes
+// (CreateTable, LoadCSV, AttachTPCH, Table.Insert) serialize against
+// in-flight queries via an internal RWMutex. A progressive stream holds
+// the lock only while planning — its waves then run against an immutable
+// snapshot, so even a long-lived stream never blocks writers.
 type DB struct {
 	mu      sync.RWMutex
 	tables  map[string]*relation.Relation
@@ -307,6 +311,12 @@ type queryOptions struct {
 	systemBlockSize int
 	workers         int
 	rowEngine       bool
+
+	// Progressive (QueryProgressive) settings; ignored by Query.
+	targetRelCI float64
+	deadline    time.Duration
+	maxFraction float64
+	waveRows    int
 }
 
 // Option customizes Query.
@@ -337,6 +347,36 @@ func WithSystemBlockSize(n int) Option { return func(o *queryOptions) { o.system
 // per-partition sub-seeding makes seeded results bit-identical at any
 // width, so Workers only trades latency for cores.
 func WithWorkers(n int) Option { return func(o *queryOptions) { o.workers = n } }
+
+// WithTargetRelativeCI stops a progressive query once every SELECT item's
+// confidence-interval half-width is at most eps times the magnitude of its
+// estimate — e.g. 0.01 stops at ±1%. Ignored by Query.
+func WithTargetRelativeCI(eps float64) Option {
+	return func(o *queryOptions) { o.targetRelCI = eps }
+}
+
+// WithDeadline stops a progressive query at the first wave boundary after
+// d of wall-clock time, whatever accuracy has been reached. Ignored by
+// Query (use QueryContext with a deadline context to bound a one-shot
+// query).
+func WithDeadline(d time.Duration) Option {
+	return func(o *queryOptions) { o.deadline = d }
+}
+
+// WithMaxFraction stops a progressive query once at least fraction f of
+// the scanned relation has been read — a hard I/O budget. Values ≤ 0 or
+// ≥ 1 disable the limit. Ignored by Query.
+func WithMaxFraction(f float64) Option {
+	return func(o *queryOptions) { o.maxFraction = f }
+}
+
+// WithWaveRows sets how many input rows a progressive query scans per
+// wave (rounded up to whole engine partitions; default 8192). Smaller
+// waves mean more frequent updates at slightly more overhead. Ignored by
+// Query.
+func WithWaveRows(n int) Option {
+	return func(o *queryOptions) { o.waveRows = n }
+}
 
 // withRowEngine routes the query through the legacy row-at-a-time engine
 // and the row-major estimator — the in-tree baseline that the vectorized
@@ -417,6 +457,14 @@ type Result struct {
 // holds the catalog read-lock for its duration, so any number of queries
 // may run concurrently while catalog writes wait.
 func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
+	return db.QueryContext(context.Background(), sql, opts...)
+}
+
+// QueryContext is Query with cooperative cancellation: the engine checks
+// ctx between partition waves and aborts with ctx's error, so a slow
+// query never outlives a caller that has gone away. Cancellation yields
+// an error, never partial results.
+func (db *DB) QueryContext(ctx context.Context, sql string, opts ...Option) (*Result, error) {
 	o := db.buildOptions(opts)
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
@@ -431,12 +479,17 @@ func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.run(planned, o)
+	return db.run(ctx, planned, o)
 }
 
 // Exact runs the query with all sampling stripped: the true answer, for
 // validation and experiments.
 func (db *DB) Exact(sql string, opts ...Option) (*Result, error) {
+	return db.ExactContext(context.Background(), sql, opts...)
+}
+
+// ExactContext is Exact with cooperative cancellation (see QueryContext).
+func (db *DB) ExactContext(ctx context.Context, sql string, opts ...Option) (*Result, error) {
 	o := db.buildOptions(opts)
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
@@ -452,7 +505,7 @@ func (db *DB) Exact(sql string, opts ...Option) (*Result, error) {
 		return nil, err
 	}
 	planned.Root = plan.StripSampling(planned.Root)
-	return db.run(planned, o)
+	return db.run(ctx, planned, o)
 }
 
 // Robustness implements the §8 "database as a sample" analysis: the query
@@ -496,19 +549,19 @@ func (db *DB) Robustness(sql string, survival float64, opts ...Option) (*Result,
 	if wrapErr != nil {
 		return nil, wrapErr
 	}
-	return db.run(planned, o)
+	return db.run(context.Background(), planned, o)
 }
 
 // run executes a planned query — on the vectorized columnar engine by
 // default, or on the legacy row-at-a-time path under withRowEngine — and
 // estimates every SELECT item. The two paths produce bit-identical
 // results. Must be called with db.mu read-held.
-func (db *DB) run(planned *sqlparse.Planned, o queryOptions) (*Result, error) {
+func (db *DB) run(ctx context.Context, planned *sqlparse.Planned, o queryOptions) (*Result, error) {
 	analysis, err := plan.Analyze(planned.Root)
 	if err != nil {
 		return nil, err
 	}
-	eng := engine.New(engine.Config{Workers: o.workers})
+	eng := engine.New(engine.Config{Workers: o.workers, Context: ctx})
 	var sample aggSample
 	if o.rowEngine {
 		rows, err := eng.ExecuteRows(planned.Root, o.seed)

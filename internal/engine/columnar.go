@@ -171,29 +171,38 @@ func stripGUS(n plan.Node) plan.Node {
 }
 
 func (e *Engine) execFused(c *fusedChain, seed uint64, ids map[plan.Node]uint64) (*batch.Batch, error) {
-	in, err := batch.FromRelation(c.scan.Rel, c.scan.Alias)
-	if err != nil {
-		return nil, err
-	}
-	var smp *sampleStage
-	if c.sample != nil {
-		smp, err = newSampleStage(c.sample.Method, in, mix(seed, ids[c.sample], 0))
-		if err != nil {
-			return nil, fmt.Errorf("engine: %s: %w", c.sample.Label(), err)
-		}
-	}
-	var proj *projSpec
-	if c.project != nil {
-		proj, err = newProjSpec(in.Schema, c.project.Names, c.project.Exprs)
-		if err != nil {
-			return nil, err
-		}
-	}
-	preds, err := compilePreds(c.preds, in.Schema)
+	in, smp, preds, proj, err := prepareChain(c, seed, ids)
 	if err != nil {
 		return nil, err
 	}
 	return e.pipe(in, smp, preds, proj)
+}
+
+// prepareChain compiles a fused chain's stages once: the scan's columnar
+// input, the (optional) sampling stage with its node-derived sub-seed, the
+// compiled predicates and the (optional) projection.
+func prepareChain(c *fusedChain, seed uint64, ids map[plan.Node]uint64) (in *batch.Batch, smp *sampleStage, preds []*expr.VecCompiled, proj *projSpec, err error) {
+	in, err = batch.FromRelation(c.scan.Rel, c.scan.Alias)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if c.sample != nil {
+		smp, err = newSampleStage(c.sample.Method, in, mix(seed, ids[c.sample], 0))
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("engine: %s: %w", c.sample.Label(), err)
+		}
+	}
+	if c.project != nil {
+		proj, err = newProjSpec(in.Schema, c.project.Names, c.project.Exprs)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	preds, err = compilePreds(c.preds, in.Schema)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return in, smp, preds, proj, nil
 }
 
 func compilePreds(preds []expr.Expr, schema *relation.Schema) ([]*expr.VecCompiled, error) {
@@ -350,8 +359,21 @@ func (ps *projSpec) schemaFor(total int) (*relation.Schema, error) {
 // slices (expr.Vec.Slice + EvalAll) instead of building identity
 // selection vectors and gathering.
 func (e *Engine) pipe(in *batch.Batch, smp *sampleStage, preds []*expr.VecCompiled, proj *projSpec) (*batch.Batch, error) {
-	n := in.Len()
-	spans := ops.Partitions(n, e.partSize)
+	return e.pipeWindow(in, smp, preds, proj, ops.Partitions(in.Len(), e.partSize), 0)
+}
+
+// pipeWindow is pipe restricted to a window of consecutive input
+// partitions: spans must be a contiguous sub-slice of the input's full
+// partitioning and pBase the global index of spans[0]. Row indices stay
+// absolute (spans address the full input) and every sampling decision uses
+// the GLOBAL partition index, so the concatenation of windowed outputs
+// over a cover of the partitions is bit-identical to one full pipe — the
+// property progressive wave execution rests on.
+func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.VecCompiled, proj *projSpec, spans []ops.Span, pBase int) (*batch.Batch, error) {
+	n := 0
+	if len(spans) > 0 {
+		n = spans[len(spans)-1].Hi - spans[0].Lo
+	}
 	sels := make([][]int32, len(spans))
 	full := make([]bool, len(spans)) // whole span survives; sels[p] unused
 	counts := make([]int, len(spans))
@@ -368,7 +390,7 @@ func (e *Engine) pipe(in *batch.Batch, smp *sampleStage, preds []*expr.VecCompil
 		rest := preds
 		switch {
 		case smp != nil:
-			sel = smp.selectSpan(in, p, span, nil)
+			sel = smp.selectSpan(in, pBase+p, span, nil)
 		case len(preds) > 0:
 			// First predicate over zero-copy span slices.
 			v, err := preds[0].EvalAll(spanCols(span), span.Hi-span.Lo)

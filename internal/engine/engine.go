@@ -21,6 +21,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -43,6 +44,12 @@ type Config struct {
 	// the same partitioned code run on one goroutine, so the cutoff never
 	// changes results.
 	SerialCutoff int
+	// Context, when non-nil, cancels execution cooperatively: every
+	// partitioned operator checks it between partitions and aborts with
+	// the context's error instead of scanning on for a caller that is
+	// gone. Cancellation never yields partial results — Execute either
+	// returns complete rows or an error.
+	Context context.Context
 }
 
 // Engine executes query plans in parallel. It is stateless between calls
@@ -51,6 +58,7 @@ type Engine struct {
 	workers  int
 	partSize int
 	cutoff   int
+	ctx      context.Context
 }
 
 // New builds an Engine from cfg, applying defaults.
@@ -67,7 +75,7 @@ func New(cfg Config) *Engine {
 	if cut <= 0 {
 		cut = 2 * ps
 	}
-	return &Engine{workers: w, partSize: ps, cutoff: cut}
+	return &Engine{workers: w, partSize: ps, cutoff: cut, ctx: cfg.Context}
 }
 
 // Workers reports the configured worker-pool width.
@@ -124,13 +132,14 @@ func mix(seed, nodeID, part uint64) uint64 {
 // forEach runs fn(p) for every partition index p ∈ [0, parts), fanning out
 // over the worker pool when the total row count justifies it (the serial
 // fallback for tiny inputs — same partitioned code, one goroutine). fn
-// must only write state owned by partition p.
+// must only write state owned by partition p. The engine's context (if
+// any) cancels the loop between partitions.
 func (e *Engine) forEach(parts, rows int, fn func(p int) error) error {
 	workers := e.workers
 	if rows <= e.cutoff {
 		workers = 1
 	}
-	return ops.ForEachPart(workers, parts, fn)
+	return ops.ForEachPartCtx(e.ctx, workers, parts, fn)
 }
 
 // execBoth executes two independent subplans concurrently (plan-level

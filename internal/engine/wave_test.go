@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/ops"
+	"github.com/sampling-algebra/gus/internal/plan"
+	"github.com/sampling-algebra/gus/internal/sampling"
+)
+
+// wavePlans enumerates the single-scan shapes wave execution supports.
+func wavePlans(t *testing.T) map[string]plan.Node {
+	tables := genTables(t, 2000)
+	bern, _ := sampling.NewBernoulli("lineitem", 0.3)
+	blk, _ := sampling.NewBlock("lineitem", 16, 0.4)
+	lh, _ := sampling.NewLineageHash(99, map[string]float64{"lineitem": 0.5})
+	sel := func(in plan.Node) plan.Node {
+		return &plan.Select{Input: in, Pred: expr.Gt(expr.Col("l_extendedprice"), expr.Float(500))}
+	}
+	return map[string]plan.Node{
+		"scan": &plan.Scan{Rel: tables.Lineitem},
+		"gus-scan": &plan.GUS{
+			Input: &plan.Scan{Rel: tables.Lineitem},
+		},
+		"select": sel(&plan.Scan{Rel: tables.Lineitem}),
+		"bernoulli-select": sel(&plan.Sample{
+			Input: &plan.Scan{Rel: tables.Lineitem}, Method: bern,
+		}),
+		"block": &plan.Sample{Input: &plan.Scan{Rel: tables.Lineitem}, Method: blk},
+		"lineage-hash-project": &plan.Project{
+			Input: &plan.Sample{Input: &plan.Scan{Rel: tables.Lineitem}, Method: lh},
+			Names: []string{"v"},
+			Exprs: []expr.Expr{expr.Mul(expr.Col("l_extendedprice"), expr.Col("l_discount"))},
+		},
+	}
+}
+
+// TestWaveConcatBitIdentical: concatenating ExecuteWave outputs over any
+// cover of the partitions reproduces ExecuteBatch exactly — rows, order,
+// lineage — for every supported shape, seed and wave size.
+func TestWaveConcatBitIdentical(t *testing.T) {
+	plans := wavePlans(t)
+	for name, root := range plans {
+		for _, seed := range []uint64{1, 7} {
+			e := New(Config{Workers: 3, PartitionSize: 128, SerialCutoff: 1})
+			want, err := e.ExecuteBatch(root, seed)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for _, waveParts := range []int{1, 3, 5} {
+				w, err := e.PrepareWaves(root, seed)
+				if err != nil {
+					t.Fatalf("%s: PrepareWaves: %v", name, err)
+				}
+				if w == nil {
+					t.Fatalf("%s: PrepareWaves declined a supported shape", name)
+				}
+				got := &ops.Rows{Cols: want.Schema, LSch: want.LSch}
+				rows := 0
+				for lo := 0; lo < w.Partitions(); lo += waveParts {
+					hi := lo + waveParts
+					if hi > w.Partitions() {
+						hi = w.Partitions()
+					}
+					b, err := w.ExecuteWave(lo, hi)
+					if err != nil {
+						t.Fatalf("%s: wave [%d,%d): %v", name, lo, hi, err)
+					}
+					rows += b.Len()
+					got.Data = append(got.Data, b.ToRows().Data...)
+				}
+				if rows != want.Len() {
+					t.Fatalf("%s (wave=%d): %d rows vs %d", name, waveParts, rows, want.Len())
+				}
+				sameRows(t, fmt.Sprintf("%s seed=%d wave=%d", name, seed, waveParts),
+					want.ToRows(), got)
+			}
+		}
+	}
+}
+
+// TestPrepareWavesDeclinesUnsupported: joins and WOR sampling cannot run
+// wave-by-wave; PrepareWaves must signal fallback, not fail.
+func TestPrepareWavesDeclinesUnsupported(t *testing.T) {
+	tables := genTables(t, 500)
+	wor, _ := sampling.NewWOR("lineitem", 50)
+	unsupported := map[string]plan.Node{
+		"join": query1Plan(tables),
+		"wor":  &plan.Sample{Input: &plan.Scan{Rel: tables.Lineitem}, Method: wor},
+	}
+	e := New(Config{Workers: 2})
+	for name, root := range unsupported {
+		w, err := e.PrepareWaves(root, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w != nil {
+			t.Fatalf("%s: expected nil WaveExec for unsupported shape", name)
+		}
+	}
+}
+
+// TestWaveRowsThrough checks the cumulative-row bookkeeping the online
+// layer's fraction-scanned values come from.
+func TestWaveRowsThrough(t *testing.T) {
+	tables := genTables(t, 500)
+	e := New(Config{Workers: 2, PartitionSize: 128})
+	w, err := e.PrepareWaves(&plan.Scan{Rel: tables.Lineitem}, 1)
+	if err != nil || w == nil {
+		t.Fatalf("PrepareWaves: %v %v", w, err)
+	}
+	if got := w.RowsThrough(0); got != 0 {
+		t.Fatalf("RowsThrough(0) = %d", got)
+	}
+	if got := w.RowsThrough(1); got != 128 {
+		t.Fatalf("RowsThrough(1) = %d", got)
+	}
+	if got := w.RowsThrough(w.Partitions()); got != w.InputRows() {
+		t.Fatalf("RowsThrough(all) = %d, want %d", got, w.InputRows())
+	}
+	if got := w.RowsThrough(w.Partitions() + 5); got != w.InputRows() {
+		t.Fatalf("RowsThrough(beyond) = %d, want %d", got, w.InputRows())
+	}
+	if _, err := w.ExecuteWave(3, 1); err == nil {
+		t.Fatal("inverted wave bounds must error")
+	}
+}
+
+// TestContextCancelsExecution: a canceled engine context aborts between
+// partitions with the context's error instead of finishing the scan.
+func TestContextCancelsExecution(t *testing.T) {
+	tables := genTables(t, 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := New(Config{Workers: 2, PartitionSize: 64, SerialCutoff: 1, Context: ctx})
+	_, err := e.ExecuteBatch(query1Plan(tables), 1)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if ctx.Err() == nil || err.Error() != ctx.Err().Error() {
+		t.Fatalf("got %v, want %v", err, ctx.Err())
+	}
+}

@@ -1,0 +1,431 @@
+// Incremental Theorem-1 accumulation for online aggregation. An Accum
+// folds ordered sample chunks — one per partition wave — into persistent
+// moment state: per-mask group-by-lineage maps whose group totals, slot
+// order and span-wise accumulation order replicate the partition-sharded
+// batch path (parallel.go) float for float. Two read modes:
+//
+//   - Moments() — a live snapshot including the not-yet-complete tail
+//     span, with the Σ_groups(Σf)² sums maintained INCREMENTALLY (each
+//     fold adjusts a running sum by the changed groups only), so a wave
+//     costs O(Δ + groups touched), not O(rows so far);
+//   - Finalize() — folds the tail and recomputes every moment in slot
+//     order, exactly the order mergeShards uses, so an Accum fed the full
+//     sample in any chunking yields BIT-IDENTICAL moments (and hence
+//     estimate and variance) to one-shot Estimate/EstimateBatch with the
+//     same partition size.
+//
+// The incremental running sums trade last-bit float agreement for O(Δ)
+// updates — fine for intermediate confidence intervals, which is why
+// Finalize recomputes rather than trusting them.
+package estimator
+
+import (
+	"fmt"
+
+	"github.com/sampling-algebra/gus/internal/core"
+	"github.com/sampling-algebra/gus/internal/lineage"
+	"github.com/sampling-algebra/gus/internal/ops"
+)
+
+// Accum incrementally accumulates the §6.3 Y_S moments (and, in bilinear
+// mode, the cross moments Y_S(f,g) behind covariance/AVG) over sample
+// rows delivered in chunks. Chunk boundaries are arbitrary; internally
+// rows regroup into fixed partitionSize spans matching Options'
+// partition-sharded accumulators.
+type Accum struct {
+	n        int
+	partSize int
+	bilinear bool
+	rows     int
+	final    bool
+
+	// tail holds rows of the not-yet-complete span.
+	tailFs  []float64
+	tailGs  []float64
+	tailLin [][]lineage.TupleID
+
+	// totF/totG accumulate completed-span partial sums in span order —
+	// the running counterpart of totalOf.
+	totF, totG float64
+
+	masks []maskAccum // index = lineage mask; slot 0 unused (Y_∅ = totals)
+}
+
+// NewAccum returns an accumulator for samples with n lineage slots.
+// bilinear selects cross-moment mode (two value streams f and g);
+// partitionSize ≤ 0 selects ops.DefaultPartitionSize and must match the
+// Options.PartitionSize of any one-shot run it is compared against.
+func NewAccum(n int, bilinear bool, partitionSize int) *Accum {
+	if partitionSize <= 0 {
+		partitionSize = ops.DefaultPartitionSize
+	}
+	a := &Accum{
+		n:        n,
+		partSize: partitionSize,
+		bilinear: bilinear,
+		tailLin:  make([][]lineage.TupleID, n),
+		masks:    make([]maskAccum, 1<<uint(n)),
+	}
+	for m := 1; m < len(a.masks); m++ {
+		a.masks[m] = newMaskAccum(lineage.Set(m), bilinear)
+	}
+	return a
+}
+
+// Rows reports how many sample rows have been added.
+func (a *Accum) Rows() int { return a.rows }
+
+// Add appends one chunk of sample rows: per-row aggregate values fs (and
+// gs in bilinear mode; nil otherwise) with per-slot lineage columns lin.
+// Rows must arrive in sample order.
+func (a *Accum) Add(fs, gs []float64, lin [][]lineage.TupleID) error {
+	if a.final {
+		return fmt.Errorf("estimator: Add after Finalize")
+	}
+	if a.bilinear != (gs != nil) {
+		return fmt.Errorf("estimator: bilinear accumulator mismatch (gs nil: %v)", gs == nil)
+	}
+	if gs != nil && len(gs) != len(fs) {
+		return fmt.Errorf("estimator: %d g-values for %d f-values", len(gs), len(fs))
+	}
+	if len(lin) != a.n {
+		return fmt.Errorf("estimator: %d lineage columns for %d slots", len(lin), a.n)
+	}
+	for s, l := range lin {
+		if len(l) != len(fs) {
+			return fmt.Errorf("estimator: lineage slot %d has %d rows, want %d", s, len(l), len(fs))
+		}
+	}
+	a.tailFs = append(a.tailFs, fs...)
+	if gs != nil {
+		a.tailGs = append(a.tailGs, gs...)
+	}
+	for s := range lin {
+		a.tailLin[s] = append(a.tailLin[s], lin[s]...)
+	}
+	a.rows += len(fs)
+	a.drain()
+	return nil
+}
+
+// drain folds every complete span sitting in the tail, advancing a
+// cursor and compacting the buffers ONCE at the end — O(total) per call,
+// however many spans a large chunk completes.
+func (a *Accum) drain() {
+	off := 0
+	for len(a.tailFs)-off >= a.partSize {
+		a.foldAt(off, a.partSize)
+		off += a.partSize
+	}
+	a.discard(off)
+}
+
+// foldAt permanently folds tail rows [off, off+size) as one span.
+func (a *Accum) foldAt(off, size int) {
+	ch := chunk{fs: a.tailFs[off : off+size], lin: make([][]lineage.TupleID, a.n)}
+	if a.bilinear {
+		ch.gs = a.tailGs[off : off+size]
+	}
+	for s := range ch.lin {
+		ch.lin[s] = a.tailLin[s][off : off+size]
+	}
+	var sf float64
+	for _, v := range ch.fs {
+		sf += v
+	}
+	a.totF += sf
+	if a.bilinear {
+		var sg float64
+		for _, v := range ch.gs {
+			sg += v
+		}
+		a.totG += sg
+	}
+	for m := 1; m < len(a.masks); m++ {
+		a.masks[m].fold(&ch)
+	}
+}
+
+// discard drops the first off folded tail rows, moving the remainder to
+// the front of the (reused) buffers.
+func (a *Accum) discard(off int) {
+	if off == 0 {
+		return
+	}
+	a.tailFs = append(a.tailFs[:0], a.tailFs[off:]...)
+	if a.bilinear {
+		a.tailGs = append(a.tailGs[:0], a.tailGs[off:]...)
+	}
+	for s := range a.tailLin {
+		a.tailLin[s] = append(a.tailLin[s][:0], a.tailLin[s][off:]...)
+	}
+}
+
+// tailChunk views the current tail as a chunk (nil when empty).
+func (a *Accum) tailChunk() *chunk {
+	if len(a.tailFs) == 0 {
+		return nil
+	}
+	ch := &chunk{fs: a.tailFs, lin: a.tailLin}
+	if a.bilinear {
+		ch.gs = a.tailGs
+	}
+	return ch
+}
+
+// Total returns the live Σf including the tail.
+func (a *Accum) Total() float64 { return a.totF + tailSum(a.tailFs) }
+
+// TotalG returns the live Σg (bilinear mode).
+func (a *Accum) TotalG() float64 { return a.totG + tailSum(a.tailGs) }
+
+func tailSum(vs []float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+// Moments returns a live snapshot of the Y_S moments including the tail,
+// via the incremental running sums — O(Δ) per wave, last-bit float drift
+// possible relative to a fresh recompute.
+func (a *Accum) Moments() []float64 {
+	out := make([]float64, 1<<uint(a.n))
+	tf := a.Total()
+	if a.bilinear {
+		out[0] = tf * a.TotalG()
+	} else {
+		out[0] = tf * tf
+	}
+	ch := a.tailChunk()
+	for m := 1; m < len(out); m++ {
+		out[m] = a.masks[m].live(ch)
+	}
+	return out
+}
+
+// Finalize folds the remaining tail and returns the exact moments,
+// recomputed in slot order: bit-identical to momentsSharded (or
+// BilinearMoments with Workers > 0) over the whole sample. The
+// accumulator is sealed afterwards.
+func (a *Accum) Finalize() []float64 {
+	if !a.final {
+		a.drain()
+		if len(a.tailFs) > 0 {
+			a.foldAt(0, len(a.tailFs))
+			a.discard(len(a.tailFs))
+		}
+		a.final = true
+	}
+	out := make([]float64, 1<<uint(a.n))
+	if a.bilinear {
+		out[0] = a.totF * a.totG
+	} else {
+		out[0] = a.totF * a.totF
+	}
+	for m := 1; m < len(out); m++ {
+		out[m] = a.masks[m].exact()
+	}
+	return out
+}
+
+// chunk is one span's worth of rows in columnar form.
+type chunk struct {
+	fs, gs []float64
+	lin    [][]lineage.TupleID
+}
+
+func (c *chunk) len() int { return len(c.fs) }
+
+// maskAccum is one mask's persistent group state. Implementations differ
+// only in key encoding, mirroring momentsSharded's dispatch: 1-slot masks
+// group on tuple IDs, 2-slot on ID pairs, larger on encoded strings.
+type maskAccum interface {
+	fold(ch *chunk)
+	live(ch *chunk) float64
+	exact() float64
+}
+
+func newMaskAccum(set lineage.Set, bilinear bool) maskAccum {
+	switch slots := set.Members(); len(slots) {
+	case 1:
+		s0 := slots[0]
+		return newMaskState(bilinear, func(lin [][]lineage.TupleID, i int) lineage.TupleID {
+			return lin[s0][i]
+		})
+	case 2:
+		s0, s1 := slots[0], slots[1]
+		return newMaskState(bilinear, func(lin [][]lineage.TupleID, i int) [2]lineage.TupleID {
+			return [2]lineage.TupleID{lin[s0][i], lin[s1][i]}
+		})
+	default:
+		return newMaskState(bilinear, func(lin [][]lineage.TupleID, i int) string {
+			return colLins(lin).projectKey(i, set)
+		})
+	}
+}
+
+// maskState is the generic mask accumulator: persistent slot-ordered group
+// totals plus a running Σ_groups (Σf)(Σg) adjusted group-by-group on each
+// fold.
+type maskState[K comparable] struct {
+	key      func(lin [][]lineage.TupleID, i int) K
+	bilinear bool
+	slot     map[K]int
+	fTot     []float64
+	gTot     []float64
+	run      float64
+}
+
+func newMaskState[K comparable](bilinear bool, key func(lin [][]lineage.TupleID, i int) K) *maskState[K] {
+	return &maskState[K]{key: key, bilinear: bilinear, slot: make(map[K]int)}
+}
+
+// shard builds ch's span-local groupShard — the same per-span float math
+// as shardFor on the equivalent global span.
+func (ms *maskState[K]) shard(ch *chunk) groupShard[K] {
+	return shardFor(ops.Span{Lo: 0, Hi: ch.len()}, func(i int) K {
+		return ms.key(ch.lin, i)
+	}, ch.fs, ch.gs)
+}
+
+func (ms *maskState[K]) fold(ch *chunk) {
+	sh := ms.shard(ch)
+	for _, k := range sh.keys {
+		s, ok := ms.slot[k]
+		if !ok {
+			s = len(ms.fTot)
+			ms.slot[k] = s
+			ms.fTot = append(ms.fTot, 0)
+			if ms.bilinear {
+				ms.gTot = append(ms.gTot, 0)
+			}
+		}
+		oldF := ms.fTot[s]
+		newF := oldF + sh.fsum[k]
+		ms.fTot[s] = newF
+		if ms.bilinear {
+			oldG := ms.gTot[s]
+			newG := oldG + sh.gsum[k]
+			ms.gTot[s] = newG
+			ms.run += newF*newG - oldF*oldG
+		} else {
+			ms.run += newF*newF - oldF*oldF
+		}
+	}
+}
+
+// live returns the moment including the (unfolded) tail chunk, without
+// mutating state.
+func (ms *maskState[K]) live(ch *chunk) float64 {
+	acc := ms.run
+	if ch == nil {
+		return acc
+	}
+	sh := ms.shard(ch)
+	for _, k := range sh.keys {
+		var oldF, oldG float64
+		if s, ok := ms.slot[k]; ok {
+			oldF = ms.fTot[s]
+			if ms.bilinear {
+				oldG = ms.gTot[s]
+			}
+		}
+		newF := oldF + sh.fsum[k]
+		if ms.bilinear {
+			newG := oldG + sh.gsum[k]
+			acc += newF*newG - oldF*oldG
+		} else {
+			acc += newF*newF - oldF*oldF
+		}
+	}
+	return acc
+}
+
+// exact recomputes the moment from the group totals in slot (first-seen)
+// order — the exact float sequence of mergeShards' final loop.
+func (ms *maskState[K]) exact() float64 {
+	var acc float64
+	for s, f := range ms.fTot {
+		if ms.bilinear {
+			acc += f * ms.gTot[s]
+		} else {
+			acc += f * f
+		}
+	}
+	return acc
+}
+
+// EstimateFromMoments assembles a Result from an accumulator snapshot
+// under GUS g: the Theorem-1 estimate from the live Σf and the variance
+// from the (live or finalized) Y_S moments. With g the query's top GUS,
+// total = Accum.Total() and y = Accum.Finalize() over the full sample,
+// the Result is bit-identical to Estimate/EstimateBatch without §7
+// sub-sampling; with prefix-adjusted parameters and live snapshots it
+// prices a partially scanned sample.
+func EstimateFromMoments(g *core.Params, total float64, y []float64, sampleRows int) (*Result, error) {
+	if g.A() == 0 {
+		return nil, fmt.Errorf("estimator: null GUS (a=0) cannot be estimated")
+	}
+	res := &Result{
+		Estimate:     g.Estimate(total),
+		SampleRows:   sampleRows,
+		VarianceRows: sampleRows,
+		Y:            y,
+	}
+	yhat, err := UnbiasedY(g, y)
+	if err != nil {
+		return nil, err
+	}
+	res.YHat = yhat
+	raw, err := g.Variance(yhat)
+	if err != nil {
+		return nil, err
+	}
+	res.RawVariance = raw
+	res.Variance = raw
+	if raw < 0 {
+		res.Variance = 0
+		res.Clamped = true
+	}
+	return res, nil
+}
+
+// RatioFromMoments assembles a delta-method RatioResult from accumulator
+// snapshots of the numerator (totN, yNN), denominator (totD, yDD) and
+// their bilinear cross moments (yND) — the streaming counterpart of
+// Ratio/RatioBatch, bit-identical to them at Finalize.
+func RatioFromMoments(g *core.Params, totN, totD float64, yNN, yDD, yND []float64, sampleRows int) (*RatioResult, error) {
+	nRes, err := EstimateFromMoments(g, totN, yNN, sampleRows)
+	if err != nil {
+		return nil, err
+	}
+	dRes, err := EstimateFromMoments(g, totD, yDD, sampleRows)
+	if err != nil {
+		return nil, err
+	}
+	if dRes.Estimate == 0 {
+		return nil, fmt.Errorf("estimator: ratio with (estimated) zero denominator")
+	}
+	yhat, err := UnbiasedY(g, yND)
+	if err != nil {
+		return nil, err
+	}
+	cov, err := g.Variance(yhat)
+	if err != nil {
+		return nil, err
+	}
+	n, d := nRes.Estimate, dRes.Estimate
+	v := nRes.RawVariance/(d*d) - 2*n*cov/(d*d*d) + n*n*dRes.RawVariance/(d*d*d*d)
+	if v < 0 {
+		v = 0
+	}
+	return &RatioResult{
+		Estimate: n / d,
+		Variance: v,
+		Num:      nRes,
+		Den:      dRes,
+		Cov:      cov,
+	}, nil
+}

@@ -7,6 +7,7 @@
 package ops
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -94,6 +95,15 @@ func Partitions(n, size int) []Span {
 // lowest-numbered failing partition that ran is returned — biasing
 // toward the error the serial path would surface.
 func ForEachPart(workers, parts int, fn func(p int) error) error {
+	return ForEachPartCtx(nil, workers, parts, fn)
+}
+
+// ForEachPartCtx is ForEachPart with cooperative cancellation: once ctx is
+// done, no new partitions are claimed (in-flight ones finish) and ctx's
+// error is returned — unless a partition itself failed first, in which
+// case that error wins, keeping cancelled runs consistent with the serial
+// path. A nil ctx disables cancellation.
+func ForEachPartCtx(ctx context.Context, workers, parts int, fn func(p int) error) error {
 	if parts == 0 {
 		return nil
 	}
@@ -102,6 +112,11 @@ func ForEachPart(workers, parts int, fn func(p int) error) error {
 	}
 	if workers <= 1 {
 		for p := 0; p < parts; p++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if err := fn(p); err != nil {
 				return err
 			}
@@ -121,6 +136,9 @@ func ForEachPart(workers, parts int, fn func(p int) error) error {
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
+				if ctx != nil && ctx.Err() != nil {
+					return
+				}
 				p := int(next.Add(1)) - 1
 				if p >= parts {
 					return
@@ -138,7 +156,13 @@ func ForEachPart(workers, parts int, fn func(p int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstE
+	if firstE != nil {
+		return firstE
+	}
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Concat assembles per-partition output buffers into one row slice,

@@ -8,6 +8,35 @@ import (
 	"github.com/sampling-algebra/gus/internal/stats"
 )
 
+// FuzzParse is the native fuzz target the CI smoke step drives
+// (go test -fuzz=FuzzParse -fuzztime=20s): Parse must never panic, and
+// whatever parses must re-render into parseable text.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT SUM(a) FROM t",
+		"SELECT COUNT(*) FROM t TABLESAMPLE (10 PERCENT)",
+		"SELECT AVG(v) AS m FROM ev TABLESAMPLE BERNOULLI (5) WHERE v > 1.5 GROUP BY cat",
+		"SELECT QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.05) AS lo FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS) WHERE l_orderkey = o_orderkey",
+		"SELECT SUM(x) FROM a TABLESAMPLE SYSTEM (20), b WHERE NOT a_k = b_k OR x >= 0",
+		"SELECT",
+		")))((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil || q == nil || q.Where == nil {
+			return
+		}
+		// Round-trip: a parsed predicate must render to parseable text.
+		again := "SELECT SUM(a) FROM t WHERE " + q.Where.String()
+		if _, err := Parse(again); err != nil {
+			t.Fatalf("rendered predicate %q does not re-parse: %v", again, err)
+		}
+	})
+}
+
 // TestParseNeverPanicsOnRandomInput feeds the parser random byte soup and
 // random mutations of valid queries; it must always return (not panic).
 func TestParseNeverPanicsOnRandomInput(t *testing.T) {
