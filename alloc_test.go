@@ -1,0 +1,43 @@
+package gus
+
+import (
+	"testing"
+
+	"github.com/sampling-algebra/gus/internal/tpch"
+)
+
+// TestFusedJoinAllocBudget is the allocation-budget guard for the keyed
+// hot path: the full join-heavy pipeline (parse, plan, fused sampled
+// scans, open-addressing hash join, batch-fed estimation) must stay within
+// a fixed allocs-per-query budget, so a regression back toward per-row key
+// materialization fails `go test ./...` — not just the benchmark run.
+//
+// The budget has ~4× headroom over the measured steady state (hundreds of
+// allocations per query at this scale; the string-keyed implementation
+// needed tens of thousands) to absorb Go-version and race-detector noise
+// while still catching any per-row regression, which would blow past it by
+// orders of magnitude.
+func TestFusedJoinAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not meaningful with -short's tiny data")
+	}
+	db := Open()
+	if err := db.AttachTPCHConfig(tpch.Config{Orders: 8000, Customers: 800, Parts: 200, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	const sql = `
+SELECT SUM(l_discount*(1.0-l_tax))
+FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS)
+WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0`
+	query := func() {
+		if _, err := db.Query(sql, WithWorkers(1), WithSeed(7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query() // warm caches (snapshots, pools) before measuring
+	const budget = 2500
+	if n := testing.AllocsPerRun(5, query); n > budget {
+		t.Fatalf("fused join path allocates %.0f times per query, budget %d — "+
+			"per-row key materialization has crept back in", n, budget)
+	}
+}

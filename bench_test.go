@@ -369,6 +369,66 @@ func BenchmarkEngineExecute(b *testing.B) {
 	}
 }
 
+// BenchmarkJoin isolates the engine's hash join (no sampling, no
+// estimation) on TPC-H-shaped inputs: lineitem ⋈ orders through the
+// columnar open-addressing path and the row-at-a-time baseline, serial and
+// parallel. Allocations are the headline (BENCH_hashjoin.json): the
+// dictionary/hash scheme materializes no per-row keys.
+func BenchmarkJoin(b *testing.B) {
+	tb, err := tpch.Generate(tpch.Config{Orders: 10000, Customers: 1000, Parts: 200, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &plan.Join{
+		Left:     &plan.Scan{Rel: tb.Lineitem},
+		Right:    &plan.Scan{Rel: tb.Orders},
+		LeftCol:  "l_orderkey",
+		RightCol: "o_orderkey",
+	}
+	run := func(workers int, rowPath bool) func(*testing.B) {
+		return func(b *testing.B) {
+			eng := engine.New(engine.Config{Workers: workers})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if rowPath {
+					_, err = eng.ExecuteRows(p, 1)
+				} else {
+					_, err = eng.ExecuteBatch(p, 1)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("columnar/serial", run(1, false))
+	b.Run("columnar/workers=4", run(4, false))
+	b.Run("rowpath/serial", run(1, true))
+}
+
+// BenchmarkGroupBy measures a grouped aggregate end to end (parse, plan,
+// fused scan, typed-grouper partitioning, per-group estimation) — the
+// GROUP BY half of the zero-allocation keyed hot path.
+func BenchmarkGroupBy(b *testing.B) {
+	db := Open()
+	if err := db.AttachTPCHConfig(tpch.Config{Orders: 20000, Customers: 2000, Parts: 500, Seed: 3}); err != nil {
+		b.Fatal(err)
+	}
+	const sql = `
+SELECT SUM(l_extendedprice*(1.0-l_discount)) AS revenue, COUNT(*) AS n
+FROM lineitem TABLESAMPLE (25 PERCENT)
+WHERE l_quantity < 30.0
+GROUP BY l_linenumber`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(sql, WithWorkers(1), WithSeed(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHashJoin isolates the join operator on TPC-H-shaped inputs.
 func BenchmarkHashJoin(b *testing.B) {
 	tb, err := tpch.Generate(tpch.Config{Orders: 10000, Customers: 1000, Parts: 200, Seed: 4})

@@ -15,6 +15,8 @@
 //	                     (body: StreamRequest)
 //	GET  /tables       — registered tables and cardinalities
 //	GET  /healthz      — liveness probe
+//	GET  /debug/…      — net/http/pprof profiles and expvar counters
+//	                     (queries served, rows scanned); only with -pprof
 //
 // Both query endpoints are wired to the request context: when the client
 // disconnects, the engine stops scanning at the next partition boundary.
@@ -24,11 +26,13 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -37,6 +41,15 @@ import (
 	"time"
 
 	gus "github.com/sampling-algebra/gus"
+)
+
+// Live counters, exported through /debug/vars when -pprof is set: how many
+// query requests the server has answered (successfully or not) and how
+// many sample rows those queries produced — the load numbers a profiling
+// session wants next to its CPU and heap data.
+var (
+	statQueries     = expvar.NewInt("gusserve_queries_served")
+	statRowsScanned = expvar.NewInt("gusserve_rows_scanned")
 )
 
 // QueryRequest is the POST /query body. Zero values select defaults.
@@ -174,6 +187,7 @@ func main() {
 		genSF   = flag.Float64("gen", 0, "generate TPC-H data at this scale factor instead of loading")
 		genSeed = flag.Uint64("genseed", 42, "TPC-H generator seed")
 		workers = flag.Int("workers", 0, "default worker-pool width per query (0 = GOMAXPROCS)")
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof and expvar counters under /debug/ (profiling aid; do not enable on untrusted networks)")
 	)
 	flag.Parse()
 
@@ -211,6 +225,10 @@ func main() {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if *pprofOn {
+		registerDebug(mux)
+		log.Print("gusserve: /debug/pprof and /debug/vars enabled")
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -257,10 +275,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	res, err := s.db.QueryContext(r.Context(), req.SQL, opts...)
+	statQueries.Add(1)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	statRowsScanned.Add(int64(res.SampleRows))
 	resp := QueryResponse{
 		SampleRows: res.SampleRows,
 		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
@@ -342,6 +362,7 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	ch, wait := s.db.QueryProgressive(r.Context(), req.SQL, opts...)
+	statQueries.Add(1)
 
 	// Hold the status line until the first update: a stream that dies
 	// before producing anything (bad SQL, unknown table, GROUP BY) gets a
@@ -360,7 +381,11 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	lastSample := 0
 	for u, ok := first, true; ok; u, ok = <-ch {
+		// Same unit as /query: sample rows the query produced so far.
+		statRowsScanned.Add(int64(u.SampleRows - lastSample))
+		lastSample = u.SampleRows
 		if err := enc.Encode(toStreamUpdate(u, start)); err != nil {
 			// Client is gone; wait() below cancels the producer, so no
 			// further waves are scanned for a dead connection.
@@ -451,6 +476,17 @@ func toValueResponse(v gus.Value) ValueResponse {
 		CIHigh:      v.CIHigh,
 		Approximate: v.Approximate,
 	}
+}
+
+// registerDebug mounts the net/http/pprof handlers and the expvar page on
+// the server's own mux (it never uses http.DefaultServeMux).
+func registerDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -367,3 +367,38 @@ func TestQueryStreamClientDisconnect(t *testing.T) {
 		t.Fatal("handler did not return after client disconnect")
 	}
 }
+
+// TestDebugCountersAndPprof: the expvar counters must track served queries
+// and scanned rows, and registerDebug must mount working pprof/vars
+// handlers on the server's private mux.
+func TestDebugCountersAndPprof(t *testing.T) {
+	s := testServer(t)
+	q0 := statQueries.Value()
+	r0 := statRowsScanned.Value()
+	_, resp := postQuery(t, s, `{"sql":"SELECT COUNT(*) FROM ev TABLESAMPLE (50 PERCENT)","seed":3}`)
+	if resp == nil {
+		t.Fatal("query failed")
+	}
+	if got := statQueries.Value() - q0; got != 1 {
+		t.Fatalf("queries_served advanced by %d, want 1", got)
+	}
+	if got := statRowsScanned.Value() - r0; got != int64(resp.SampleRows) {
+		t.Fatalf("rows_scanned advanced by %d, want %d", got, resp.SampleRows)
+	}
+
+	mux := http.NewServeMux()
+	registerDebug(mux)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/vars", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "gusserve_queries_served") {
+		t.Fatal("/debug/vars does not expose gusserve_queries_served")
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: status %d", rec.Code)
+	}
+}

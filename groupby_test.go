@@ -1,6 +1,7 @@
 package gus
 
 import (
+	"math"
 	"testing"
 
 	"github.com/sampling-algebra/gus/internal/stats"
@@ -163,5 +164,66 @@ FROM t TABLESAMPLE (25 PERCENT) GROUP BY k`, WithSeed(4))
 		if g.Values[1].Value <= g.Values[1].Estimate {
 			t.Error("0.95 quantile should exceed the estimate")
 		}
+	}
+}
+
+// TestGroupByKeyIdentity is the grouping half of the key-aliasing
+// regression: the typed grouper must reproduce exactly the per-row
+// AsString group identity it replaced — strings with embedded NULs and
+// prefix relationships stay distinct groups, every NaN lands in ONE group,
+// and -0.0/+0.0 remain the two distinct groups their "-0"/"0" renderings
+// always were.
+func TestGroupByKeyIdentity(t *testing.T) {
+	db := Open()
+	tb, err := db.CreateTable("s", Column{"k", String}, Column{"v", Float})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "a"+"b" vs "ab" style neighbors, empty string, NUL boundary abuse.
+	keys := []string{"a", "ab", "a\x00b", "", "a", "\x00ab", "ab"}
+	for i, k := range keys {
+		if err := tb.Insert(k, float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Query(`SELECT COUNT(*) AS n FROM s GROUP BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 5 {
+		t.Fatalf("string groups = %d, want 5 (keys aliased or over-split)", len(res.Groups))
+	}
+	counts := map[string]float64{}
+	for _, g := range res.Groups {
+		counts[g.Key] = g.Values[0].Estimate
+	}
+	if counts["a"] != 2 || counts["ab"] != 2 || counts["a\x00b"] != 1 || counts[""] != 1 || counts["\x00ab"] != 1 {
+		t.Fatalf("group counts wrong: %v", counts)
+	}
+
+	fb, err := db.CreateTable("f", Column{"k", Float}, Column{"v", Int})
+	if err != nil {
+		t.Fatal(err)
+	}
+	negZero := math.Copysign(0, -1)
+	for _, k := range []float64{0, negZero, math.NaN(), math.NaN(), 0, 1.5} {
+		if err := fb.Insert(k, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fres, err := db.Query(`SELECT COUNT(*) AS n FROM f GROUP BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups: "-0", "0", "1.5", "NaN" — AsString identity exactly.
+	if len(fres.Groups) != 4 {
+		t.Fatalf("float groups = %d, want 4: %+v", len(fres.Groups), fres.Groups)
+	}
+	fcounts := map[string]float64{}
+	for _, g := range fres.Groups {
+		fcounts[g.Key] = g.Values[0].Estimate
+	}
+	if fcounts["0"] != 2 || fcounts["-0"] != 1 || fcounts["NaN"] != 2 || fcounts["1.5"] != 1 {
+		t.Fatalf("float group counts wrong: %v", fcounts)
 	}
 }

@@ -27,6 +27,7 @@ package gus
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -37,6 +38,7 @@ import (
 	"github.com/sampling-algebra/gus/internal/engine"
 	"github.com/sampling-algebra/gus/internal/estimator"
 	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/hashtab"
 	"github.com/sampling-algebra/gus/internal/lineage"
 	"github.com/sampling-algebra/gus/internal/ops"
 	"github.com/sampling-algebra/gus/internal/plan"
@@ -683,29 +685,100 @@ func groupOrder(keys []string, vals map[string]relation.Value) {
 	})
 }
 
+// partitionBatchByColumn groups rows on an open-addressing grouper keyed
+// directly by the typed column — dictionary codes for encoded strings,
+// int64 values, float bit patterns (all NaNs one group) — with a full
+// typed compare on hash collisions. Group identity matches the historical
+// per-row AsString keys exactly (AsString is injective per kind except for
+// NaN, which it collapses, as the bit-pattern identity does too), and the
+// key string is rendered once per GROUP, not once per row.
 func partitionBatchByColumn(b *batch.Batch, col string) ([]sampleGroup, error) {
 	idx, ok := b.Schema.Index(col)
 	if !ok {
 		return nil, fmt.Errorf("gus: unknown GROUP BY column %q", col)
 	}
-	sels := map[string][]int32{}
-	vals := map[string]relation.Value{}
-	var keys []string
+	v := b.Cols[idx]
+	g := hashtab.NewGrouper(64)
+	var reps []int32   // first row of each group, first-seen order
+	var sels [][]int32 // rows per group
+	cand := 0
+	eq := func(id int32) bool { return groupEqualAt(v, cand, int(reps[id])) }
 	for i := 0; i < b.Len(); i++ {
-		v := b.ValueAt(i, idx)
-		k := v.AsString()
-		if _, seen := sels[k]; !seen {
-			keys = append(keys, k)
-			vals[k] = v
+		cand = i
+		id, fresh := g.Get(groupHashAt(v, i), eq)
+		if fresh {
+			reps = append(reps, int32(i))
+			sels = append(sels, nil)
 		}
-		sels[k] = append(sels[k], int32(i))
+		sels[id] = append(sels[id], int32(i))
 	}
-	groupOrder(keys, vals)
-	out := make([]sampleGroup, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, sampleGroup{key: k, sample: aggSample{b: b.Gather(sels[k])}})
+	// Sort first-seen group order by column value — the same sort, over
+	// the same initial sequence, with the same comparisons as groupOrder,
+	// so the emitted group order is unchanged.
+	order := make([]int, len(reps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, c int) bool {
+		va, vc := b.ValueAt(int(reps[order[a]]), idx), b.ValueAt(int(reps[order[c]]), idx)
+		cmp, err := va.Compare(vc)
+		if err != nil {
+			// Mixed-kind keys cannot arise from a typed column; fall back
+			// to the textual order for safety.
+			return va.AsString() < vc.AsString()
+		}
+		return cmp < 0
+	})
+	out := make([]sampleGroup, 0, len(order))
+	for _, id := range order {
+		out = append(out, sampleGroup{
+			key:    b.ValueAt(int(reps[id]), idx).AsString(),
+			sample: aggSample{b: b.Gather(sels[id])},
+		})
 	}
 	return out, nil
+}
+
+// groupHashAt hashes row i of a column under GROUP BY identity: int64
+// value, float bit pattern (NaNs collapsed), or the string (by dictionary
+// lookup when encoded). Distinct from join-key hashing — FloatKey's
+// int-normalization must NOT apply, because AsString keeps 42 (int) and
+// "-0"/"0" style distinctions that grouping preserves.
+func groupHashAt(v expr.Vec, i int) uint64 {
+	switch v.Kind {
+	case relation.KindInt:
+		return hashtab.Mix(uint64(v.I[i]))
+	case relation.KindFloat:
+		f := v.F[i]
+		if math.IsNaN(f) {
+			f = math.NaN()
+		}
+		return hashtab.Mix(math.Float64bits(f))
+	default:
+		if v.Codes != nil {
+			return v.Dict.Hashes[v.Codes[i]]
+		}
+		return hashtab.String(v.S[i])
+	}
+}
+
+// groupEqualAt is groupHashAt's identity: the full compare deciding groups.
+func groupEqualAt(v expr.Vec, i, j int) bool {
+	switch v.Kind {
+	case relation.KindInt:
+		return v.I[i] == v.I[j]
+	case relation.KindFloat:
+		a, b := v.F[i], v.F[j]
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return math.IsNaN(a) && math.IsNaN(b)
+		}
+		return math.Float64bits(a) == math.Float64bits(b)
+	default:
+		if v.Codes != nil {
+			return v.Codes[i] == v.Codes[j]
+		}
+		return v.S[i] == v.S[j]
+	}
 }
 
 func partitionRowsByColumn(rows *ops.Rows, col string) ([]sampleGroup, error) {

@@ -101,7 +101,7 @@ func FromRelation(r *relation.Relation, alias string) (*Batch, error) {
 	snap := r.Snapshot()
 	cols := make([]expr.Vec, len(snap.Cols))
 	for j, c := range snap.Cols {
-		cols[j] = expr.Vec{Kind: c.Kind, I: c.Ints, F: c.Floats, S: c.Strs}
+		cols[j] = expr.Vec{Kind: c.Kind, I: c.Ints, F: c.Floats, S: c.Strs, Codes: c.Codes, Dict: c.Dict}
 	}
 	return &Batch{
 		Schema: r.Schema(),
@@ -175,9 +175,9 @@ func (b *Batch) ToRows() *ops.Rows {
 }
 
 // Gather returns a new dense batch holding the rows sel selects, in sel
-// order.
+// order. Dictionary sidecars carry over (single-source gather).
 func (b *Batch) Gather(sel []int32) *Batch {
-	out := Alloc(b.Schema, b.LSch, len(sel))
+	out := AllocLike(b, len(sel))
 	b.GatherInto(out, 0, sel)
 	return out
 }
@@ -195,7 +195,13 @@ func (b *Batch) GatherInto(dst *Batch, off int, sel []int32) {
 }
 
 // GatherVec copies src[sel[k]] into dst[off+k] for every k. src and dst
-// must share a kind; dst must be dense and large enough.
+// must share a kind; dst must be dense and large enough. Dictionary codes
+// gather along only when both sides carry the SAME dictionary object.
+// Caller contract: a dst with a sidecar must come from AllocVecLike (or
+// AllocMerged) of THIS src — pairing it with a different source would
+// leave dst's codes stale while its strings update, breaking the Vec
+// invariant; the dict-identity check below cannot repair that (dst is
+// passed by value), it only refuses to write wrong codes.
 func GatherVec(src expr.Vec, sel []int32, dst expr.Vec, off int) {
 	switch src.Kind {
 	case relation.KindInt:
@@ -213,6 +219,12 @@ func GatherVec(src expr.Vec, sel []int32, dst expr.Vec, off int) {
 		for k, i := range sel {
 			out[k] = src.S[i]
 		}
+		if dst.Codes != nil && src.Codes != nil && src.Dict == dst.Dict {
+			oc := dst.Codes[off:]
+			for k, i := range sel {
+				oc[k] = src.Codes[i]
+			}
+		}
 	}
 }
 
@@ -222,33 +234,6 @@ func GatherIDs(src []lineage.TupleID, sel []int32, dst []lineage.TupleID, off in
 	for k, i := range sel {
 		out[k] = src[i]
 	}
-}
-
-// KeyAt returns the hash-join key of column col at row i — the same
-// encoding as relation.Value.Key, via the shared per-kind key functions.
-func (b *Batch) KeyAt(col, row int) string { return VecKeyAt(b.Cols[col], row) }
-
-// VecKeyAt is KeyAt over a bare vector.
-func VecKeyAt(v expr.Vec, i int) string {
-	switch v.Kind {
-	case relation.KindInt:
-		return relation.IntKey(v.I[i])
-	case relation.KindFloat:
-		return relation.FloatKey(v.F[i])
-	default:
-		return relation.StringKey(v.S[i])
-	}
-}
-
-// LinKeyAt returns row i's full lineage key — identical to
-// lineage.Vector.Key on the equivalent row-major vector, so columnar and
-// row operators group/dedupe identically.
-func (b *Batch) LinKeyAt(i int) string {
-	buf := make([]byte, 0, 8*len(b.Lin))
-	for s := range b.Lin {
-		buf = lineage.AppendID(buf, b.Lin[s][i])
-	}
-	return string(buf)
 }
 
 // LinVectorAt materializes row i's lineage vector (for boundaries that

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"github.com/sampling-algebra/gus/internal/expr"
-	"github.com/sampling-algebra/gus/internal/lineage"
 	"github.com/sampling-algebra/gus/internal/ops"
 	"github.com/sampling-algebra/gus/internal/relation"
 )
@@ -102,27 +101,55 @@ func TestGather(t *testing.T) {
 	}
 }
 
-// TestKeysMirrorRowPath: join keys and lineage keys must equal the
-// row-path Value.Key / Vector.Key encodings, or columnar joins and set
-// operators would group differently.
-func TestKeysMirrorRowPath(t *testing.T) {
+// TestHashMirrorsRowPathKeys: canonical hashing and typed equality must
+// agree with the row-path Value.Key encoding — equal keys hash equal and
+// EqualAt holds exactly when the Key strings match — or columnar joins
+// would group differently from the row path.
+func TestHashMirrorsRowPathKeys(t *testing.T) {
 	vals := []relation.Value{
-		relation.Int(42), relation.Int(-7),
+		relation.Int(42), relation.Int(-7), relation.Int(1 << 52),
 		relation.Float(42), // integral float shares the int key space
-		relation.Float(3.25), relation.Float(-0.5),
-		relation.String_("x"), relation.String_(""),
+		relation.Float(3.25), relation.Float(-0.5), relation.Float(1e16),
+		relation.String_("x"), relation.String_(""), relation.String_("42"),
 	}
-	for _, v := range vals {
-		if got, want := VecKeyAt(expr.ConstVec(v), 0), v.Key(); got != want {
-			t.Errorf("key of %v: %q vs %q", v, got, want)
+	for _, a := range vals {
+		for _, b := range vals {
+			av, bv := expr.ConstVec(a), expr.ConstVec(b)
+			keyEq := a.Key() == b.Key()
+			if got := EqualAt(av, 0, bv, 0); got != keyEq {
+				t.Errorf("EqualAt(%v, %v) = %v, Key equality %v", a, b, got, keyEq)
+			}
+			if keyEq && HashAt(av, 0) != HashAt(bv, 0) {
+				t.Errorf("equal keys %v, %v hash apart", a, b)
+			}
 		}
 	}
+}
 
-	lin := lineage.Vector{3, 17, 5}
-	b := &Batch{
-		Lin: [][]lineage.TupleID{{3}, {17}, {5}},
+// TestGatherKeepsDictionaries: single-source gathers must preserve the
+// snapshot's dictionary sidecar with codes matching the strings.
+func TestGatherKeepsDictionaries(t *testing.T) {
+	rel := testRelation(t)
+	b, err := FromRelation(rel, "")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got, want := b.LinKeyAt(0), lin.Key(); got != want {
-		t.Errorf("lineage key: %q vs %q", got, want)
+	sIdx, _ := b.Schema.Index("s")
+	if b.Cols[sIdx].Dict == nil || b.Cols[sIdx].Codes == nil {
+		t.Fatal("scan batch lost the snapshot dictionary")
+	}
+	g := b.Gather([]int32{5, 2, 77, 2})
+	gc := g.Cols[sIdx]
+	if gc.Dict != b.Cols[sIdx].Dict {
+		t.Fatal("gather changed the dictionary object")
+	}
+	for i := 0; i < g.Len(); i++ {
+		if gc.Dict.Strs[gc.Codes[i]] != gc.S[i] {
+			t.Fatalf("row %d: code %d decodes to %q, column holds %q",
+				i, gc.Codes[i], gc.Dict.Strs[gc.Codes[i]], gc.S[i])
+		}
+		if gc.Dict.Hashes[gc.Codes[i]] != relation.StringHash(gc.S[i]) {
+			t.Fatalf("row %d: dictionary hash does not match StringHash", i)
+		}
 	}
 }

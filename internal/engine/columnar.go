@@ -386,15 +386,19 @@ func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.Vec
 	}
 	err := e.forEach(len(spans), n, func(p int) error {
 		span := spans[p]
-		var sel []int32
+		// Selection vectors come from the engine's scratch pool, so
+		// steady-state execution — one-shot queries and progressive waves
+		// alike — reuses buffers instead of growing fresh ones per span.
+		sel := getI32(0)
 		rest := preds
 		switch {
 		case smp != nil:
-			sel = smp.selectSpan(in, pBase+p, span, nil)
+			sel = smp.selectSpan(in, pBase+p, span, sel)
 		case len(preds) > 0:
 			// First predicate over zero-copy span slices.
 			v, err := preds[0].EvalAll(spanCols(span), span.Hi-span.Lo)
 			if err != nil {
+				putI32(sel)
 				return fmt.Errorf("engine: select: %w", err)
 			}
 			for k := 0; k < span.Hi-span.Lo; k++ {
@@ -404,6 +408,7 @@ func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.Vec
 			}
 			rest = preds[1:]
 		default:
+			putI32(sel)
 			full[p], counts[p] = true, span.Hi-span.Lo
 			return nil
 		}
@@ -413,6 +418,7 @@ func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.Vec
 			}
 			v, err := pred.Eval(in.Cols, sel)
 			if err != nil {
+				putI32(sel)
 				return fmt.Errorf("engine: select: %w", err)
 			}
 			kept := sel[:0]
@@ -426,7 +432,16 @@ func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.Vec
 		sels[p], counts[p] = sel, len(sel)
 		return nil
 	})
+	releaseSels := func() {
+		for p := range sels {
+			if sels[p] != nil {
+				putI32(sels[p])
+				sels[p] = nil
+			}
+		}
+	}
 	if err != nil {
+		releaseSels()
 		return nil, err
 	}
 
@@ -437,12 +452,18 @@ func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.Vec
 	total := offs[len(spans)]
 
 	outSchema := in.Schema
+	var out *batch.Batch
 	if proj != nil {
 		if outSchema, err = proj.schemaFor(total); err != nil {
+			releaseSels()
 			return nil, err
 		}
+		out = batch.Alloc(outSchema, in.LSch, total)
+	} else {
+		// Unprojected outputs gather column-for-column from one source, so
+		// dictionary encodings survive the kernel.
+		out = batch.AllocLike(in, total)
 	}
-	out := batch.Alloc(outSchema, in.LSch, total)
 	err = e.forEach(len(spans), n, func(p int) error {
 		if counts[p] == 0 {
 			return nil
@@ -491,6 +512,7 @@ func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.Vec
 		}
 		return nil
 	})
+	releaseSels()
 	if err != nil {
 		return nil, err
 	}
@@ -516,6 +538,9 @@ func copyVec(src, dst expr.Vec, off int) {
 		copy(dst.F[off:], src.F)
 	default:
 		copy(dst.S[off:], src.S)
+		if dst.Codes != nil && src.Codes != nil && src.Dict == dst.Dict {
+			copy(dst.Codes[off:], src.Codes)
+		}
 	}
 }
 
@@ -583,10 +608,15 @@ func (e *Engine) sampleWORB(in *batch.Batch, m *sampling.WOR, sub uint64) (*batc
 	return in.Gather(sel), nil
 }
 
-// execJoinB is the columnar partitioned hash join: same build-side choice,
-// same partial-build merge order and same probe order as the row path, so
-// the output rows are identical; only the materialization is columnar
-// (two gather index lists instead of per-pair tuple allocations).
+// execJoinB is the columnar hash join on the open-addressing joinTable:
+// key hashes computed vectorized per partition (dictionary lookups for
+// encoded string columns), a radix-partitioned parallel build, and a
+// parallel probe emitting (build, probe) index pairs. Chains hold
+// ascending build rows and probe partitions emit in row order, so the
+// output is row-for-row identical to the merged-partial-map implementation
+// it replaces — and to the row path — at any worker count. Matches are
+// decided by canonical hash plus EqualAt's full typed compare, never by
+// materialized string keys.
 func (e *Engine) execJoinB(l, r *batch.Batch, leftCol, rightCol string) (*batch.Batch, error) {
 	li, ok := l.Schema.Index(leftCol)
 	if !ok {
@@ -611,44 +641,55 @@ func (e *Engine) execJoinB(l, r *batch.Batch, leftCol, rightCol string) (*batch.
 		build, probe = r, l
 		buildKey, probeKey = ri, li
 	}
+	buildVec, probeVec := build.Cols[buildKey], probe.Cols[probeKey]
 
-	// Parallel partial build, merged in partition order.
-	bspans := ops.Partitions(build.Len(), e.partSize)
-	partials := make([]map[string][]int32, len(bspans))
-	err = e.forEach(len(bspans), build.Len(), func(p int) error {
-		m := make(map[string][]int32, bspans[p].Hi-bspans[p].Lo)
-		for i := bspans[p].Lo; i < bspans[p].Hi; i++ {
-			k := build.KeyAt(buildKey, i)
-			m[k] = append(m[k], int32(i))
-		}
-		partials[p] = m
+	// Vectorized build-side hashing, then the radix-partitioned build.
+	n := build.Len()
+	bh := getU64(n)
+	bspans := e.partitionsFor(n)
+	err = e.forEach(len(bspans), n, func(p int) error {
+		span := bspans[p]
+		batch.HashVecInto(buildVec, span.Lo, span.Hi, bh[span.Lo:span.Hi])
 		return nil
 	})
 	if err != nil {
+		putU64(bh)
 		return nil, err
 	}
-	table := make(map[string][]int32, build.Len())
-	for _, m := range partials {
-		for k, idxs := range m {
-			table[k] = append(table[k], idxs...)
-		}
+	table, err := e.buildJoinTable(n, bh, func(i, j int32) bool {
+		return batch.EqualAt(buildVec, int(i), buildVec, int(j))
+	})
+	if err != nil {
+		putU64(bh)
+		return nil, err
 	}
+	putU64(bh)
 
 	// Parallel probe into per-partition (build, probe) index pairs.
-	pspans := ops.Partitions(probe.Len(), e.partSize)
+	pspans := e.partitionsFor(probe.Len())
 	bIdx := make([][]int32, len(pspans))
 	pIdx := make([][]int32, len(pspans))
 	err = e.forEach(len(pspans), probe.Len(), func(p int) error {
-		var bs, ps []int32
-		for i := pspans[p].Lo; i < pspans[p].Hi; i++ {
-			for _, bi := range table[probe.KeyAt(probeKey, i)] {
+		span := pspans[p]
+		ph := getU64(span.Hi - span.Lo)
+		batch.HashVecInto(probeVec, span.Lo, span.Hi, ph)
+		bs, ps := getI32(0), getI32(0)
+		// One closure per partition: pi advances per row, so probing
+		// allocates nothing.
+		pi := 0
+		eq := func(row int32) bool { return batch.EqualAt(probeVec, pi, buildVec, int(row)) }
+		for i := span.Lo; i < span.Hi; i++ {
+			pi = i
+			for bi := table.head(ph[i-span.Lo], eq); bi >= 0; bi = table.chainNext(bi) {
 				bs = append(bs, bi)
 				ps = append(ps, int32(i))
 			}
 		}
+		putU64(ph)
 		bIdx[p], pIdx[p] = bs, ps
 		return nil
 	})
+	table.release()
 	if err != nil {
 		return nil, err
 	}
@@ -656,7 +697,7 @@ func (e *Engine) execJoinB(l, r *batch.Batch, leftCol, rightCol string) (*batch.
 	for p := range bIdx {
 		offs[p+1] = offs[p] + len(bIdx[p])
 	}
-	out := batch.Alloc(cols, lsch, offs[len(pspans)])
+	out := allocConcat(l, r, cols, lsch, offs[len(pspans)])
 	err = e.forEach(len(pspans), probe.Len(), func(p int) error {
 		lSel, rSel := bIdx[p], pIdx[p]
 		if !buildLeft {
@@ -665,10 +706,39 @@ func (e *Engine) execJoinB(l, r *batch.Batch, leftCol, rightCol string) (*batch.
 		gatherConcat(l, r, lSel, rSel, out, offs[p])
 		return nil
 	})
+	for p := range bIdx {
+		putI32(bIdx[p])
+		putI32(pIdx[p])
+	}
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// allocConcat allocates a join output batch whose columns mirror l's then
+// r's — including their dictionary sidecars, so encoded join keys stay
+// encoded through the join.
+func allocConcat(l, r *batch.Batch, cols *relation.Schema, lsch *lineage.Schema, rows int) *batch.Batch {
+	vecs := make([]expr.Vec, cols.Len())
+	for j, c := range l.Cols {
+		vecs[j] = batch.AllocVecLike(c, rows)
+	}
+	nl := len(l.Cols)
+	for j, c := range r.Cols {
+		vecs[nl+j] = batch.AllocVecLike(c, rows)
+	}
+	lin := make([][]lineage.TupleID, lsch.Len())
+	for s := range lin {
+		lin[s] = make([]lineage.TupleID, rows)
+	}
+	b, err := batch.New(cols, lsch, vecs, lin, rows)
+	if err != nil {
+		// Schemas were validated by the callers' Concat; lengths match by
+		// construction.
+		panic(err)
+	}
+	return b
 }
 
 // gatherConcat fills out[off:off+len(lSel)] with l-rows lSel concatenated
@@ -750,7 +820,7 @@ func (e *Engine) execThetaB(l, r *batch.Batch, pred expr.Expr) (*batch.Batch, er
 	for p := range lIdx {
 		offs[p+1] = offs[p] + len(lIdx[p])
 	}
-	out := batch.Alloc(cols, lsch, offs[len(spans)])
+	out := allocConcat(l, r, cols, lsch, offs[len(spans)])
 	err = e.forEach(len(spans), l.Len()*max(1, rn), func(p int) error {
 		gatherConcat(l, r, lIdx[p], rIdx[p], out, offs[p])
 		return nil
@@ -774,26 +844,51 @@ func setConst(dst *expr.Vec, src expr.Vec, i int) {
 }
 
 // execUnionB merges two samples of the same expression, deduplicating by
-// lineage in the same l-then-r first-seen order as ops.Union.
+// lineage in the same l-then-r first-seen order as ops.Union — but on a
+// pooled open-addressing grouper keyed by lineage hashes with slot-wise ID
+// compare, instead of materializing an encoded string key per row.
 func execUnionB(l, r *batch.Batch) (*batch.Batch, error) {
 	ra, err := alignToB(r, l)
 	if err != nil {
 		return nil, fmt.Errorf("engine: union: %w", err)
 	}
-	seen := make(map[string]struct{}, l.Len())
-	for i := 0; i < l.Len(); i++ {
-		seen[l.LinKeyAt(i)] = struct{}{}
-	}
-	var extra []int32
-	for i := 0; i < ra.Len(); i++ {
-		k := ra.LinKeyAt(i)
-		if _, dup := seen[k]; dup {
-			continue
+	g := getGrouper(l.Len() + ra.Len())
+	defer putGrouper(g)
+	// Group representatives are row indices; every group created before
+	// lGroups exists represents an l row, everything after an ra row (the
+	// two phases below never interleave). Lineage equality is exact ID
+	// equality, so grouping by (hash, full compare) reproduces the
+	// string-key groups exactly.
+	reps := getI32(0)
+	defer func() { putI32(reps) }()
+	lGroups := int32(-1) // -1: phase 1 in progress, every group is l-side
+	var cand int
+	candLin := l.Lin
+	eq := func(id int32) bool {
+		repLin := l.Lin
+		if lGroups >= 0 && id >= lGroups {
+			repLin = ra.Lin
 		}
-		seen[k] = struct{}{}
-		extra = append(extra, int32(i))
+		return linEqualAt(candLin, cand, repLin, int(reps[id]))
 	}
-	out := batch.Alloc(l.Schema, l.LSch, l.Len()+len(extra))
+	for i := 0; i < l.Len(); i++ {
+		cand = i
+		if _, fresh := g.Get(linHashAt(l.Lin, i), eq); fresh {
+			reps = append(reps, int32(i))
+		}
+	}
+	lGroups = int32(g.Len())
+	extra := getI32(0)
+	defer func() { putI32(extra) }()
+	candLin = ra.Lin
+	for i := 0; i < ra.Len(); i++ {
+		cand = i
+		if _, fresh := g.Get(linHashAt(ra.Lin, i), eq); fresh {
+			reps = append(reps, int32(i))
+			extra = append(extra, int32(i))
+		}
+	}
+	out := batch.AllocMerged(l, ra, l.Len()+len(extra))
 	for j := range l.Cols {
 		copyVec(l.Cols[j], out.Cols[j], 0)
 	}
@@ -805,19 +900,32 @@ func execUnionB(l, r *batch.Batch) (*batch.Batch, error) {
 }
 
 // execIntersectB keeps l-rows whose lineage also appears in r (compaction,
-// Prop. 8), columnar counterpart of ops.Intersect.
+// Prop. 8), columnar counterpart of ops.Intersect — membership tested on
+// lineage hashes with full ID compare, no per-row key strings.
 func execIntersectB(l, r *batch.Batch) (*batch.Batch, error) {
 	ra, err := alignToB(r, l)
 	if err != nil {
 		return nil, fmt.Errorf("engine: intersect: %w", err)
 	}
-	in := make(map[string]struct{}, ra.Len())
+	g := getGrouper(ra.Len())
+	defer putGrouper(g)
+	reps := getI32(0)
+	defer func() { putI32(reps) }()
+	var cand int
+	candLin := ra.Lin
+	eq := func(id int32) bool { return linEqualAt(candLin, cand, ra.Lin, int(reps[id])) }
 	for i := 0; i < ra.Len(); i++ {
-		in[ra.LinKeyAt(i)] = struct{}{}
+		cand = i
+		if _, fresh := g.Get(linHashAt(ra.Lin, i), eq); fresh {
+			reps = append(reps, int32(i))
+		}
 	}
-	var sel []int32
+	sel := getI32(0)
+	defer func() { putI32(sel) }()
+	candLin = l.Lin
 	for i := 0; i < l.Len(); i++ {
-		if _, ok := in[l.LinKeyAt(i)]; ok {
+		cand = i
+		if g.Find(linHashAt(l.Lin, i), eq) >= 0 {
 			sel = append(sel, int32(i))
 		}
 	}

@@ -119,13 +119,13 @@ func (e *Engine) execProject(in *ops.Rows, t *plan.Project) (*ops.Rows, error) {
 	return &ops.Rows{Cols: schema, LSch: in.LSch, Data: out}, nil
 }
 
-// execJoin is the partitioned hash join. Build: each partition of the
-// build side hashes into a private table, and the coordinator merges the
-// partial tables in partition order — so match lists hold ascending build
-// indices, exactly as a sequential build would produce. Probe: each probe
-// partition emits its matches into its own buffer; buffers concatenate in
-// partition order. The output is therefore row-for-row identical to the
-// serial ops.HashJoin at any worker count.
+// execJoin is the partitioned hash join on the shared open-addressing
+// joinTable (see hashjoin.go): canonical Value.KeyHash per build row, a
+// radix-partitioned parallel build whose per-key chains hold ascending
+// build indices, and a parallel probe with Value.KeyEqual deciding matches
+// — no string key is ever materialized. Chain order matches what the
+// merged partial maps used to produce, so the output stays row-for-row
+// identical to the serial ops.HashJoin at any worker count.
 func (e *Engine) execJoin(l, r *ops.Rows, leftCol, rightCol string) (*ops.Rows, error) {
 	li, ok := l.Cols.Index(leftCol)
 	if !ok {
@@ -151,36 +151,40 @@ func (e *Engine) execJoin(l, r *ops.Rows, leftCol, rightCol string) (*ops.Rows, 
 		buildKey, probeKey = ri, li
 	}
 
-	// Parallel partial build.
-	bspans := ops.Partitions(build.Len(), e.partSize)
-	partials := make([]map[string][]int32, len(bspans))
-	err = e.forEach(len(bspans), build.Len(), func(p int) error {
-		m := make(map[string][]int32, bspans[p].Hi-bspans[p].Lo)
+	// Parallel build-side hashing, then the radix-partitioned build.
+	n := build.Len()
+	bh := getU64(n)
+	bspans := e.partitionsFor(n)
+	err = e.forEach(len(bspans), n, func(p int) error {
 		for i := bspans[p].Lo; i < bspans[p].Hi; i++ {
-			k := build.Data[i].Vals[buildKey].Key()
-			m[k] = append(m[k], int32(i))
+			bh[i] = build.Data[i].Vals[buildKey].KeyHash()
 		}
-		partials[p] = m
 		return nil
 	})
 	if err != nil {
+		putU64(bh)
 		return nil, err
 	}
-	table := make(map[string][]int32, build.Len())
-	for _, m := range partials {
-		for k, idxs := range m {
-			table[k] = append(table[k], idxs...)
-		}
+	table, err := e.buildJoinTable(n, bh, func(i, j int32) bool {
+		return build.Data[i].Vals[buildKey].KeyEqual(build.Data[j].Vals[buildKey])
+	})
+	if err != nil {
+		putU64(bh)
+		return nil, err
 	}
+	putU64(bh)
 
 	// Parallel probe.
-	pspans := ops.Partitions(probe.Len(), e.partSize)
+	pspans := e.partitionsFor(probe.Len())
 	parts := make([][]ops.Row, len(pspans))
 	err = e.forEach(len(pspans), probe.Len(), func(p int) error {
 		var buf []ops.Row
+		var pkey relation.Value
+		eq := func(row int32) bool { return pkey.KeyEqual(build.Data[row].Vals[buildKey]) }
 		for i := pspans[p].Lo; i < pspans[p].Hi; i++ {
 			prow := probe.Data[i]
-			for _, bi := range table[prow.Vals[probeKey].Key()] {
+			pkey = prow.Vals[probeKey]
+			for bi := table.head(pkey.KeyHash(), eq); bi >= 0; bi = table.chainNext(bi) {
 				brow := build.Data[bi]
 				if buildLeft {
 					buf = append(buf, ops.Combine(brow, prow))
@@ -192,6 +196,7 @@ func (e *Engine) execJoin(l, r *ops.Rows, leftCol, rightCol string) (*ops.Rows, 
 		parts[p] = buf
 		return nil
 	})
+	table.release()
 	if err != nil {
 		return nil, err
 	}

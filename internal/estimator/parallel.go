@@ -15,8 +15,10 @@ package estimator
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/hashtab"
 	"github.com/sampling-algebra/gus/internal/lineage"
 	"github.com/sampling-algebra/gus/internal/ops"
 )
@@ -175,23 +177,129 @@ func mergeShards[K comparable](shards []groupShard[K], bilinear bool) float64 {
 	return acc
 }
 
-// keyedMoment runs the sharded accumulation for one mask with the given
-// key encoding.
-func keyedMoment[K comparable](spans []ops.Span, key func(i int) K, fs, gs []float64, opts Options) float64 {
-	shards := make([]groupShard[K], len(spans))
-	_ = ops.ForEachPart(opts.Workers, len(spans), func(p int) error {
-		shards[p] = shardFor(spans[p], key, fs, gs)
-		return nil
-	})
-	return mergeShards(shards, gs != nil)
+// linMomentSeed decorrelates moment-group hashes from other key domains.
+const linMomentSeed = 0x94d049bb133111eb
+
+// rowHash returns the canonical hash of row i's lineage projected onto
+// slots: per-slot ID hashes combined in ascending slot order. Group
+// identity is decided by rowEqual's full ID compare, never by the hash.
+func rowHash(src linSource, slots []int, i int) uint64 {
+	h := uint64(linMomentSeed)
+	for _, s := range slots {
+		h = hashtab.Combine(h, hashtab.Mix(uint64(src.id(i, s))))
+	}
+	return h
+}
+
+// rowEqual reports whether rows i and j project identically onto slots.
+func rowEqual(src linSource, slots []int, i, j int) bool {
+	for _, s := range slots {
+		if src.id(i, s) != src.id(j, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// grouperPool recycles the open-addressing tables behind shard building,
+// so per-mask, per-partition accumulation reuses buffers.
+var grouperPool = sync.Pool{New: func() any { return &hashtab.Grouper{} }}
+
+// hashShard is one partition's group accumulator for one mask: group
+// representatives (first row of each group, global index) in first-seen
+// order with the group's value sums. It replaces the map-keyed groupShard
+// on the sharded path — same groups, same first-seen order, same float
+// accumulation order, so the moments are bit-identical; the keys are just
+// never materialized.
+type hashShard struct {
+	rows   []int32
+	hashes []uint64
+	fsum   []float64
+	gsum   []float64 // nil for plain (f·f) moments
+}
+
+// hashShardFor builds partition span's shard for the mask's slot list.
+func hashShardFor(span ops.Span, src linSource, slots []int, fs, gs []float64) hashShard {
+	g := grouperPool.Get().(*hashtab.Grouper)
+	g.Reset(span.Hi - span.Lo)
+	sh := hashShard{}
+	cand := span.Lo
+	eq := func(id int32) bool { return rowEqual(src, slots, cand, int(sh.rows[id])) }
+	for i := span.Lo; i < span.Hi; i++ {
+		cand = i
+		h := rowHash(src, slots, i)
+		id, fresh := g.Get(h, eq)
+		if fresh {
+			sh.rows = append(sh.rows, int32(i))
+			sh.hashes = append(sh.hashes, h)
+			sh.fsum = append(sh.fsum, 0)
+			if gs != nil {
+				sh.gsum = append(sh.gsum, 0)
+			}
+		}
+		sh.fsum[id] += fs[i]
+		if gs != nil {
+			sh.gsum[id] += gs[i]
+		}
+	}
+	grouperPool.Put(g)
+	return sh
+}
+
+// mergeHashShards combines per-partition shards in partition order and
+// returns Σ_groups (Σf)(Σg) — with bilinear false, Σ_groups (Σf)². Group
+// totals accumulate and combine in first-seen order, matching mergeShards.
+func mergeHashShards(shards []hashShard, src linSource, slots []int, bilinear bool) float64 {
+	var total int
+	for _, sh := range shards {
+		total += len(sh.rows)
+	}
+	g := grouperPool.Get().(*hashtab.Grouper)
+	g.Reset(total)
+	reps := make([]int32, 0, total)
+	fTot := make([]float64, 0, total)
+	var gTot []float64
+	if bilinear {
+		gTot = make([]float64, 0, total)
+	}
+	var cand int
+	eq := func(id int32) bool { return rowEqual(src, slots, cand, int(reps[id])) }
+	for _, sh := range shards {
+		for k, rep := range sh.rows {
+			cand = int(rep)
+			id, fresh := g.Get(sh.hashes[k], eq)
+			if fresh {
+				reps = append(reps, rep)
+				fTot = append(fTot, 0)
+				if bilinear {
+					gTot = append(gTot, 0)
+				}
+			}
+			fTot[id] += sh.fsum[k]
+			if bilinear {
+				gTot[id] += sh.gsum[k]
+			}
+		}
+	}
+	grouperPool.Put(g)
+	var acc float64
+	for s, f := range fTot {
+		if bilinear {
+			acc += f * gTot[s]
+		} else {
+			acc += f * f
+		}
+	}
+	return acc
 }
 
 // momentsSharded computes the §6.3 Y_S moments with partition-sharded
 // accumulators. With gs non-nil it computes the bilinear cross moments
-// Y_S(f,g) instead (see BilinearMoments). One- and two-slot masks — every
-// mask of the common 1- and 2-relation queries — group on integer tuple
-// IDs directly instead of encoded strings: same groups, same order, same
-// floats, a fraction of the hash cost.
+// Y_S(f,g) instead (see BilinearMoments). Every mask groups on an
+// open-addressing table keyed by projected-lineage hashes with full ID
+// compare — no encoded key strings, no per-row map traffic — and the
+// groups, their first-seen order and every accumulation order match the
+// historical map-keyed implementation, so the floats are bit-identical.
 func momentsSharded(n int, src linSource, fs, gs []float64, opts Options) []float64 {
 	out := make([]float64, 1<<uint(n))
 	totF := totalOf(fs, opts)
@@ -202,23 +310,13 @@ func momentsSharded(n int, src linSource, fs, gs []float64, opts Options) []floa
 	}
 	spans := ops.Partitions(len(fs), opts.partitionSize())
 	for m := 1; m < len(out); m++ {
-		set := lineage.Set(m)
-		switch slots := set.Members(); len(slots) {
-		case 1:
-			s0 := slots[0]
-			out[m] = keyedMoment(spans, func(i int) lineage.TupleID {
-				return src.id(i, s0)
-			}, fs, gs, opts)
-		case 2:
-			s0, s1 := slots[0], slots[1]
-			out[m] = keyedMoment(spans, func(i int) [2]lineage.TupleID {
-				return [2]lineage.TupleID{src.id(i, s0), src.id(i, s1)}
-			}, fs, gs, opts)
-		default:
-			out[m] = keyedMoment(spans, func(i int) string {
-				return src.projectKey(i, set)
-			}, fs, gs, opts)
-		}
+		slots := lineage.Set(m).Members()
+		shards := make([]hashShard, len(spans))
+		_ = ops.ForEachPart(opts.Workers, len(spans), func(p int) error {
+			shards[p] = hashShardFor(spans[p], src, slots, fs, gs)
+			return nil
+		})
+		out[m] = mergeHashShards(shards, src, slots, gs != nil)
 	}
 	return out
 }

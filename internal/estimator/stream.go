@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"github.com/sampling-algebra/gus/internal/core"
+	"github.com/sampling-algebra/gus/internal/hashtab"
 	"github.com/sampling-algebra/gus/internal/lineage"
 	"github.com/sampling-algebra/gus/internal/ops"
 )
@@ -48,7 +49,7 @@ type Accum struct {
 	// the running counterpart of totalOf.
 	totF, totG float64
 
-	masks []maskAccum // index = lineage mask; slot 0 unused (Y_∅ = totals)
+	masks []*maskAccum // index = lineage mask; slot 0 unused (Y_∅ = totals)
 }
 
 // NewAccum returns an accumulator for samples with n lineage slots.
@@ -64,7 +65,7 @@ func NewAccum(n int, bilinear bool, partitionSize int) *Accum {
 		partSize: partitionSize,
 		bilinear: bilinear,
 		tailLin:  make([][]lineage.TupleID, n),
-		masks:    make([]maskAccum, 1<<uint(n)),
+		masks:    make([]*maskAccum, 1<<uint(n)),
 	}
 	for m := 1; m < len(a.masks); m++ {
 		a.masks[m] = newMaskAccum(lineage.Set(m), bilinear)
@@ -238,76 +239,125 @@ type chunk struct {
 
 func (c *chunk) len() int { return len(c.fs) }
 
-// maskAccum is one mask's persistent group state. Implementations differ
-// only in key encoding, mirroring momentsSharded's dispatch: 1-slot masks
-// group on tuple IDs, 2-slot on ID pairs, larger on encoded strings.
-type maskAccum interface {
-	fold(ch *chunk)
-	live(ch *chunk) float64
-	exact() float64
-}
-
-func newMaskAccum(set lineage.Set, bilinear bool) maskAccum {
-	switch slots := set.Members(); len(slots) {
-	case 1:
-		s0 := slots[0]
-		return newMaskState(bilinear, func(lin [][]lineage.TupleID, i int) lineage.TupleID {
-			return lin[s0][i]
-		})
-	case 2:
-		s0, s1 := slots[0], slots[1]
-		return newMaskState(bilinear, func(lin [][]lineage.TupleID, i int) [2]lineage.TupleID {
-			return [2]lineage.TupleID{lin[s0][i], lin[s1][i]}
-		})
-	default:
-		return newMaskState(bilinear, func(lin [][]lineage.TupleID, i int) string {
-			return colLins(lin).projectKey(i, set)
-		})
-	}
-}
-
-// maskState is the generic mask accumulator: persistent slot-ordered group
-// totals plus a running Σ_groups (Σf)(Σg) adjusted group-by-group on each
-// fold.
-type maskState[K comparable] struct {
-	key      func(lin [][]lineage.TupleID, i int) K
+// maskAccum is one mask's persistent group state: an open-addressing
+// grouper over projected-lineage hashes (full ID compare on collisions —
+// never a materialized key string), the group key material in a flat
+// slot-ordered ID array, the persistent group totals, and the running
+// Σ_groups (Σf)(Σg) adjusted group-by-group on each fold. Span-local shard
+// scratch is owned by the accumulator and REUSED across folds, so a wave
+// costs O(Δ + groups touched) with no per-wave table allocation.
+type maskAccum struct {
+	slots    []int
 	bilinear bool
-	slot     map[K]int
-	fTot     []float64
-	gTot     []float64
-	run      float64
+
+	g      hashtab.Grouper
+	keyIDs []lineage.TupleID // k IDs per group, first-seen order
+	fTot   []float64
+	gTot   []float64
+	run    float64
+
+	// Span-local shard, rebuilt in place per fold/live.
+	shardG    hashtab.Grouper
+	shardRows []int32
+	shardHash []uint64
+	shardF    []float64
+	shardGv   []float64
 }
 
-func newMaskState[K comparable](bilinear bool, key func(lin [][]lineage.TupleID, i int) K) *maskState[K] {
-	return &maskState[K]{key: key, bilinear: bilinear, slot: make(map[K]int)}
+func newMaskAccum(set lineage.Set, bilinear bool) *maskAccum {
+	ms := &maskAccum{slots: set.Members(), bilinear: bilinear}
+	ms.g.Reset(0)
+	ms.shardG.Reset(0)
+	return ms
 }
 
-// shard builds ch's span-local groupShard — the same per-span float math
-// as shardFor on the equivalent global span.
-func (ms *maskState[K]) shard(ch *chunk) groupShard[K] {
-	return shardFor(ops.Span{Lo: 0, Hi: ch.len()}, func(i int) K {
-		return ms.key(ch.lin, i)
-	}, ch.fs, ch.gs)
+// projHashLin and projEqualLin are rowHash/rowEqual over bare lineage
+// columns (the chunk layout): same combine order, same full-compare
+// fallback.
+func projHashLin(lin [][]lineage.TupleID, slots []int, i int) uint64 {
+	h := uint64(linMomentSeed)
+	for _, s := range slots {
+		h = hashtab.Combine(h, hashtab.Mix(uint64(lin[s][i])))
+	}
+	return h
 }
 
-func (ms *maskState[K]) fold(ch *chunk) {
-	sh := ms.shard(ch)
-	for _, k := range sh.keys {
-		s, ok := ms.slot[k]
-		if !ok {
-			s = len(ms.fTot)
-			ms.slot[k] = s
+func projEqualLin(lin [][]lineage.TupleID, slots []int, i, j int) bool {
+	for _, s := range slots {
+		if lin[s][i] != lin[s][j] {
+			return false
+		}
+	}
+	return true
+}
+
+// keyEqualRow compares stored group id's key IDs against chunk row i.
+func (ms *maskAccum) keyEqualRow(id int32, lin [][]lineage.TupleID, i int) bool {
+	k := len(ms.slots)
+	key := ms.keyIDs[int(id)*k : (int(id)+1)*k]
+	for x, s := range ms.slots {
+		if key[x] != lin[s][i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildShard groups ch's rows span-locally into the reused shard scratch,
+// returning the group count — the same groups, first-seen order and value
+// sums as the historical map-based shardFor, without its allocations.
+func (ms *maskAccum) buildShard(ch *chunk) int {
+	ms.shardG.Reset(ch.len())
+	ms.shardRows = ms.shardRows[:0]
+	ms.shardHash = ms.shardHash[:0]
+	ms.shardF = ms.shardF[:0]
+	ms.shardGv = ms.shardGv[:0]
+	cand := 0
+	eq := func(id int32) bool {
+		return projEqualLin(ch.lin, ms.slots, cand, int(ms.shardRows[id]))
+	}
+	for i := 0; i < ch.len(); i++ {
+		cand = i
+		h := projHashLin(ch.lin, ms.slots, i)
+		id, fresh := ms.shardG.Get(h, eq)
+		if fresh {
+			ms.shardRows = append(ms.shardRows, int32(i))
+			ms.shardHash = append(ms.shardHash, h)
+			ms.shardF = append(ms.shardF, 0)
+			if ms.bilinear {
+				ms.shardGv = append(ms.shardGv, 0)
+			}
+		}
+		ms.shardF[id] += ch.fs[i]
+		if ms.bilinear {
+			ms.shardGv[id] += ch.gs[i]
+		}
+	}
+	return len(ms.shardRows)
+}
+
+func (ms *maskAccum) fold(ch *chunk) {
+	ng := ms.buildShard(ch)
+	rep := 0
+	eq := func(id int32) bool { return ms.keyEqualRow(id, ch.lin, rep) }
+	for j := 0; j < ng; j++ {
+		rep = int(ms.shardRows[j])
+		s, fresh := ms.g.Get(ms.shardHash[j], eq)
+		if fresh {
+			for _, sl := range ms.slots {
+				ms.keyIDs = append(ms.keyIDs, ch.lin[sl][rep])
+			}
 			ms.fTot = append(ms.fTot, 0)
 			if ms.bilinear {
 				ms.gTot = append(ms.gTot, 0)
 			}
 		}
 		oldF := ms.fTot[s]
-		newF := oldF + sh.fsum[k]
+		newF := oldF + ms.shardF[j]
 		ms.fTot[s] = newF
 		if ms.bilinear {
 			oldG := ms.gTot[s]
-			newG := oldG + sh.gsum[k]
+			newG := oldG + ms.shardGv[j]
 			ms.gTot[s] = newG
 			ms.run += newF*newG - oldF*oldG
 		} else {
@@ -317,24 +367,27 @@ func (ms *maskState[K]) fold(ch *chunk) {
 }
 
 // live returns the moment including the (unfolded) tail chunk, without
-// mutating state.
-func (ms *maskState[K]) live(ch *chunk) float64 {
+// mutating persistent group state (the shard scratch is fair game).
+func (ms *maskAccum) live(ch *chunk) float64 {
 	acc := ms.run
 	if ch == nil {
 		return acc
 	}
-	sh := ms.shard(ch)
-	for _, k := range sh.keys {
+	ng := ms.buildShard(ch)
+	rep := 0
+	eq := func(id int32) bool { return ms.keyEqualRow(id, ch.lin, rep) }
+	for j := 0; j < ng; j++ {
+		rep = int(ms.shardRows[j])
 		var oldF, oldG float64
-		if s, ok := ms.slot[k]; ok {
+		if s := ms.g.Find(ms.shardHash[j], eq); s >= 0 {
 			oldF = ms.fTot[s]
 			if ms.bilinear {
 				oldG = ms.gTot[s]
 			}
 		}
-		newF := oldF + sh.fsum[k]
+		newF := oldF + ms.shardF[j]
 		if ms.bilinear {
-			newG := oldG + sh.gsum[k]
+			newG := oldG + ms.shardGv[j]
 			acc += newF*newG - oldF*oldG
 		} else {
 			acc += newF*newF - oldF*oldF
@@ -344,8 +397,8 @@ func (ms *maskState[K]) live(ch *chunk) float64 {
 }
 
 // exact recomputes the moment from the group totals in slot (first-seen)
-// order — the exact float sequence of mergeShards' final loop.
-func (ms *maskState[K]) exact() float64 {
+// order — the exact float sequence of mergeHashShards' final loop.
+func (ms *maskAccum) exact() float64 {
 	var acc float64
 	for s, f := range ms.fTot {
 		if ms.bilinear {

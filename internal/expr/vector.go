@@ -17,12 +17,22 @@ import (
 // Vec is a typed column vector: exactly one of I, F or S is meaningful,
 // selected by Kind. A Const vec logically broadcasts its single element
 // (index 0) to any length.
+//
+// String vectors may carry an optional dictionary sidecar (Codes parallel
+// to S, indexing Dict): a pure acceleration for keyed operators — hashing
+// becomes an array lookup and equality within one dictionary a code
+// compare. Invariant: when Codes is non-nil, Dict.Strs[Codes[i]] == S[i]
+// for every row; operators that cannot maintain it simply drop the sidecar
+// (S remains the source of truth, and consumers fall back to hashing and
+// comparing the strings directly).
 type Vec struct {
 	Kind  relation.Kind
 	Const bool
 	I     []int64
 	F     []float64
 	S     []string
+	Codes []int32
+	Dict  *relation.StrDict
 }
 
 // ConstVec wraps one scalar as a broadcast vector.
@@ -99,7 +109,8 @@ func (v Vec) FloatAt(i int) (float64, error) {
 }
 
 // Slice returns the dense sub-vector [lo, hi) sharing storage — the
-// zero-copy input for EvalAll over one partition span.
+// zero-copy input for EvalAll over one partition span. Dictionary sidecars
+// slice along.
 func (v Vec) Slice(lo, hi int) Vec {
 	out := Vec{Kind: v.Kind}
 	switch v.Kind {
@@ -109,6 +120,9 @@ func (v Vec) Slice(lo, hi int) Vec {
 		out.F = v.F[lo:hi]
 	default:
 		out.S = v.S[lo:hi]
+		if v.Codes != nil {
+			out.Codes, out.Dict = v.Codes[lo:hi], v.Dict
+		}
 	}
 	return out
 }

@@ -1,0 +1,182 @@
+// Package hashtab is the zero-allocation hashing substrate shared by the
+// engine's keyed operators (hash join, union, intersect, GROUP BY) and the
+// estimator's group-by-lineage moment accumulators.
+//
+// It provides two things:
+//
+//   - hash primitives: a SplitMix64-style 64-bit finalizer (Mix), an
+//     order-sensitive combiner for composite keys (Combine), and an
+//     allocation-free string hash (String) — everything keyed execution
+//     hashes flows through these, so every layer agrees on hash values;
+//   - Grouper: an open-addressing uint64 → int32 table (linear probing,
+//     power-of-two capacity) that assigns dense group IDs in FIRST-SEEN
+//     order. Keys are never stored; on a hash hit the caller-supplied
+//     equality closure compares the probed key against the group's
+//     representative, so hash collisions can never merge distinct keys
+//     ("collision fallback to full-key compare").
+//
+// Determinism: group IDs depend only on the key sequence, never on hash
+// values or table capacity — collisions change probe counts, not IDs.
+// Replacing a Go map keyed by an injective encoding with a Grouper keyed
+// by (hash, full compare) therefore preserves group identity and
+// first-seen order exactly, which is what keeps the engine's results
+// bit-identical to the string-keyed implementation it replaces.
+package hashtab
+
+import "math/bits"
+
+// Mix is a SplitMix64-style finalizer: a bijective avalanche over uint64.
+// Single scalar keys (tuple IDs, canonical numeric payloads) hash as
+// Mix(payload) so nearby inputs land in decorrelated slots.
+func Mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Combine folds the next component's hash into an accumulated composite
+// hash. It is order-sensitive (Combine(a,b) != Combine(b,a) in general) and
+// never the identity, so composite keys hash differently from their parts —
+// the structural fix for concatenation aliasing ("a","bc" vs "ab","c").
+func Combine(acc, h uint64) uint64 {
+	acc ^= h + 0x9e3779b97f4a7c15 + (acc << 12) + (acc >> 4)
+	return Mix(acc)
+}
+
+// String hashes a string without allocating: 8-byte little-endian chunks
+// folded through Combine, with the length mixed in so prefixes of a common
+// string do not collide trivially.
+func String(s string) uint64 {
+	h := Mix(uint64(len(s)) ^ 0x1d8e4e27c47d124f)
+	i := 0
+	for ; i+8 <= len(s); i += 8 {
+		var w uint64
+		w = uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+			uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56
+		h = Combine(h, w)
+	}
+	if i < len(s) {
+		var w uint64
+		for k := len(s) - 1; k >= i; k-- {
+			w = w<<8 | uint64(s[k])
+		}
+		h = Combine(h, w)
+	}
+	return h
+}
+
+// Grouper assigns dense int32 group IDs (0,1,2,…) to a key stream in
+// first-seen order. The table stores only (hash, group) pairs; key equality
+// is delegated to the caller, who owns the key material (column vectors,
+// lineage columns, per-group representative rows).
+//
+// The zero value is ready to use. Reset reuses the backing arrays, which is
+// how wave-at-a-time and pooled callers run without per-use allocation.
+type Grouper struct {
+	slots  []int32  // group+1; 0 = empty
+	hashes []uint64 // parallel to slots, valid where slots != 0
+	mask   uint64
+	n      int32 // groups assigned
+}
+
+// minCap is the smallest table allocated (power of two).
+const minCap = 16
+
+// NewGrouper returns a grouper pre-sized for about keyHint distinct keys.
+func NewGrouper(keyHint int) *Grouper {
+	g := &Grouper{}
+	g.Reset(keyHint)
+	return g
+}
+
+// Reset clears the grouper, keeping (and if needed growing) its backing
+// arrays so that about keyHint keys fit without rehashing.
+func (g *Grouper) Reset(keyHint int) {
+	need := capFor(keyHint)
+	if cap(g.slots) >= need {
+		g.slots = g.slots[:need]
+		for i := range g.slots {
+			g.slots[i] = 0
+		}
+		g.hashes = g.hashes[:need]
+	} else {
+		g.slots = make([]int32, need)
+		g.hashes = make([]uint64, need)
+	}
+	g.mask = uint64(need - 1)
+	g.n = 0
+}
+
+// capFor picks the power-of-two capacity holding keyHint keys at ≤ 50% load.
+func capFor(keyHint int) int {
+	if keyHint < minCap/2 {
+		return minCap
+	}
+	return 1 << bits.Len(uint(2*keyHint-1))
+}
+
+// Len reports the number of groups assigned so far.
+func (g *Grouper) Len() int { return int(g.n) }
+
+// Find returns the group ID already assigned to the key with hash h, or -1.
+// eq(id) must report whether the probed key equals group id's key; it is
+// called only for groups whose stored hash equals h.
+func (g *Grouper) Find(h uint64, eq func(id int32) bool) int32 {
+	for i := h & g.mask; ; i = (i + 1) & g.mask {
+		s := g.slots[i]
+		if s == 0 {
+			return -1
+		}
+		if g.hashes[i] == h && eq(s-1) {
+			return s - 1
+		}
+	}
+}
+
+// Get returns the key's group ID, assigning the next dense ID when the key
+// is new. fresh reports whether the ID was newly assigned — the caller's
+// cue to record the key's representative before the next Get.
+func (g *Grouper) Get(h uint64, eq func(id int32) bool) (id int32, fresh bool) {
+	if 2*uint64(g.n) >= uint64(len(g.slots)) {
+		g.grow()
+	}
+	for i := h & g.mask; ; i = (i + 1) & g.mask {
+		s := g.slots[i]
+		if s == 0 {
+			id = g.n
+			g.n++
+			g.slots[i] = id + 1
+			g.hashes[i] = h
+			return id, true
+		}
+		if g.hashes[i] == h && eq(s-1) {
+			return s - 1, false
+		}
+	}
+}
+
+// grow doubles the table, rehashing from the stored hashes — no key
+// material or equality calls needed.
+func (g *Grouper) grow() {
+	old, oldH := g.slots, g.hashes
+	need := 2 * len(old)
+	g.slots = make([]int32, need)
+	g.hashes = make([]uint64, need)
+	g.mask = uint64(need - 1)
+	for i, s := range old {
+		if s == 0 {
+			continue
+		}
+		h := oldH[i]
+		for j := h & g.mask; ; j = (j + 1) & g.mask {
+			if g.slots[j] == 0 {
+				g.slots[j] = s
+				g.hashes[j] = h
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package hashtab
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMixBijectiveSample(t *testing.T) {
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix(i)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Mix collides: Mix(%d) == Mix(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+// TestCombineOrderSensitive: composite hashing must distinguish both the
+// order of components and their boundaries.
+func TestCombineOrderSensitive(t *testing.T) {
+	a, b := Mix(1), Mix(2)
+	if Combine(Combine(0, a), b) == Combine(Combine(0, b), a) {
+		t.Fatal("Combine is order-insensitive")
+	}
+	if Combine(0, a) == a {
+		t.Fatal("Combine(0, h) must not be the identity")
+	}
+}
+
+// TestStringAliasing: the classic concatenation aliases must hash apart.
+func TestStringAliasing(t *testing.T) {
+	pairs := [][2][2]string{
+		{{"a", "bc"}, {"ab", "c"}},
+		{{"", "ab"}, {"ab", ""}},
+		{{"x", ""}, {"", "x"}},
+	}
+	for _, p := range pairs {
+		h1 := Combine(String(p[0][0]), String(p[0][1]))
+		h2 := Combine(String(p[1][0]), String(p[1][1]))
+		if h1 == h2 {
+			t.Errorf("composite hash aliases: %q vs %q", p[0], p[1])
+		}
+	}
+}
+
+func TestStringAllocFree(t *testing.T) {
+	s := "the quick brown fox jumps over the lazy dog"
+	if n := testing.AllocsPerRun(100, func() { String(s) }); n != 0 {
+		t.Fatalf("String allocates %v times per call", n)
+	}
+}
+
+// TestGrouperFirstSeenOrder: IDs must be dense and in first-seen order,
+// regardless of hash values.
+func TestGrouperFirstSeenOrder(t *testing.T) {
+	keys := []string{"b", "a", "b", "c", "a", "d", "b"}
+	want := []int32{0, 1, 0, 2, 1, 3, 0}
+	g := NewGrouper(0)
+	var reps []string
+	for i, k := range keys {
+		id, fresh := g.Get(String(k), func(id int32) bool { return reps[id] == k })
+		if fresh {
+			reps = append(reps, k)
+		}
+		if id != want[i] {
+			t.Fatalf("key %d (%q): got id %d, want %d", i, k, id, want[i])
+		}
+	}
+	if g.Len() != 4 {
+		t.Fatalf("got %d groups, want 4", g.Len())
+	}
+}
+
+// TestGrouperCollisionCompare: two distinct keys forced onto one hash must
+// still get distinct IDs via the equality fallback.
+func TestGrouperCollisionCompare(t *testing.T) {
+	g := NewGrouper(4)
+	reps := []string{}
+	get := func(k string) int32 {
+		id, fresh := g.Get(42, func(id int32) bool { return reps[id] == k }) // same hash for every key
+		if fresh {
+			reps = append(reps, k)
+		}
+		return id
+	}
+	if a, b := get("x"), get("y"); a == b {
+		t.Fatal("collision merged distinct keys")
+	}
+	if get("x") != 0 || get("y") != 1 {
+		t.Fatal("collision chain lost existing groups")
+	}
+}
+
+// TestGrouperGrowth: growth must preserve IDs and find every old key.
+func TestGrouperGrowth(t *testing.T) {
+	g := NewGrouper(0)
+	var reps []int
+	for i := 0; i < 5000; i++ {
+		k := i % 1700
+		id, fresh := g.Get(Mix(uint64(k)), func(id int32) bool { return reps[id] == k })
+		if fresh {
+			reps = append(reps, k)
+		}
+		if int(id) != k {
+			t.Fatalf("key %d: got id %d", k, id)
+		}
+	}
+	if g.Len() != 1700 {
+		t.Fatalf("got %d groups, want 1700", g.Len())
+	}
+	for k := 0; k < 1700; k++ {
+		if id := g.Find(Mix(uint64(k)), func(id int32) bool { return reps[id] == k }); int(id) != k {
+			t.Fatalf("Find(%d) = %d after growth", k, id)
+		}
+	}
+	if id := g.Find(Mix(uint64(99999)), func(int32) bool { return false }); id != -1 {
+		t.Fatalf("Find(absent) = %d, want -1", id)
+	}
+}
+
+// TestGrouperReset: Reset must clear groups but keep capacity, so steady
+// state allocates nothing.
+func TestGrouperReset(t *testing.T) {
+	g := NewGrouper(1024)
+	reps := make([]uint64, 0, 2048)
+	round := func() {
+		reps = reps[:0]
+		g.Reset(1024)
+		for i := uint64(0); i < 1024; i++ {
+			if id, fresh := g.Get(Mix(i), func(id int32) bool { return reps[id] == i }); fresh {
+				reps = append(reps, i)
+			} else if uint64(id) != i {
+				panic(fmt.Sprintf("id %d for key %d", id, i))
+			}
+		}
+	}
+	round()
+	if n := testing.AllocsPerRun(20, round); n != 0 {
+		t.Fatalf("steady-state Reset+fill allocates %v times", n)
+	}
+}

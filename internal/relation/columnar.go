@@ -7,11 +7,18 @@ import (
 // ColumnSlice is one column of a Snapshot in flat typed storage: exactly
 // one of Ints, Floats or Strs is non-nil, selected by Kind. Flat arrays are
 // what the vectorized execution engine consumes — no per-value boxing.
+//
+// String columns additionally carry a dictionary encoding built once per
+// snapshot: Codes[i] indexes Dict.Strs, and Dict.Hashes holds each distinct
+// value's canonical join-key hash — so keyed operators hash and compare
+// string rows without touching the string bytes.
 type ColumnSlice struct {
 	Kind   Kind
 	Ints   []int64
 	Floats []float64
 	Strs   []string
+	Codes  []int32
+	Dict   *StrDict
 }
 
 // Snapshot is a columnar image of a relation: per-column typed slices plus
@@ -62,8 +69,28 @@ func (r *Relation) buildSnapshot() *Snapshot {
 				col[i] = row[j].s
 			}
 			s.Cols[j].Strs = col
+			s.Cols[j].Codes, s.Cols[j].Dict = encodeDict(col)
 		}
 	}
 	s.IDs = append([]lineage.TupleID(nil), r.ids...)
 	return s
+}
+
+// encodeDict dictionary-encodes a string column: codes in row order, the
+// dictionary in first-appearance order, one StringHash per distinct value.
+func encodeDict(col []string) ([]int32, *StrDict) {
+	codes := make([]int32, len(col))
+	d := &StrDict{}
+	idx := make(map[string]int32, 64)
+	for i, s := range col {
+		c, ok := idx[s]
+		if !ok {
+			c = int32(len(d.Strs))
+			idx[s] = c
+			d.Strs = append(d.Strs, s)
+			d.Hashes = append(d.Hashes, StringHash(s))
+		}
+		codes[i] = c
+	}
+	return codes, d
 }
