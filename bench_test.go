@@ -348,6 +348,81 @@ WHERE l_quantity < 24.0`
 	b.Run("scanheavy/rowpath", run(scanSQL, 1, true))
 }
 
+// BenchmarkPrepared measures compile-once/execute-many against one-shot
+// execution (BENCH_prepared.json), on a point query and a TPC-H Q1-style
+// scan. Three modes each:
+//
+//   - oneshot  — db.Query with the plan cache disabled: parse, plan and
+//     kernel compilation every iteration (the pre-cache behavior);
+//   - cached   — db.Query with the default LRU plan cache: lex-normalize,
+//     cache hit, execute;
+//   - prepared — Stmt.Query with `?` bindings: re-execution skips parse
+//     and plan entirely (no per-call lexing; kernels from the statement's
+//     snapshot).
+//
+// Seeds vary per iteration, so sampling work is identical across modes;
+// only the per-call front-end cost differs. The point query runs at a
+// scale where that front end is a visible fraction of the call (a true
+// point lookup); the Q1 shape shows the same saving diluted by a scan.
+func BenchmarkPrepared(b *testing.B) {
+	db := Open()
+	if err := db.AttachTPCHConfig(tpch.Config{Orders: 5000, Customers: 500, Parts: 125, Seed: 3}); err != nil {
+		b.Fatal(err)
+	}
+	const pointPrep = `SELECT COUNT(*), SUM(o_totalprice) FROM orders TABLESAMPLE (50 PERCENT) WHERE o_custkey = ?`
+	const pointLit = `SELECT COUNT(*), SUM(o_totalprice) FROM orders TABLESAMPLE (50 PERCENT) WHERE o_custkey = 77`
+	const q1Prep = `SELECT SUM(l_extendedprice*(1.0-l_discount)) AS revenue, SUM(l_quantity) AS qty, COUNT(*) AS n
+FROM lineitem TABLESAMPLE (? PERCENT) WHERE l_quantity < ?`
+	const q1Lit = `SELECT SUM(l_extendedprice*(1.0-l_discount)) AS revenue, SUM(l_quantity) AS qty, COUNT(*) AS n
+FROM lineitem TABLESAMPLE (25 PERCENT) WHERE l_quantity < 24.0`
+
+	oneshot := func(sql string) func(*testing.B) {
+		return func(b *testing.B) {
+			db.SetPlanCacheCap(0)
+			defer db.SetPlanCacheCap(DefaultPlanCacheSize)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(sql, WithSeed(uint64(i)), WithWorkers(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	cached := func(sql string) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(sql, WithSeed(uint64(i)), WithWorkers(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	prepared := func(sql string, args ...any) func(*testing.B) {
+		return func(b *testing.B) {
+			st, err := db.Prepare(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				all := append(append([]any{}, args...), WithSeed(uint64(i)), WithWorkers(1))
+				if _, err := st.Query(ctx, all...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("point/oneshot", oneshot(pointLit))
+	b.Run("point/cached", cached(pointLit))
+	b.Run("point/prepared", prepared(pointPrep, 77))
+	b.Run("q1/oneshot", oneshot(q1Lit))
+	b.Run("q1/cached", cached(q1Lit))
+	b.Run("q1/prepared", prepared(q1Prep, 25, 24.0))
+}
+
 // BenchmarkEngineExecute isolates plan execution (no estimation) serial
 // vs parallel on the engine.
 func BenchmarkEngineExecute(b *testing.B) {

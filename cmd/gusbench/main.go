@@ -22,15 +22,20 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (fig1|query1|fig4|fig5|accuracy|variance|rewrite-runtime|subsample|robustness|planner|cardinality|all)")
-		trials  = flag.Int("trials", 200, "Monte-Carlo trials for statistical experiments")
-		orders  = flag.Int("orders", 8000, "orders-table cardinality for generated TPC-H data")
-		seed    = flag.Uint64("seed", 42, "base RNG seed")
-		workers = flag.Int("workers", 0, "engine worker-pool width for query execution (0 = GOMAXPROCS)")
+		exp      = flag.String("exp", "all", "experiment to run (fig1|query1|fig4|fig5|accuracy|variance|rewrite-runtime|subsample|robustness|planner|cardinality|prepared|all)")
+		trials   = flag.Int("trials", 200, "Monte-Carlo trials for statistical experiments")
+		orders   = flag.Int("orders", 8000, "orders-table cardinality for generated TPC-H data")
+		seed     = flag.Uint64("seed", 42, "base RNG seed")
+		workers  = flag.Int("workers", 0, "engine worker-pool width for query execution (0 = GOMAXPROCS)")
+		prepare  = flag.Bool("prepare", false, "run only the prepared-statement amortization experiment (alias for -exp prepared)")
+		prepArgs = flag.String("args", "", "bindings for -exp prepared as \"percent,quantity\" (default \"10,24.0\" point / \"25,24.0\" q1 quantity)")
 	)
 	flag.Parse()
+	if *prepare {
+		*exp = "prepared"
+	}
 
-	cfg := benchConfig{trials: *trials, orders: *orders, seed: *seed, workers: *workers}
+	cfg := benchConfig{trials: *trials, orders: *orders, seed: *seed, workers: *workers, prepArgs: *prepArgs}
 	runs := map[string]func(benchConfig) error{
 		"fig1":            runFig1,
 		"query1":          runQuery1,
@@ -43,9 +48,10 @@ func main() {
 		"robustness":      runRobustness,
 		"planner":         runPlanner,
 		"cardinality":     runCardinality,
+		"prepared":        runPrepared,
 	}
 	order := []string{"fig1", "query1", "fig4", "fig5", "accuracy", "variance",
-		"rewrite-runtime", "subsample", "robustness", "planner", "cardinality"}
+		"rewrite-runtime", "subsample", "robustness", "planner", "cardinality", "prepared"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -72,6 +78,9 @@ type benchConfig struct {
 	orders  int
 	seed    uint64
 	workers int
+	// prepArgs optionally overrides the prepared experiment's bindings,
+	// as "percent,quantity" (see runPrepared).
+	prepArgs string
 }
 
 // open creates a DB with the configured engine parallelism. Seeded

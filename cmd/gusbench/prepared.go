@@ -1,0 +1,153 @@
+package main
+
+// The prepared-statement amortization experiment: measures what
+// compile-once/execute-many buys over one-shot execution, on the two
+// shapes BENCH_prepared.json records — a point query (sampled scan +
+// predicate + single aggregate) and a TPC-H Q1-style multi-aggregate scan.
+// Three modes per shape:
+//
+//   - one-shot   — db.Query with the plan cache disabled: parse, plan and
+//     kernel compilation every call (the pre-cache behavior);
+//   - cached     — db.Query with the LRU plan cache (the default): lex-
+//     normalize + cache hit, everything else amortized;
+//   - prepared   — Stmt.Query with `?` bindings: no per-call lexing at
+//     all, kernels from the statement's snapshot.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	gus "github.com/sampling-algebra/gus"
+)
+
+// preparedBindings resolves the experiment's (percent, quantity) bindings:
+// the -args "percent,quantity" override when given, else the defaults.
+func preparedBindings(spec string, defPct int64, defQty float64) (int64, float64, error) {
+	if strings.TrimSpace(spec) == "" {
+		return defPct, defQty, nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-args wants \"percent,quantity\", got %q", spec)
+	}
+	pct, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-args percent %q: %v", parts[0], err)
+	}
+	qty, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-args quantity %q: %v", parts[1], err)
+	}
+	return pct, qty, nil
+}
+
+func runPrepared(c benchConfig) error {
+	header("PREPARED STATEMENTS — compile-once/execute-many amortization")
+	db := c.open()
+	if err := db.AttachTPCH(float64(c.orders)/1.5e6, c.seed); err != nil {
+		return err
+	}
+
+	type shape struct {
+		name    string
+		prepSQL string
+		args    []any
+		literal string
+	}
+	mkShape := func(name, prepSQL, litTmpl string, defPct int64, defQty float64) (shape, error) {
+		pct, qty, err := preparedBindings(c.prepArgs, defPct, defQty)
+		if err != nil {
+			return shape{}, err
+		}
+		// The literal is the bindings spliced in, so every mode runs the
+		// same query.
+		return shape{name: name, prepSQL: prepSQL, args: []any{pct, qty},
+			literal: fmt.Sprintf(litTmpl, pct, qty)}, nil
+	}
+	point, err := mkShape("point",
+		`SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (? PERCENT) WHERE l_quantity < ?`,
+		`SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (%d PERCENT) WHERE l_quantity < %v`,
+		10, 24.0)
+	if err != nil {
+		return err
+	}
+	q1, err := mkShape("tpch-q1",
+		`SELECT SUM(l_extendedprice*(1.0-l_discount)) AS revenue,
+		        SUM(l_quantity) AS qty, COUNT(*) AS n
+		 FROM lineitem TABLESAMPLE (? PERCENT) WHERE l_quantity < ?`,
+		`SELECT SUM(l_extendedprice*(1.0-l_discount)) AS revenue,
+		        SUM(l_quantity) AS qty, COUNT(*) AS n
+		 FROM lineitem TABLESAMPLE (%d PERCENT) WHERE l_quantity < %v`,
+		25, 24.0)
+	if err != nil {
+		return err
+	}
+	shapes := []shape{point, q1}
+	iters := c.trials
+	if iters < 20 {
+		iters = 20
+	}
+	ctx := context.Background()
+	for _, sh := range shapes {
+		st, err := db.Prepare(sh.prepSQL)
+		if err != nil {
+			return err
+		}
+		measure := func(fn func(i int) error) (nsPerOp float64, allocsPerOp float64, err error) {
+			// Warm up once so lazily-compiled kernels and pools are hot in
+			// every mode.
+			if err := fn(0); err != nil {
+				return 0, 0, err
+			}
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := fn(i); err != nil {
+					return 0, 0, err
+				}
+			}
+			dt := time.Since(t0)
+			runtime.ReadMemStats(&m1)
+			return float64(dt.Nanoseconds()) / float64(iters),
+				float64(m1.Mallocs-m0.Mallocs) / float64(iters), nil
+		}
+
+		db.SetPlanCacheCap(0)
+		oneNs, oneAllocs, err := measure(func(i int) error {
+			_, err := db.Query(sh.literal, gus.WithSeed(uint64(i)), gus.WithWorkers(1))
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		db.SetPlanCacheCap(gus.DefaultPlanCacheSize)
+		cachedNs, cachedAllocs, err := measure(func(i int) error {
+			_, err := db.Query(sh.literal, gus.WithSeed(uint64(i)), gus.WithWorkers(1))
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		prepNs, prepAllocs, err := measure(func(i int) error {
+			all := append(append([]any{}, sh.args...), gus.WithSeed(uint64(i)), gus.WithWorkers(1))
+			_, err := st.Query(ctx, all...)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s (%d iterations):\n", sh.name, iters)
+		fmt.Printf("  one-shot (cache off)  %12.0f ns/op  %10.0f allocs/op\n", oneNs, oneAllocs)
+		fmt.Printf("  cached db.Query       %12.0f ns/op  %10.0f allocs/op\n", cachedNs, cachedAllocs)
+		fmt.Printf("  prepared Stmt.Query   %12.0f ns/op  %10.0f allocs/op\n", prepNs, prepAllocs)
+		fmt.Printf("  prepared vs one-shot: %.2fx time, %.2fx allocs\n",
+			oneNs/prepNs, oneAllocs/prepAllocs)
+	}
+	return nil
+}

@@ -15,6 +15,13 @@
 //
 //	gusquery -gen 0.02 -progressive -target 0.01 \
 //	    -q "SELECT SUM(l_extendedprice*(1.0-l_discount)) FROM lineitem TABLESAMPLE (90 PERCENT)"
+//
+// With -prepare the query is compiled once through db.Prepare and executed
+// as a prepared statement; -args binds positional `?` placeholders
+// (comma-separated; integers, floats and bare strings are inferred):
+//
+//	gusquery -gen 0.001 -prepare -args "25,100.0" \
+//	    -q "SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (? PERCENT) WHERE l_extendedprice > ?"
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -41,6 +49,9 @@ func main() {
 		workers   = flag.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS; results are seed-stable at any width)")
 		exact     = flag.Bool("exact", false, "also run the query exactly and report the true error")
 		verbose   = flag.Bool("v", false, "print the plan and the SOA rewrite trace")
+
+		prepare  = flag.Bool("prepare", false, "compile the query once with db.Prepare and execute it as a prepared statement (reports prepare/execute timings)")
+		argsFlag = flag.String("args", "", "comma-separated positional values for `?` placeholders (implies a prepared statement)")
 
 		progressive = flag.Bool("progressive", false, "online aggregation: print one refining estimate per partition wave")
 		target      = flag.Float64("target", 0, "with -progressive: stop once the CI half-width is at most this fraction of the estimate (0 = off)")
@@ -88,13 +99,66 @@ func main() {
 	if *subsample > 0 {
 		opts = append(opts, gus.WithVarianceSubsampling(*subsample))
 	}
-	if *progressive {
-		runProgressive(db, *query, opts, *target, *deadline, *maxFrac, *waveRows, *level, *exact)
-		return
-	}
-	res, err := db.Query(*query, opts...)
+
+	argVals, err := parseArgs(*argsFlag)
 	if err != nil {
 		fail(err)
+	}
+	var st *gus.Stmt
+	if *prepare || len(argVals) > 0 {
+		t0 := time.Now()
+		st, err = db.Prepare(*query)
+		if err != nil {
+			fail(err)
+		}
+		if *prepare {
+			fmt.Printf("prepared in %v (%d parameter(s))\n", time.Since(t0).Round(time.Microsecond), st.NumParams())
+		}
+	}
+	// run/runExact route through the prepared statement when one exists.
+	stmtArgs := func(opts []gus.Option) []any {
+		all := append([]any{}, argVals...)
+		for _, o := range opts {
+			all = append(all, o)
+		}
+		return all
+	}
+	run := func(opts []gus.Option) (*gus.Result, error) {
+		if st != nil {
+			return st.Query(context.Background(), stmtArgs(opts)...)
+		}
+		return db.Query(*query, opts...)
+	}
+	runExact := func() (*gus.Result, error) {
+		if st != nil {
+			return st.Exact(context.Background(), stmtArgs(nil)...)
+		}
+		return db.Exact(*query)
+	}
+
+	if *progressive {
+		stream := func(popts []gus.Option) (<-chan gus.Update, func() error) {
+			if st != nil {
+				return st.QueryProgressive(context.Background(), stmtArgs(popts)...)
+			}
+			return db.QueryProgressive(context.Background(), *query, popts...)
+		}
+		runProgressive(stream, runExact, opts, *target, *deadline, *maxFrac, *waveRows, *level, *exact)
+		return
+	}
+	t0 := time.Now()
+	res, err := run(opts)
+	if err != nil {
+		fail(err)
+	}
+	if *prepare {
+		first := time.Since(t0)
+		t1 := time.Now()
+		if _, err := run(opts); err != nil {
+			fail(err)
+		}
+		fmt.Printf("executed in %v; re-executed in %v (parse/plan skipped)\n",
+			first.Round(time.Microsecond), time.Since(t1).Round(time.Microsecond))
 	}
 	if *verbose {
 		fmt.Println("plan:")
@@ -115,7 +179,7 @@ func main() {
 			v.Estimate, v.StdErr, *level*100, v.CILow, v.CIHigh, approx)
 	}
 	if *exact {
-		ex, err := db.Exact(*query)
+		ex, err := runExact()
 		if err != nil {
 			fail(err)
 		}
@@ -126,9 +190,32 @@ func main() {
 	}
 }
 
+// parseArgs splits a comma-separated -args list into bindable values,
+// inferring int64, then float64, then string for each element.
+func parseArgs(s string) ([]any, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]any, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if v, err := strconv.ParseInt(p, 10, 64); err == nil {
+			out = append(out, v)
+			continue
+		}
+		if v, err := strconv.ParseFloat(p, 64); err == nil {
+			out = append(out, v)
+			continue
+		}
+		out = append(out, strings.Trim(p, "'"))
+	}
+	return out, nil
+}
+
 // runProgressive streams the query as online aggregation, printing one
 // line per wave and exiting when the stream's stop condition fires.
-func runProgressive(db *gus.DB, query string, opts []gus.Option, target float64, deadline time.Duration, maxFrac float64, waveRows int, level float64, exact bool) {
+func runProgressive(stream func([]gus.Option) (<-chan gus.Update, func() error), runExact func() (*gus.Result, error), opts []gus.Option, target float64, deadline time.Duration, maxFrac float64, waveRows int, level float64, exact bool) {
 	if target > 0 {
 		opts = append(opts, gus.WithTargetRelativeCI(target))
 	}
@@ -141,7 +228,7 @@ func runProgressive(db *gus.DB, query string, opts []gus.Option, target float64,
 	if waveRows > 0 {
 		opts = append(opts, gus.WithWaveRows(waveRows))
 	}
-	ch, wait := db.QueryProgressive(context.Background(), query, opts...)
+	ch, wait := stream(opts)
 	var last gus.Update
 	for u := range ch {
 		last = u
@@ -160,7 +247,7 @@ func runProgressive(db *gus.DB, query string, opts []gus.Option, target float64,
 	}
 	fmt.Printf("stopped: %s (scanned %.2f%% of the data)\n", last.Reason, 100*last.FractionScanned)
 	if exact {
-		ex, err := db.Exact(query)
+		ex, err := runExact()
 		if err != nil {
 			fail(err)
 		}

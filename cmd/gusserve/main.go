@@ -36,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -44,17 +45,37 @@ import (
 )
 
 // Live counters, exported through /debug/vars when -pprof is set: how many
-// query requests the server has answered (successfully or not) and how
-// many sample rows those queries produced — the load numbers a profiling
-// session wants next to its CPU and heap data.
+// query requests the server has answered (successfully or not), how many
+// sample rows those queries produced, and how the DB's plan cache is doing
+// — the load numbers a profiling session wants next to its CPU and heap
+// data. The cache counters make amortization observable: a healthy
+// steady-state workload shows hits growing and misses flat.
 var (
 	statQueries     = expvar.NewInt("gusserve_queries_served")
 	statRowsScanned = expvar.NewInt("gusserve_rows_scanned")
 )
 
+// publishCacheVars exposes the DB's plan-cache counters as expvars.
+func publishCacheVars(db *gus.DB) {
+	expvar.Publish("gusserve_plan_cache_hits", expvar.Func(func() any {
+		return db.PlanCacheStats().Hits
+	}))
+	expvar.Publish("gusserve_plan_cache_misses", expvar.Func(func() any {
+		return db.PlanCacheStats().Misses
+	}))
+	expvar.Publish("gusserve_plan_cache_entries", expvar.Func(func() any {
+		return db.PlanCacheStats().Entries
+	}))
+}
+
 // QueryRequest is the POST /query body. Zero values select defaults.
 type QueryRequest struct {
 	SQL string `json:"sql"`
+	// Args bind the SQL's positional `?` placeholders, in order: JSON
+	// numbers without a fractional part bind as integers, others as
+	// floats, strings as strings. The statement is served from the
+	// server's plan cache, so repeated shapes skip parse/plan.
+	Args []any `json:"args"`
 	// Seed fixes the sampling RNG (default 1; 0 is a valid seed and is
 	// honored). Identical requests return identical responses, regardless
 	// of server parallelism.
@@ -226,6 +247,7 @@ func main() {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	if *pprofOn {
+		publishCacheVars(db)
 		registerDebug(mux)
 		log.Print("gusserve: /debug/pprof and /debug/vars enabled")
 	}
@@ -257,13 +279,61 @@ func main() {
 	}
 }
 
+// decodeArgs converts JSON argument values into bindable Go values:
+// json.Number → int64 when integral, float64 otherwise; strings pass
+// through; anything else (bool, null, nested) is rejected.
+func decodeArgs(in []any) ([]any, error) {
+	out := make([]any, len(in))
+	for i, a := range in {
+		switch x := a.(type) {
+		case json.Number:
+			if v, err := strconv.ParseInt(x.String(), 10, 64); err == nil {
+				out[i] = v
+				continue
+			}
+			v, err := x.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("args[%d]: bad number %q", i, x.String())
+			}
+			out[i] = v
+		case string:
+			out[i] = x
+		default:
+			return nil, fmt.Errorf("args[%d]: unsupported JSON type %T (bind numbers or strings)", i, a)
+		}
+	}
+	return out, nil
+}
+
+// runRequest executes a request body through the DB's plan cache, binding
+// req.Args when present — the server-side prepared-statement path.
+func (s *server) runRequest(ctx context.Context, req QueryRequest, exact bool) (*gus.Result, error) {
+	st, err := s.db.PrepareCached(req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	args, err := decodeArgs(req.Args)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range req.options() {
+		args = append(args, o)
+	}
+	if exact {
+		return st.Exact(ctx, args...)
+	}
+	return st.Query(ctx, args...)
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
 		return
 	}
 	var req QueryRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
@@ -271,10 +341,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
 		return
 	}
-	opts := req.options()
-
 	start := time.Now()
-	res, err := s.db.QueryContext(r.Context(), req.SQL, opts...)
+	res, err := s.runRequest(r.Context(), req, false)
 	statQueries.Add(1)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -290,7 +358,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var exact *gus.Result
 	if req.Exact {
-		if exact, err = s.db.ExactContext(r.Context(), req.SQL, opts...); err != nil {
+		if exact, err = s.runRequest(r.Context(), req, true); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("exact: %w", err))
 			return
 		}
@@ -338,7 +406,9 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req StreamRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
@@ -360,17 +430,38 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, gus.WithWaveRows(req.WaveRows))
 	}
 
+	st, err := s.db.PrepareCached(req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	args, err := decodeArgs(req.Args)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, o := range opts {
+		args = append(args, o)
+	}
+
 	start := time.Now()
-	ch, wait := s.db.QueryProgressive(r.Context(), req.SQL, opts...)
+	ch, wait := st.QueryProgressive(r.Context(), args...)
 	statQueries.Add(1)
 
 	// Hold the status line until the first update: a stream that dies
-	// before producing anything (bad SQL, unknown table, GROUP BY) gets a
-	// real 400 with a plain JSON error, exactly like /query.
+	// before producing anything (bad SQL, unknown table, an unsupported
+	// mode like GROUP BY) gets a real 4xx with a plain JSON error, exactly
+	// like /query — 422 when the query is valid but the mode cannot serve
+	// it (gus.ErrUnsupported), 400 otherwise. Never a 500: these are all
+	// client-fixable.
 	first, ok := <-ch
 	if !ok {
 		if err := wait(); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			status := http.StatusBadRequest
+			if errors.Is(err, gus.ErrUnsupported) {
+				status = http.StatusUnprocessableEntity
+			}
+			writeError(w, status, err)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("stream produced no updates"))

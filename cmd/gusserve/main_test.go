@@ -319,13 +319,18 @@ func TestQueryStreamErrors(t *testing.T) {
 	if err := json.NewDecoder(rec2.Body).Decode(&e); err != nil || e["error"] == "" {
 		t.Fatalf("bad sql: error body missing (%v)", err)
 	}
-	// GROUP BY (rejected by the progressive executor) also 400s.
+	// GROUP BY — a valid query the progressive executor cannot serve
+	// (gus.ErrUnsupported) — gets a 422, never a 500.
 	req2b := httptest.NewRequest(http.MethodPost, "/query/stream",
 		bytes.NewBufferString(`{"sql":"SELECT SUM(v) FROM ev TABLESAMPLE (50 PERCENT) GROUP BY cat"}`))
 	rec2b := httptest.NewRecorder()
 	s.handleQueryStream(rec2b, req2b)
-	if rec2b.Code != http.StatusBadRequest {
-		t.Fatalf("group by: status %d, want 400", rec2b.Code)
+	if rec2b.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("group by: status %d, want 422", rec2b.Code)
+	}
+	var body2b map[string]string
+	if err := json.Unmarshal(rec2b.Body.Bytes(), &body2b); err != nil || !strings.Contains(body2b["error"], "GROUP BY") {
+		t.Fatalf("group by: error body %q should name GROUP BY (%v)", rec2b.Body.String(), err)
 	}
 	// GET is rejected.
 	req3 := httptest.NewRequest(http.MethodGet, "/query/stream", nil)
@@ -400,5 +405,86 @@ func TestDebugCountersAndPprof(t *testing.T) {
 	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/debug/pprof/cmdline: status %d", rec.Code)
+	}
+}
+
+// TestQueryArgs: {"sql": ..., "args": [...]} binds positional placeholders
+// through the server's plan cache; results match the spliced-literal query
+// exactly, integral JSON numbers bind as SQL integers, and repeated shapes
+// hit the cache.
+func TestQueryArgs(t *testing.T) {
+	s := testServer(t)
+	before := s.db.PlanCacheStats()
+	rec, resp := postQuery(t, s,
+		`{"sql":"SELECT SUM(v) AS s FROM ev TABLESAMPLE (? PERCENT) WHERE v > ?","args":[25, 40.5],"seed":7}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	recLit, respLit := postQuery(t, s,
+		`{"sql":"SELECT SUM(v) AS s FROM ev TABLESAMPLE (25 PERCENT) WHERE v > 40.5","seed":7}`)
+	if recLit.Code != http.StatusOK {
+		t.Fatalf("literal status %d: %s", recLit.Code, recLit.Body)
+	}
+	if resp.Values[0].Estimate != respLit.Values[0].Estimate || resp.Values[0].StdErr != respLit.Values[0].StdErr {
+		t.Fatalf("args-bound result diverges from literal: %+v vs %+v", resp.Values[0], respLit.Values[0])
+	}
+	// Same shape, different binding: a cache hit, not a re-plan.
+	rec2, resp2 := postQuery(t, s,
+		`{"sql":"SELECT SUM(v) AS s FROM ev TABLESAMPLE (? PERCENT) WHERE v > ?","args":[25, 90.5],"seed":7}`)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec2.Code, rec2.Body)
+	}
+	if resp2.Values[0].Estimate >= resp.Values[0].Estimate {
+		t.Fatalf("tighter predicate should shrink the estimate: %v vs %v",
+			resp2.Values[0].Estimate, resp.Values[0].Estimate)
+	}
+	after := s.db.PlanCacheStats()
+	if after.Hits == before.Hits {
+		t.Fatalf("expected plan-cache hits to grow (before %+v, after %+v)", before, after)
+	}
+	// Integral JSON numbers bind as integers: cat is an Int column, so a
+	// float binding would fail the comparison kind-compatibly but 3 works
+	// like the literal 3.
+	rec3, resp3 := postQuery(t, s,
+		`{"sql":"SELECT COUNT(*) AS n FROM ev TABLESAMPLE (50 PERCENT) WHERE cat = ?","args":[3],"seed":1}`)
+	if rec3.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec3.Code, rec3.Body)
+	}
+	_, respLit3 := postQuery(t, s,
+		`{"sql":"SELECT COUNT(*) AS n FROM ev TABLESAMPLE (50 PERCENT) WHERE cat = 3","seed":1}`)
+	if resp3.Values[0].Estimate != respLit3.Values[0].Estimate {
+		t.Fatalf("integer arg diverges from literal: %v vs %v", resp3.Values[0].Estimate, respLit3.Values[0].Estimate)
+	}
+
+	// Arity and type errors are 400s with actionable bodies.
+	recErr, _ := postQuery(t, s,
+		`{"sql":"SELECT SUM(v) FROM ev TABLESAMPLE (? PERCENT)","args":[]}`)
+	if recErr.Code != http.StatusBadRequest || !strings.Contains(recErr.Body.String(), "parameter") {
+		t.Fatalf("arity error: status %d body %s", recErr.Code, recErr.Body)
+	}
+	recErr2, _ := postQuery(t, s,
+		`{"sql":"SELECT SUM(v) FROM ev TABLESAMPLE (? PERCENT)","args":[true]}`)
+	if recErr2.Code != http.StatusBadRequest || !strings.Contains(recErr2.Body.String(), "args[0]") {
+		t.Fatalf("type error: status %d body %s", recErr2.Code, recErr2.Body)
+	}
+}
+
+// TestStreamArgs: the NDJSON endpoint binds args too.
+func TestStreamArgs(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/query/stream",
+		bytes.NewBufferString(`{"sql":"SELECT SUM(v) FROM ev TABLESAMPLE (? PERCENT) WHERE v > ?","args":[80, 10.5],"seed":3}`))
+	rec := httptest.NewRecorder()
+	s.handleQueryStream(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	var last StreamUpdate
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if !last.Final || last.Estimate == nil {
+		t.Fatalf("expected a Final estimate, got %+v", last)
 	}
 }

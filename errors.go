@@ -1,0 +1,10 @@
+package gus
+
+import "errors"
+
+// ErrUnsupported marks a request the engine understands but cannot serve —
+// e.g. GROUP BY under progressive execution. Callers branch on it with
+// errors.Is to distinguish "valid query, unsupported mode" (a client error
+// worth a 4xx) from malformed input or internal failures; the wrapped
+// message names the specific limitation.
+var ErrUnsupported = errors.New("unsupported")

@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/sampling-algebra/gus/internal/batch"
@@ -85,14 +86,27 @@ const (
 // in-flight queries via an internal RWMutex. A progressive stream holds
 // the lock only while planning — its waves then run against an immutable
 // snapshot, so even a long-lived stream never blocks writers.
+//
+// Query, Exact and QueryProgressive are backed by a bounded LRU plan cache
+// keyed by normalized SQL (see stmt.go): repeated statements skip parsing,
+// planning and kernel compilation. Catalog writes bump an internal
+// generation counter that invalidates every cached plan. For explicit
+// compile-once/execute-many control — including `?` parameter binding —
+// use Prepare.
 type DB struct {
 	mu      sync.RWMutex
 	tables  map[string]*relation.Relation
 	workers int
+	// gen counts catalog writes; plan-cache entries are tagged with it and
+	// lookups discard entries from older generations.
+	gen   atomic.Uint64
+	plans *planCache
 }
 
 // Open creates an empty database.
-func Open() *DB { return &DB{tables: map[string]*relation.Relation{}} }
+func Open() *DB {
+	return &DB{tables: map[string]*relation.Relation{}, plans: newPlanCache(DefaultPlanCacheSize)}
+}
 
 // SetWorkers sets the default worker-pool width for subsequent queries
 // (per-query WithWorkers overrides it). n ≤ 0 restores the default of
@@ -144,6 +158,7 @@ func (db *DB) CreateTable(name string, cols ...Column) (*Table, error) {
 		return nil, fmt.Errorf("gus: %w", err)
 	}
 	db.tables[name] = rel
+	db.gen.Add(1)
 	return &Table{db: db, rel: rel}, nil
 }
 
@@ -163,6 +178,7 @@ func (t *Table) Insert(values ...any) error {
 	if err != nil {
 		return err
 	}
+	t.db.gen.Add(1)
 	return t.rel.Append(tup)
 }
 
@@ -176,6 +192,7 @@ func (t *Table) InsertWithID(id uint64, values ...any) error {
 	if err != nil {
 		return err
 	}
+	t.db.gen.Add(1)
 	return t.rel.AppendWithID(lineage.TupleID(id), tup)
 }
 
@@ -235,6 +252,7 @@ func (db *DB) LoadCSV(name, path string) error {
 		return fmt.Errorf("gus: table %q already exists", name)
 	}
 	db.tables[name] = rel
+	db.gen.Add(1)
 	return nil
 }
 
@@ -271,6 +289,7 @@ func (db *DB) AttachTPCHConfig(cfg tpch.Config) error {
 	for _, r := range tb.All() {
 		db.tables[r.Name()] = r
 	}
+	db.gen.Add(1)
 	return nil
 }
 
@@ -319,6 +338,12 @@ type queryOptions struct {
 	deadline    time.Duration
 	maxFraction float64
 	waveRows    int
+
+	// Prepared-statement execution state (set by Stmt, never by Options):
+	// the bound parameter values and the statement's compile-once kernel
+	// snapshot.
+	args []relation.Value
+	prep *engine.Prepared
 }
 
 // Option customizes Query.
@@ -466,22 +491,17 @@ func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
 // ctx between partition waves and aborts with ctx's error, so a slow
 // query never outlives a caller that has gone away. Cancellation yields
 // an error, never partial results.
+//
+// The statement's plan comes from the DB's LRU plan cache (invalidated on
+// catalog writes), so re-running the same SQL skips parse and plan. SQL
+// containing `?` placeholders cannot run here — bind values through
+// Prepare/PrepareCached instead.
 func (db *DB) QueryContext(ctx context.Context, sql string, opts ...Option) (*Result, error) {
-	o := db.buildOptions(opts)
-	q, err := sqlparse.Parse(sql)
+	st, err := db.prepareCached(sql)
 	if err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	planned, err := sqlparse.PlanQuery(q, catalog{db}, sqlparse.PlannerOptions{
-		SystemBlockSize: o.systemBlockSize,
-		Seed:            o.seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return db.run(ctx, planned, o)
+	return st.exec(ctx, nil, db.buildOptions(opts), false)
 }
 
 // Exact runs the query with all sampling stripped: the true answer, for
@@ -491,23 +511,13 @@ func (db *DB) Exact(sql string, opts ...Option) (*Result, error) {
 }
 
 // ExactContext is Exact with cooperative cancellation (see QueryContext).
+// It shares the plan cache with Query.
 func (db *DB) ExactContext(ctx context.Context, sql string, opts ...Option) (*Result, error) {
-	o := db.buildOptions(opts)
-	q, err := sqlparse.Parse(sql)
+	st, err := db.prepareCached(sql)
 	if err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	planned, err := sqlparse.PlanQuery(q, catalog{db}, sqlparse.PlannerOptions{
-		SystemBlockSize: o.systemBlockSize,
-		Seed:            o.seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	planned.Root = plan.StripSampling(planned.Root)
-	return db.run(ctx, planned, o)
+	return st.exec(ctx, nil, db.buildOptions(opts), true)
 }
 
 // Robustness implements the §8 "database as a sample" analysis: the query
@@ -563,7 +573,7 @@ func (db *DB) run(ctx context.Context, planned *sqlparse.Planned, o queryOptions
 	if err != nil {
 		return nil, err
 	}
-	eng := engine.New(engine.Config{Workers: o.workers, Context: ctx})
+	eng := engine.New(engine.Config{Workers: o.workers, Context: ctx, Params: o.args, Prepared: o.prep})
 	var sample aggSample
 	if o.rowEngine {
 		rows, err := eng.ExecuteRows(planned.Root, o.seed)

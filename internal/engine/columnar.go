@@ -171,7 +171,7 @@ func stripGUS(n plan.Node) plan.Node {
 }
 
 func (e *Engine) execFused(c *fusedChain, seed uint64, ids map[plan.Node]uint64) (*batch.Batch, error) {
-	in, smp, preds, proj, err := prepareChain(c, seed, ids)
+	in, smp, preds, proj, err := e.prepareChain(c, seed, ids)
 	if err != nil {
 		return nil, err
 	}
@@ -180,8 +180,9 @@ func (e *Engine) execFused(c *fusedChain, seed uint64, ids map[plan.Node]uint64)
 
 // prepareChain compiles a fused chain's stages once: the scan's columnar
 // input, the (optional) sampling stage with its node-derived sub-seed, the
-// compiled predicates and the (optional) projection.
-func prepareChain(c *fusedChain, seed uint64, ids map[plan.Node]uint64) (in *batch.Batch, smp *sampleStage, preds []*expr.VecCompiled, proj *projSpec, err error) {
+// compiled predicates and the (optional) projection. Under a prepared
+// statement the kernel compiles come from the statement's snapshot.
+func (e *Engine) prepareChain(c *fusedChain, seed uint64, ids map[plan.Node]uint64) (in *batch.Batch, smp *sampleStage, preds []*expr.VecCompiled, proj *projSpec, err error) {
 	in, err = batch.FromRelation(c.scan.Rel, c.scan.Alias)
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -193,22 +194,22 @@ func prepareChain(c *fusedChain, seed uint64, ids map[plan.Node]uint64) (in *bat
 		}
 	}
 	if c.project != nil {
-		proj, err = newProjSpec(in.Schema, c.project.Names, c.project.Exprs)
+		proj, err = e.newProjSpec(in.Schema, c.project.Names, c.project.Exprs)
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
 	}
-	preds, err = compilePreds(c.preds, in.Schema)
+	preds, err = e.compilePreds(c.preds, in.Schema)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
 	return in, smp, preds, proj, nil
 }
 
-func compilePreds(preds []expr.Expr, schema *relation.Schema) ([]*expr.VecCompiled, error) {
+func (e *Engine) compilePreds(preds []expr.Expr, schema *relation.Schema) ([]*expr.VecCompiled, error) {
 	out := make([]*expr.VecCompiled, len(preds))
 	for i, p := range preds {
-		c, err := expr.CompileVec(p, schema)
+		c, err := e.compileVec(p, schema)
 		if err != nil {
 			return nil, fmt.Errorf("engine: select: %w", err)
 		}
@@ -311,13 +312,13 @@ type projSpec struct {
 	compiled []*expr.VecCompiled
 }
 
-func newProjSpec(schema *relation.Schema, names []string, exprs []expr.Expr) (*projSpec, error) {
+func (e *Engine) newProjSpec(schema *relation.Schema, names []string, exprs []expr.Expr) (*projSpec, error) {
 	if len(names) != len(exprs) {
 		return nil, fmt.Errorf("engine: project: %d names for %d expressions", len(names), len(exprs))
 	}
 	ps := &projSpec{names: names, compiled: make([]*expr.VecCompiled, len(exprs))}
 	for i, ex := range exprs {
-		c, err := expr.CompileVec(ex, schema)
+		c, err := e.compileVec(ex, schema)
 		if err != nil {
 			return nil, fmt.Errorf("engine: project %s: %w", ex, err)
 		}
@@ -396,7 +397,7 @@ func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.Vec
 			sel = smp.selectSpan(in, pBase+p, span, sel)
 		case len(preds) > 0:
 			// First predicate over zero-copy span slices.
-			v, err := preds[0].EvalAll(spanCols(span), span.Hi-span.Lo)
+			v, err := preds[0].EvalAllBind(spanCols(span), e.binds, span.Hi-span.Lo)
 			if err != nil {
 				putI32(sel)
 				return fmt.Errorf("engine: select: %w", err)
@@ -416,7 +417,7 @@ func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.Vec
 			if len(sel) == 0 {
 				break
 			}
-			v, err := pred.Eval(in.Cols, sel)
+			v, err := pred.EvalBind(in.Cols, e.binds, sel)
 			if err != nil {
 				putI32(sel)
 				return fmt.Errorf("engine: select: %w", err)
@@ -481,7 +482,7 @@ func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.Vec
 		case full[p]:
 			cols := spanCols(span)
 			for j, c := range proj.compiled {
-				v, err := c.EvalAll(cols, counts[p])
+				v, err := c.EvalAllBind(cols, e.binds, counts[p])
 				if err != nil {
 					return fmt.Errorf("engine: project: %w", err)
 				}
@@ -489,7 +490,7 @@ func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.Vec
 			}
 		default:
 			for j, c := range proj.compiled {
-				v, err := c.Eval(in.Cols, sel)
+				v, err := c.EvalBind(in.Cols, e.binds, sel)
 				if err != nil {
 					return fmt.Errorf("engine: project: %w", err)
 				}
@@ -548,7 +549,7 @@ func copyVec(src, dst expr.Vec, off int) {
 // Standalone columnar operators.
 
 func (e *Engine) execSelectB(in *batch.Batch, pred expr.Expr) (*batch.Batch, error) {
-	c, err := expr.CompileVec(pred, in.Schema)
+	c, err := e.compileVec(pred, in.Schema)
 	if err != nil {
 		return nil, fmt.Errorf("engine: select: %w", err)
 	}
@@ -556,7 +557,7 @@ func (e *Engine) execSelectB(in *batch.Batch, pred expr.Expr) (*batch.Batch, err
 }
 
 func (e *Engine) execProjectB(in *batch.Batch, names []string, exprs []expr.Expr) (*batch.Batch, error) {
-	ps, err := newProjSpec(in.Schema, names, exprs)
+	ps, err := e.newProjSpec(in.Schema, names, exprs)
 	if err != nil {
 		return nil, err
 	}
@@ -773,7 +774,7 @@ func (e *Engine) execThetaB(l, r *batch.Batch, pred expr.Expr) (*batch.Batch, er
 	if err != nil {
 		return nil, fmt.Errorf("engine: theta join: %w", err)
 	}
-	c, err := expr.CompileVec(pred, cols)
+	c, err := e.compileVec(pred, cols)
 	if err != nil {
 		return nil, fmt.Errorf("engine: theta join: %w", err)
 	}
@@ -799,7 +800,7 @@ func (e *Engine) execThetaB(l, r *batch.Batch, pred expr.Expr) (*batch.Batch, er
 			}
 			// EvalAll: right columns pass through the kernels zero-copy;
 			// only the broadcast left constants change per left row.
-			v, err := c.EvalAll(view, rn)
+			v, err := c.EvalAllBind(view, e.binds, rn)
 			if err != nil {
 				return fmt.Errorf("engine: theta join: %w", err)
 			}

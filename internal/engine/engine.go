@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"runtime"
 
+	"github.com/sampling-algebra/gus/internal/expr"
 	"github.com/sampling-algebra/gus/internal/ops"
 	"github.com/sampling-algebra/gus/internal/plan"
+	"github.com/sampling-algebra/gus/internal/relation"
 )
 
 // Config tunes an Engine. The zero value is ready to use.
@@ -50,6 +52,16 @@ type Config struct {
 	// gone. Cancellation never yields partial results — Execute either
 	// returns complete rows or an error.
 	Context context.Context
+	// Params are this execution's positional placeholder values: every
+	// expr.ParamRef in the plan evaluates to Params[Index], injected into
+	// the compiled kernels as broadcast constants — never by recompiling.
+	// Nil for plans without placeholders.
+	Params []relation.Value
+	// Prepared, when non-nil, is the statement's compile-once kernel
+	// snapshot: expression compilation routes through it and is shared by
+	// every execution of the statement (see prepared.go). Nil compiles per
+	// execution, the one-shot behavior.
+	Prepared *Prepared
 }
 
 // Engine executes query plans in parallel. It is stateless between calls
@@ -59,6 +71,10 @@ type Engine struct {
 	partSize int
 	cutoff   int
 	ctx      context.Context
+	params   []relation.Value
+	binds    []expr.Vec      // ConstVec per param, built once per execution
+	kinds    []relation.Kind // bound kinds, part of the kernel-cache key
+	prep     *Prepared
 }
 
 // New builds an Engine from cfg, applying defaults.
@@ -75,7 +91,32 @@ func New(cfg Config) *Engine {
 	if cut <= 0 {
 		cut = 2 * ps
 	}
-	return &Engine{workers: w, partSize: ps, cutoff: cut, ctx: cfg.Context}
+	e := &Engine{workers: w, partSize: ps, cutoff: cut, ctx: cfg.Context, params: cfg.Params, prep: cfg.Prepared}
+	if len(cfg.Params) > 0 {
+		e.binds = make([]expr.Vec, len(cfg.Params))
+		e.kinds = make([]relation.Kind, len(cfg.Params))
+		for i, v := range cfg.Params {
+			e.binds[i] = expr.ConstVec(v)
+			e.kinds[i] = v.Kind()
+		}
+	}
+	return e
+}
+
+// compileVec compiles an expression for vectorized evaluation, honoring
+// the execution's parameter kinds and, when present, the statement's
+// prepared kernel snapshot (compile once, execute many).
+func (e *Engine) compileVec(x expr.Expr, schema *relation.Schema) (*expr.VecCompiled, error) {
+	if e.prep != nil {
+		return e.prep.compile(x, schema, e.kinds)
+	}
+	return expr.CompileVecBind(x, schema, e.kinds)
+}
+
+// compileScalar compiles an expression for the row-at-a-time path with the
+// execution's parameter values baked in.
+func (e *Engine) compileScalar(x expr.Expr, schema *relation.Schema) (expr.Compiled, error) {
+	return expr.CompileBind(x, schema, e.params)
 }
 
 // Workers reports the configured worker-pool width.

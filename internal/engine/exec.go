@@ -39,7 +39,7 @@ func (e *Engine) execScan(s *plan.Scan) (*ops.Rows, error) {
 // execSelect filters partitions in parallel. Compiled predicates are
 // stateless closures, so one compilation is shared by all workers.
 func (e *Engine) execSelect(in *ops.Rows, t *plan.Select) (*ops.Rows, error) {
-	pred, err := expr.Compile(t.Pred, in.Cols)
+	pred, err := e.compileScalar(t.Pred, in.Cols)
 	if err != nil {
 		return nil, fmt.Errorf("engine: select: %w", err)
 	}
@@ -75,7 +75,7 @@ func (e *Engine) execProject(in *ops.Rows, t *plan.Project) (*ops.Rows, error) {
 	compiled := make([]expr.Compiled, len(t.Exprs))
 	cols := make([]relation.Column, len(t.Exprs))
 	for i, ex := range t.Exprs {
-		c, err := expr.Compile(ex, in.Cols)
+		c, err := e.compileScalar(ex, in.Cols)
 		if err != nil {
 			return nil, fmt.Errorf("engine: project %s: %w", ex, err)
 		}
@@ -215,7 +215,7 @@ func (e *Engine) execTheta(l, r *ops.Rows, t *plan.Theta) (*ops.Rows, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: theta join: %w", err)
 	}
-	pred, err := expr.Compile(t.Pred, cols)
+	pred, err := e.compileScalar(t.Pred, cols)
 	if err != nil {
 		return nil, fmt.Errorf("engine: theta join: %w", err)
 	}

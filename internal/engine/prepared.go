@@ -1,0 +1,82 @@
+// Prepared kernel snapshots: the compile-once half of the prepared-
+// statement execution path. A Prepared caches compiled vector kernels
+// (expr.VecCompiled) keyed by (parameter-kind signature, expression,
+// schema), so executing the same plan again — with different placeholder
+// values, seeds or worker counts — reuses the kernel trees instead of
+// recompiling them. Kernels are stateless, so one Prepared safely serves
+// any number of concurrent executions; the map itself is guarded by an
+// RWMutex and populated on first use per signature.
+//
+// Parameter VALUES never enter the cache: placeholders compile to bind-
+// channel reads (expr.CompileVecBind) and each execution passes its own
+// broadcast constants through EvalBind/EvalAllBind. Only the bound KINDS
+// are part of the key, because static kind inference — what makes the
+// kernels bit-identical to literal plans — depends on them.
+package engine
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/relation"
+)
+
+// Prepared is an immutable-from-outside compiled-kernel snapshot shared by
+// every execution of one prepared statement. The zero value is not usable;
+// call NewPrepared.
+type Prepared struct {
+	mu      sync.RWMutex
+	kernels map[string]*expr.VecCompiled
+}
+
+// NewPrepared returns an empty kernel snapshot.
+func NewPrepared() *Prepared {
+	return &Prepared{kernels: map[string]*expr.VecCompiled{}}
+}
+
+// compile returns the cached kernel for (e, schema, kinds), compiling and
+// memoizing it on first use. Compilation inside the lock is cheap (pure
+// tree construction) and keeps duplicate compiles out without a second
+// lookup dance.
+func (p *Prepared) compile(e expr.Expr, schema *relation.Schema, kinds []relation.Kind) (*expr.VecCompiled, error) {
+	key := kernelKey(e, schema, kinds)
+	p.mu.RLock()
+	c, ok := p.kernels[key]
+	p.mu.RUnlock()
+	if ok {
+		return c, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.kernels[key]; ok {
+		return c, nil
+	}
+	c, err := expr.CompileVecBind(e, schema, kinds)
+	if err != nil {
+		return nil, err
+	}
+	p.kernels[key] = c
+	return c, nil
+}
+
+// kernelKey fingerprints a compilation site. Expression rendering is
+// injective for our closed node set (ParamRefs print their index), and the
+// schema fingerprint covers column names and kinds — column names are
+// globally unique across a statement's tables, so two sites with the same
+// expression and fingerprint compile to interchangeable kernels.
+func kernelKey(e expr.Expr, schema *relation.Schema, kinds []relation.Kind) string {
+	var b strings.Builder
+	for _, k := range kinds {
+		b.WriteByte("ifs"[int(k)])
+	}
+	b.WriteByte('|')
+	b.WriteString(e.String())
+	b.WriteByte('|')
+	for i := 0; i < schema.Len(); i++ {
+		c := schema.Col(i)
+		b.WriteString(c.Name)
+		b.WriteByte("ifs"[int(c.Kind)])
+	}
+	return b.String()
+}

@@ -55,7 +55,7 @@ func (e *Engine) PrepareWaves(root plan.Node, seed uint64) (*WaveExec, error) {
 		}
 		c = &fusedChain{scan: s}
 	}
-	in, smp, preds, proj, err := prepareChain(c, seed, ids)
+	in, smp, preds, proj, err := e.prepareChain(c, seed, ids)
 	if err != nil {
 		return nil, err
 	}

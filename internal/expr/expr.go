@@ -64,6 +64,13 @@ type ColRef struct{ Name string }
 // Const is a literal value.
 type Const struct{ Value relation.Value }
 
+// ParamRef is a positional prepared-statement placeholder (`?` / `?N` in
+// SQL). Index is 0-based. A ParamRef never evaluates by itself: its value
+// is injected at execution time — as a broadcast constant through the
+// vector kernels' bind channel, or baked into a scalar closure by
+// CompileBind — without recompiling the surrounding expression.
+type ParamRef struct{ Index int }
+
 // Binary applies Op to two sub-expressions.
 type Binary struct {
 	Op   Op
@@ -73,10 +80,11 @@ type Binary struct {
 // Not negates a boolean sub-expression.
 type Not struct{ X Expr }
 
-func (ColRef) expr() {}
-func (Const) expr()  {}
-func (Binary) expr() {}
-func (Not) expr()    {}
+func (ColRef) expr()   {}
+func (Const) expr()    {}
+func (Binary) expr()   {}
+func (Not) expr()      {}
+func (ParamRef) expr() {}
 
 // String renders the expression in SQL-ish syntax.
 func (c ColRef) String() string { return c.Name }
@@ -97,10 +105,17 @@ func (b Binary) String() string {
 // String renders the negation.
 func (n Not) String() string { return "(NOT " + n.X.String() + ")" }
 
+// String renders the placeholder in its explicit 1-based SQL form, which
+// re-parses to the same index.
+func (p ParamRef) String() string { return fmt.Sprintf("?%d", p.Index+1) }
+
 // Convenience constructors.
 
 // Col references a column.
 func Col(name string) Expr { return ColRef{Name: name} }
+
+// Param references the i-th (0-based) positional placeholder.
+func Param(i int) Expr { return ParamRef{Index: i} }
 
 // Int is an integer literal.
 func Int(v int64) Expr { return Const{Value: relation.Int(v)} }
@@ -145,9 +160,24 @@ func Or(l, r Expr) Expr { return Bin(OpOr, l, r) }
 type Compiled func(row relation.Tuple) (relation.Value, error)
 
 // Compile resolves column references against schema and returns an
-// evaluator. Unknown columns are compile-time errors.
+// evaluator. Unknown columns are compile-time errors, and so are
+// placeholders — an expression containing ParamRefs must be compiled with
+// CompileBind (or have its parameters substituted via BindParams) first.
 func Compile(e Expr, schema *relation.Schema) (Compiled, error) {
+	return CompileBind(e, schema, nil)
+}
+
+// CompileBind is Compile with positional parameter values: each ParamRef
+// evaluates to params[Index], exactly as if the literal had been written in
+// its place. Out-of-range indices are compile-time errors.
+func CompileBind(e Expr, schema *relation.Schema, params []relation.Value) (Compiled, error) {
 	switch n := e.(type) {
+	case ParamRef:
+		if n.Index < 0 || n.Index >= len(params) {
+			return nil, fmt.Errorf("expr: parameter ?%d is unbound (%d bound)", n.Index+1, len(params))
+		}
+		v := params[n.Index]
+		return func(relation.Tuple) (relation.Value, error) { return v, nil }, nil
 	case ColRef:
 		idx, ok := schema.Index(n.Name)
 		if !ok {
@@ -158,7 +188,7 @@ func Compile(e Expr, schema *relation.Schema) (Compiled, error) {
 		v := n.Value
 		return func(relation.Tuple) (relation.Value, error) { return v, nil }, nil
 	case Not:
-		x, err := Compile(n.X, schema)
+		x, err := CompileBind(n.X, schema, params)
 		if err != nil {
 			return nil, err
 		}
@@ -170,11 +200,11 @@ func Compile(e Expr, schema *relation.Schema) (Compiled, error) {
 			return relation.Bool(!v.Truthy()), nil
 		}, nil
 	case Binary:
-		l, err := Compile(n.L, schema)
+		l, err := CompileBind(n.L, schema, params)
 		if err != nil {
 			return nil, err
 		}
-		r, err := Compile(n.R, schema)
+		r, err := CompileBind(n.R, schema, params)
 		if err != nil {
 			return nil, err
 		}
@@ -314,6 +344,69 @@ func EquiJoinCols(e Expr) (left, right string, ok bool) {
 		return "", "", false
 	}
 	return lc.Name, rc.Name, true
+}
+
+// WalkParams calls fn for every ParamRef index in e (with repeats).
+func WalkParams(e Expr, fn func(idx int)) {
+	switch n := e.(type) {
+	case ParamRef:
+		fn(n.Index)
+	case Binary:
+		WalkParams(n.L, fn)
+		WalkParams(n.R, fn)
+	case Not:
+		WalkParams(n.X, fn)
+	}
+}
+
+// NumParams returns 1 + the largest placeholder index in e (0 when e holds
+// no placeholders).
+func NumParams(e Expr) int {
+	max := 0
+	WalkParams(e, func(i int) {
+		if i+1 > max {
+			max = i + 1
+		}
+	})
+	return max
+}
+
+// BindParams returns e with every ParamRef replaced by the corresponding
+// Const — the literal the caller would have written in its place. Subtrees
+// without placeholders are returned as-is (no copy), so a parameter-free
+// expression binds to itself.
+func BindParams(e Expr, params []relation.Value) (Expr, error) {
+	switch n := e.(type) {
+	case ParamRef:
+		if n.Index < 0 || n.Index >= len(params) {
+			return nil, fmt.Errorf("expr: parameter ?%d is unbound (%d bound)", n.Index+1, len(params))
+		}
+		return Const{Value: params[n.Index]}, nil
+	case Binary:
+		l, err := BindParams(n.L, params)
+		if err != nil {
+			return nil, err
+		}
+		r, err := BindParams(n.R, params)
+		if err != nil {
+			return nil, err
+		}
+		if l == n.L && r == n.R {
+			return e, nil
+		}
+		return Binary{Op: n.Op, L: l, R: r}, nil
+	case Not:
+		x, err := BindParams(n.X, params)
+		if err != nil {
+			return nil, err
+		}
+		if x == n.X {
+			return e, nil
+		}
+		return Not{X: x}, nil
+	default:
+		return e, nil
+	}
 }
 
 // FormatList renders expressions comma-separated, for diagnostics.

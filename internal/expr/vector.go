@@ -226,18 +226,31 @@ func (c *VecCompiled) Kind() relation.Kind { return c.kind }
 // side's values. Errors surface only when at least one row is evaluated,
 // matching the scalar path (zero rows evaluate to an empty result).
 func (c *VecCompiled) Eval(cols []Vec, sel []int32) (Vec, error) {
-	return c.evalN(cols, sel, len(sel))
+	return c.evalN(cols, nil, sel, len(sel))
 }
 
 // EvalAll evaluates over all n rows of dense columns without a selection
 // vector: column references pass through zero-copy instead of gathering.
 // Each dense entry of cols must hold at least n rows.
 func (c *VecCompiled) EvalAll(cols []Vec, n int) (Vec, error) {
-	return c.evalN(cols, nil, n)
+	return c.evalN(cols, nil, nil, n)
 }
 
-func (c *VecCompiled) evalN(cols []Vec, sel []int32, n int) (Vec, error) {
-	out, err := c.root.eval(cols, sel, n)
+// EvalBind is Eval with positional parameter bindings: binds[i] is the
+// broadcast-constant value of placeholder ?i+1, built once per execution
+// (ConstVec). The compiled kernel tree is immutable — the same VecCompiled
+// serves any number of concurrent executions with different bindings.
+func (c *VecCompiled) EvalBind(cols, binds []Vec, sel []int32) (Vec, error) {
+	return c.evalN(cols, binds, sel, len(sel))
+}
+
+// EvalAllBind is EvalAll with positional parameter bindings (see EvalBind).
+func (c *VecCompiled) EvalAllBind(cols, binds []Vec, n int) (Vec, error) {
+	return c.evalN(cols, binds, nil, n)
+}
+
+func (c *VecCompiled) evalN(cols, binds []Vec, sel []int32, n int) (Vec, error) {
+	out, err := c.root.eval(cols, binds, sel, n)
 	if err != nil {
 		return Vec{}, err
 	}
@@ -251,8 +264,19 @@ func (c *VecCompiled) evalN(cols []Vec, sel []int32, n int) (Vec, error) {
 // kernel tree. Unknown columns are compile-time errors, as in Compile.
 // Type errors (string arithmetic, string/number comparison) are deferred
 // to evaluation over at least one row, again matching the scalar path.
+// Placeholders are compile-time errors — use CompileVecBind.
 func CompileVec(e Expr, schema *relation.Schema) (*VecCompiled, error) {
-	n, err := compileVec(e, schema)
+	return CompileVecBind(e, schema, nil)
+}
+
+// CompileVecBind is CompileVec for expressions containing placeholders:
+// paramKinds[i] declares the kind the i-th binding will have, fixing the
+// static kind inference exactly as a literal of that kind would. The
+// values themselves are supplied per evaluation through EvalBind /
+// EvalAllBind, so one compilation serves every execution that binds the
+// same kinds.
+func CompileVecBind(e Expr, schema *relation.Schema, paramKinds []relation.Kind) (*VecCompiled, error) {
+	n, err := compileVec(e, schema, paramKinds)
 	if err != nil {
 		return nil, err
 	}
@@ -261,12 +285,13 @@ func CompileVec(e Expr, schema *relation.Schema) (*VecCompiled, error) {
 
 type vecNode interface {
 	// eval returns a dense vector of n elements, or a Const vec. A nil sel
-	// selects rows [0, n) of dense columns directly.
-	eval(cols []Vec, sel []int32, n int) (Vec, error)
+	// selects rows [0, n) of dense columns directly. binds holds the
+	// execution's broadcast parameter values (nil without placeholders).
+	eval(cols, binds []Vec, sel []int32, n int) (Vec, error)
 	kind() relation.Kind
 }
 
-func compileVec(e Expr, schema *relation.Schema) (vecNode, error) {
+func compileVec(e Expr, schema *relation.Schema, paramKinds []relation.Kind) (vecNode, error) {
 	switch n := e.(type) {
 	case ColRef:
 		idx, ok := schema.Index(n.Name)
@@ -276,18 +301,23 @@ func compileVec(e Expr, schema *relation.Schema) (vecNode, error) {
 		return &colVecNode{idx: idx, k: schema.Col(idx).Kind}, nil
 	case Const:
 		return &constVecNode{v: ConstVec(n.Value)}, nil
+	case ParamRef:
+		if n.Index < 0 || n.Index >= len(paramKinds) {
+			return nil, fmt.Errorf("expr: parameter ?%d is unbound (%d bound)", n.Index+1, len(paramKinds))
+		}
+		return &paramVecNode{idx: n.Index, k: paramKinds[n.Index]}, nil
 	case Not:
-		x, err := compileVec(n.X, schema)
+		x, err := compileVec(n.X, schema, paramKinds)
 		if err != nil {
 			return nil, err
 		}
 		return &notVecNode{x: x}, nil
 	case Binary:
-		l, err := compileVec(n.L, schema)
+		l, err := compileVec(n.L, schema, paramKinds)
 		if err != nil {
 			return nil, err
 		}
-		r, err := compileVec(n.R, schema)
+		r, err := compileVec(n.R, schema, paramKinds)
 		if err != nil {
 			return nil, err
 		}
@@ -297,6 +327,29 @@ func compileVec(e Expr, schema *relation.Schema) (vecNode, error) {
 	}
 }
 
+// paramVecNode reads placeholder idx's broadcast constant from the
+// execution's bind vector — the value is injected at evaluation time, the
+// kernel is compiled once. Its kind was fixed at compile time from the
+// declared binding kinds; eval double-checks the actual binding agrees, so
+// a kernel can never run under a mismatched signature.
+type paramVecNode struct {
+	idx int
+	k   relation.Kind
+}
+
+func (p *paramVecNode) kind() relation.Kind { return p.k }
+
+func (p *paramVecNode) eval(_, binds []Vec, _ []int32, _ int) (Vec, error) {
+	if p.idx >= len(binds) {
+		return Vec{}, fmt.Errorf("expr: parameter ?%d is unbound (%d bound)", p.idx+1, len(binds))
+	}
+	v := binds[p.idx]
+	if v.Kind != p.k {
+		return Vec{}, fmt.Errorf("expr: parameter ?%d bound as %s, compiled as %s", p.idx+1, v.Kind, p.k)
+	}
+	return v, nil
+}
+
 type colVecNode struct {
 	idx int
 	k   relation.Kind
@@ -304,7 +357,7 @@ type colVecNode struct {
 
 func (c *colVecNode) kind() relation.Kind { return c.k }
 
-func (c *colVecNode) eval(cols []Vec, sel []int32, n int) (Vec, error) {
+func (c *colVecNode) eval(cols, _ []Vec, sel []int32, n int) (Vec, error) {
 	col := cols[c.idx]
 	if col.Const {
 		return col, nil
@@ -360,15 +413,15 @@ func headS(s []string, n int) []string {
 
 type constVecNode struct{ v Vec }
 
-func (c *constVecNode) kind() relation.Kind                   { return c.v.Kind }
-func (c *constVecNode) eval([]Vec, []int32, int) (Vec, error) { return c.v, nil }
+func (c *constVecNode) kind() relation.Kind                          { return c.v.Kind }
+func (c *constVecNode) eval([]Vec, []Vec, []int32, int) (Vec, error) { return c.v, nil }
 
 type notVecNode struct{ x vecNode }
 
 func (n *notVecNode) kind() relation.Kind { return relation.KindInt }
 
-func (n *notVecNode) eval(cols []Vec, sel []int32, cnt int) (Vec, error) {
-	x, err := n.x.eval(cols, sel, cnt)
+func (n *notVecNode) eval(cols, binds []Vec, sel []int32, cnt int) (Vec, error) {
+	x, err := n.x.eval(cols, binds, sel, cnt)
 	if err != nil {
 		return Vec{}, err
 	}
@@ -406,12 +459,12 @@ func newBinVecNode(op Op, l, r vecNode) *binVecNode {
 
 func (b *binVecNode) kind() relation.Kind { return b.k }
 
-func (b *binVecNode) eval(cols []Vec, sel []int32, n int) (Vec, error) {
-	lv, err := b.l.eval(cols, sel, n)
+func (b *binVecNode) eval(cols, binds []Vec, sel []int32, n int) (Vec, error) {
+	lv, err := b.l.eval(cols, binds, sel, n)
 	if err != nil {
 		return Vec{}, err
 	}
-	rv, err := b.r.eval(cols, sel, n)
+	rv, err := b.r.eval(cols, binds, sel, n)
 	if err != nil {
 		return Vec{}, err
 	}

@@ -18,6 +18,12 @@ func FuzzParse(f *testing.F) {
 		"SELECT AVG(v) AS m FROM ev TABLESAMPLE BERNOULLI (5) WHERE v > 1.5 GROUP BY cat",
 		"SELECT QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.05) AS lo FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS) WHERE l_orderkey = o_orderkey",
 		"SELECT SUM(x) FROM a TABLESAMPLE SYSTEM (20), b WHERE NOT a_k = b_k OR x >= 0",
+		// Placeholder grammar: bare `?`, explicit `?N`, TABLESAMPLE params.
+		"SELECT SUM(a * ?) FROM t TABLESAMPLE (? PERCENT) WHERE b < ? AND c = ?2",
+		"SELECT COUNT(*) FROM t TABLESAMPLE (? ROWS) WHERE a > ?1 OR a < ?1",
+		"SELECT SUM(x) FROM a TABLESAMPLE BERNOULLI (?), b TABLESAMPLE SYSTEM (?) WHERE a_k = b_k",
+		"SELECT SUM(a) FROM t WHERE ?? > 1",
+		"SELECT ? FROM ?",
 		"SELECT",
 		")))((",
 	}

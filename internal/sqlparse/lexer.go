@@ -22,6 +22,9 @@ const (
 	tokNumber
 	tokString
 	tokSymbol
+	// tokParam is a prepared-statement placeholder: bare `?` (text "") or
+	// explicitly numbered `?N` (text "N", 1-based).
+	tokParam
 )
 
 // token is one lexical unit with its source position (1-based).
@@ -32,8 +35,11 @@ type token struct {
 }
 
 func (t token) String() string {
-	if t.kind == tokEOF {
+	switch t.kind {
+	case tokEOF:
 		return "end of input"
+	case tokParam:
+		return fmt.Sprintf("%q", "?"+t.text)
 	}
 	return fmt.Sprintf("%q", t.text)
 }
@@ -102,10 +108,17 @@ func lex(input string) ([]token, error) {
 				i++
 			}
 			if i >= n {
-				return nil, fmt.Errorf("sql: unterminated string literal at position %d", start+1)
+				return nil, lexErrf(input, start+1, "unterminated string literal")
 			}
 			toks = append(toks, token{tokString, input[start+1 : i], start + 1})
 			i++
+		case c == '?':
+			start := i
+			i++
+			for i < n && isDigit(input[i]) {
+				i++
+			}
+			toks = append(toks, token{tokParam, input[start+1 : i], start + 1})
 		case strings.ContainsRune("(),*+-/=;.", rune(c)):
 			toks = append(toks, token{tokSymbol, string(c), i + 1})
 			i++
@@ -130,17 +143,74 @@ func lex(input string) ([]token, error) {
 				toks = append(toks, token{tokSymbol, "<>", i + 1})
 				i += 2
 			} else {
-				return nil, fmt.Errorf("sql: unexpected character %q at position %d", c, i+1)
+				return nil, lexErrf(input, i+1, "unexpected character %q", c)
 			}
 		default:
 			if c < 0x80 && !unicode.IsPrint(rune(c)) {
-				return nil, fmt.Errorf("sql: unexpected control character at position %d", i+1)
+				return nil, lexErrf(input, i+1, "unexpected control character")
 			}
-			return nil, fmt.Errorf("sql: unexpected character %q at position %d", c, i+1)
+			return nil, lexErrf(input, i+1, "unexpected character %q", c)
 		}
 	}
 	toks = append(toks, token{tokEOF, "", n + 1})
 	return toks, nil
+}
+
+// Normalize renders the statement's token stream in canonical form —
+// keywords upper-cased, identifiers lower-cased, comments and whitespace
+// collapsed to single spaces — so textually different spellings of the
+// same statement share one plan-cache key. Inputs that do not lex are
+// returned verbatim (they will fail identically at parse time).
+func Normalize(input string) string {
+	toks, err := lex(input)
+	if err != nil {
+		return input
+	}
+	var b strings.Builder
+	b.Grow(len(input))
+	for _, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokString:
+			b.WriteByte('\'')
+			b.WriteString(t.text)
+			b.WriteByte('\'')
+		case tokParam:
+			b.WriteByte('?')
+			b.WriteString(t.text)
+		default:
+			b.WriteString(t.text)
+		}
+	}
+	return b.String()
+}
+
+// lexErrf builds a lexer error carrying the 1-based line, column and byte
+// offset of the offending input.
+func lexErrf(input string, pos int, format string, args ...any) error {
+	line, col := lineCol(input, pos)
+	return fmt.Errorf("sql: line %d:%d (offset %d): %s", line, col, pos, fmt.Sprintf(format, args...))
+}
+
+// lineCol maps a 1-based byte offset into input onto (line, column), both
+// 1-based — the coordinates parser diagnostics carry so a Prepare failure
+// points at the offending token even in multi-line SQL.
+func lineCol(input string, pos int) (line, col int) {
+	line, col = 1, 1
+	for i := 0; i < pos-1 && i < len(input); i++ {
+		if input[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
 }
 
 func isLetter(c byte) bool {

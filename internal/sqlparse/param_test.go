@@ -1,0 +1,195 @@
+package sqlparse
+
+// Placeholder grammar and diagnostics: `?` / `?N` lexing and numbering,
+// position-carrying (line/column/offset) parse errors, malformed
+// placeholder regressions, template binding validation, and statement
+// normalization for the plan-cache key.
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/plan"
+	"github.com/sampling-algebra/gus/internal/relation"
+)
+
+func TestParsePlaceholders(t *testing.T) {
+	q, err := Parse(`SELECT SUM(l_extendedprice * ?) FROM lineitem TABLESAMPLE (? PERCENT), orders TABLESAMPLE (? ROWS) WHERE l_orderkey = o_orderkey AND l_quantity < ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumParams != 4 {
+		t.Fatalf("NumParams = %d, want 4", q.NumParams)
+	}
+	if got := q.Aggregates[0].Arg.String(); !strings.Contains(got, "?1") {
+		t.Fatalf("aggregate arg %q should reference ?1", got)
+	}
+	if q.Tables[0].ValueParam != 1 || q.Tables[1].ValueParam != 2 {
+		t.Fatalf("TABLESAMPLE params = %d, %d, want 1, 2", q.Tables[0].ValueParam, q.Tables[1].ValueParam)
+	}
+	if got := q.Where.String(); !strings.Contains(got, "?4") {
+		t.Fatalf("WHERE %q should reference ?4", got)
+	}
+}
+
+func TestParseExplicitPlaceholderNumbers(t *testing.T) {
+	// ?N addresses parameters explicitly; a later bare ? continues past the
+	// largest index so far (SQLite numbering).
+	q, err := Parse(`SELECT SUM(a) FROM t WHERE a > ?2 AND b < ?1 AND c = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumParams != 3 {
+		t.Fatalf("NumParams = %d, want 3", q.NumParams)
+	}
+	if got := q.Where.String(); !strings.Contains(got, "?2") || !strings.Contains(got, "?1") || !strings.Contains(got, "?3") {
+		t.Fatalf("WHERE %q should reference ?1, ?2 and ?3", got)
+	}
+	// The same parameter may repeat.
+	q, err = Parse(`SELECT SUM(a) FROM t WHERE a > ?1 AND b < ?1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumParams != 1 {
+		t.Fatalf("NumParams = %d, want 1", q.NumParams)
+	}
+}
+
+func TestParsePlaceholderErrors(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		// `?` where only a table name is legal.
+		{`SELECT COUNT(*) FROM ?`, `expected table name, got "?"`},
+		// `?` in the GROUP BY column position.
+		{`SELECT COUNT(*) FROM t GROUP BY ?`, `expected a column after GROUP BY`},
+		// Invalid explicit number.
+		{`SELECT SUM(a) FROM t WHERE a > ?0`, "parameter numbers are 1-based"},
+		// Hostile explicit numbers must not size allocations (the repro
+		// for the makeslice panic / multi-GB alloc through gusserve).
+		{`SELECT SUM(a) FROM t WHERE a > ?99999999999999999999`, "bad placeholder"},
+		{`SELECT SUM(a) FROM t WHERE a > ?2000000000`, "maximum parameter number"},
+		// REPEATABLE takes a literal seed, not a placeholder.
+		{`SELECT COUNT(*) FROM t TABLESAMPLE (10 PERCENT) REPEATABLE (?)`, `expected a number, got "?"`},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.sql)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) error = %v, want containing %q", tc.sql, err, tc.want)
+		}
+		if err != nil && !strings.Contains(err.Error(), "line ") {
+			t.Errorf("Parse(%q) error %q carries no line position", tc.sql, err)
+		}
+	}
+}
+
+func TestPlaceholderContiguity(t *testing.T) {
+	// A gap in explicit numbering parses (rendered sub-expressions must
+	// round-trip) but is rejected when the statement is planned.
+	cat := tpchCatalog(t, 100)
+	q, err := Parse(`SELECT SUM(l_extendedprice) FROM lineitem WHERE l_quantity > ?3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumParams != 3 {
+		t.Fatalf("NumParams = %d, want 3", q.NumParams)
+	}
+	if _, err := PlanTemplate(q, cat); err == nil || !strings.Contains(err.Error(), "?1 is never used") {
+		t.Fatalf("expected contiguity error from PlanTemplate, got %v", err)
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	// The offending token is on line 3; the error must say so, with a
+	// byte offset.
+	_, err := Parse("SELECT SUM(a)\nFROM t\nWHERE AND b")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 3:") || !strings.Contains(msg, "offset ") {
+		t.Fatalf("error %q should carry line 3 and a byte offset", msg)
+	}
+}
+
+func TestTemplateBindValidation(t *testing.T) {
+	cat := tpchCatalog(t, 300)
+	q, err := Parse(`SELECT COUNT(*) FROM lineitem TABLESAMPLE (? PERCENT)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := PlanTemplate(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmpl.NumParams() != 1 {
+		t.Fatalf("NumParams = %d, want 1", tmpl.NumParams())
+	}
+	if _, err := tmpl.Bind(nil, PlannerOptions{}); err == nil || !strings.Contains(err.Error(), "wants 1 parameter") {
+		t.Fatalf("expected arity error, got %v", err)
+	}
+	if _, err := tmpl.Bind([]relation.Value{relation.String_("x")}, PlannerOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "must be numeric") {
+		t.Fatalf("expected numeric error, got %v", err)
+	}
+	if _, err := tmpl.Bind([]relation.Value{relation.Float(250)}, PlannerOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "outside [0,100]") {
+		t.Fatalf("expected range error, got %v", err)
+	}
+	planned, err := tmpl.Bind([]relation.Value{relation.Int(25)}, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bound plan must equal the literal plan, node for node.
+	lq, err := Parse(`SELECT COUNT(*) FROM lineitem TABLESAMPLE (25 PERCENT)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, err := PlanQuery(lq, cat, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := plan.Format(planned.Root), plan.Format(lit.Root); got != want {
+		t.Fatalf("bound plan differs from literal plan:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestBindKeepsPredicateParams(t *testing.T) {
+	cat := tpchCatalog(t, 300)
+	q, err := Parse(`SELECT SUM(l_extendedprice * ?) FROM lineitem TABLESAMPLE (10 PERCENT) WHERE l_quantity < ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := PlanTemplate(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []relation.Value{relation.Float(2), relation.Float(30)}
+	planned, err := tmpl.Bind(vals, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate arguments are substituted (the estimator sees literals)…
+	if got := planned.Aggregates[0].Arg.String(); strings.Contains(got, "?") {
+		t.Fatalf("aggregate arg %q still holds a placeholder after Bind", got)
+	}
+	if expr.NumParams(planned.Aggregates[0].Arg) != 0 {
+		t.Fatal("aggregate arg still references params")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a := Normalize("select   COUNT(*)\nfrom lineitem -- comment\n tablesample (10 percent);")
+	b := Normalize("SELECT COUNT ( * ) FROM lineitem TABLESAMPLE(10 PERCENT) ;")
+	if a != b {
+		t.Fatalf("normalized forms differ:\n%q\n%q", a, b)
+	}
+	if x, y := Normalize("SELECT SUM(a) FROM t WHERE s = 'A b'"), Normalize("SELECT SUM(a) FROM t WHERE s = 'a B'"); x == y {
+		t.Fatal("normalization must not case-fold string literals")
+	}
+	if x, y := Normalize("SELECT SUM(a) FROM t WHERE a > ?"), Normalize("SELECT SUM(a) FROM t WHERE a > ?2"); x == y {
+		t.Fatal("normalization must keep explicit placeholder numbers distinct")
+	}
+}

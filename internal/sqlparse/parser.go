@@ -63,8 +63,11 @@ type TableRef struct {
 	Alias string // empty when not aliased
 	Kind  SampleKind
 	// Value is the percentage (0–100) for SamplePercent/SampleSystem or
-	// the row count for SampleRows.
+	// the row count for SampleRows. Meaningless while ValueParam ≥ 0.
 	Value float64
+	// ValueParam, when ≥ 0, is the 0-based placeholder index supplying
+	// Value at bind time — `TABLESAMPLE (? PERCENT)` and friends.
+	ValueParam int
 	// Repeatable carries the REPEATABLE(seed) clause if present (-1 none).
 	Repeatable int64
 }
@@ -87,6 +90,10 @@ type Query struct {
 	// aggregate is itself SUM-like (f·1{group}), so the paper's analysis
 	// applies per group.
 	GroupBy string
+	// NumParams counts the statement's positional placeholders. Indices
+	// are contiguous: a bare `?` takes the next free index (largest so far
+	// + 1, SQLite-style), `?N` addresses parameter N explicitly.
+	NumParams int
 }
 
 // Parse turns SQL text into a Query AST.
@@ -95,7 +102,7 @@ func Parse(input string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, input: input, used: map[int]bool{}}
 	q, err := p.parseQuery()
 	if err != nil {
 		return nil, err
@@ -104,15 +111,56 @@ func Parse(input string) (*Query, error) {
 }
 
 type parser struct {
-	toks []token
-	i    int
+	toks  []token
+	i     int
+	input string
+	// Placeholder numbering state: maxParam is 1 + the largest index
+	// assigned so far, used marks which indices appeared.
+	maxParam int
+	used     map[int]bool
 }
 
 func (p *parser) cur() token  { return p.toks[p.i] }
 func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
 
+// errf builds a parse error anchored at the current token, carrying its
+// 1-based line, column and byte offset so Prepare failures are actionable.
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("sql: position %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+	return p.errAt(p.cur(), format, args...)
+}
+
+func (p *parser) errAt(t token, format string, args ...any) error {
+	line, col := lineCol(p.input, t.pos)
+	return fmt.Errorf("sql: line %d:%d (offset %d): %s", line, col, t.pos, fmt.Sprintf(format, args...))
+}
+
+// maxParamNumber bounds explicit `?N` numbering. Parameter counts are
+// tiny in practice; the cap keeps a hostile or mistyped index (?2000000000)
+// from sizing downstream per-parameter allocations by it.
+const maxParamNumber = 1 << 16
+
+// paramIndex consumes a tokParam and assigns its 0-based index: explicit
+// `?N` means index N−1; a bare `?` takes the next free index.
+func (p *parser) paramIndex(t token) (int, error) {
+	idx := p.maxParam
+	if t.text != "" {
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return 0, p.errAt(t, "bad placeholder %q: parameter numbers are 1-based", "?"+t.text)
+		}
+		if n > maxParamNumber {
+			return 0, p.errAt(t, "placeholder ?%d exceeds the maximum parameter number %d", n, maxParamNumber)
+		}
+		idx = n - 1
+	}
+	if idx >= maxParamNumber {
+		return 0, p.errAt(t, "statement has more than %d parameters", maxParamNumber)
+	}
+	if idx+1 > p.maxParam {
+		p.maxParam = idx + 1
+	}
+	p.used[idx] = true
+	return idx, nil
 }
 
 func (p *parser) acceptKeyword(kw string) bool {
@@ -196,6 +244,10 @@ func (p *parser) parseQuery() (*Query, error) {
 	if p.cur().kind != tokEOF {
 		return nil, p.errf("unexpected trailing input %s", p.cur())
 	}
+	// Contiguity of explicit `?N` numbering is enforced by PlanTemplate,
+	// not here: a rendered sub-expression (e.g. a WHERE clause quoted back
+	// into a fresh statement) must stay re-parseable on its own.
+	q.NumParams = p.maxParam
 	return q, nil
 }
 
@@ -274,7 +326,7 @@ func (p *parser) parseTableRef() (*TableRef, error) {
 	if p.cur().kind != tokIdent {
 		return nil, p.errf("expected table name, got %s", p.cur())
 	}
-	tr := &TableRef{Name: p.next().text, Repeatable: -1}
+	tr := &TableRef{Name: p.next().text, ValueParam: -1, Repeatable: -1}
 	if p.acceptKeyword("AS") {
 		if p.cur().kind != tokIdent {
 			return nil, p.errf("expected alias after AS, got %s", p.cur())
@@ -291,42 +343,42 @@ func (p *parser) parseTableRef() (*TableRef, error) {
 		if err := p.expectSymbol("("); err != nil {
 			return nil, err
 		}
-		v, err := p.parseNumber()
+		v, param, err := p.parseSampleArg()
 		if err != nil {
 			return nil, err
 		}
 		if err := p.expectSymbol(")"); err != nil {
 			return nil, err
 		}
-		tr.Kind, tr.Value = SamplePercent, v
+		tr.Kind, tr.Value, tr.ValueParam = SamplePercent, v, param
 	case p.acceptKeyword("SYSTEM"):
 		if err := p.expectSymbol("("); err != nil {
 			return nil, err
 		}
-		v, err := p.parseNumber()
+		v, param, err := p.parseSampleArg()
 		if err != nil {
 			return nil, err
 		}
 		if err := p.expectSymbol(")"); err != nil {
 			return nil, err
 		}
-		tr.Kind, tr.Value = SampleSystem, v
+		tr.Kind, tr.Value, tr.ValueParam = SampleSystem, v, param
 	default:
 		if err := p.expectSymbol("("); err != nil {
 			return nil, err
 		}
-		v, err := p.parseNumber()
+		v, param, err := p.parseSampleArg()
 		if err != nil {
 			return nil, err
 		}
 		switch {
 		case p.acceptKeyword("PERCENT"):
-			tr.Kind, tr.Value = SamplePercent, v
+			tr.Kind, tr.Value, tr.ValueParam = SamplePercent, v, param
 		case p.acceptKeyword("ROWS"):
-			if v != float64(int64(v)) || v < 0 {
+			if param < 0 && (v != float64(int64(v)) || v < 0) {
 				return nil, p.errf("ROWS count must be a non-negative integer, got %v", v)
 			}
-			tr.Kind, tr.Value = SampleRows, v
+			tr.Kind, tr.Value, tr.ValueParam = SampleRows, v, param
 		default:
 			return nil, p.errf("expected PERCENT or ROWS, got %s", p.cur())
 		}
@@ -334,7 +386,7 @@ func (p *parser) parseTableRef() (*TableRef, error) {
 			return nil, err
 		}
 	}
-	if tr.Kind == SamplePercent || tr.Kind == SampleSystem {
+	if tr.ValueParam < 0 && (tr.Kind == SamplePercent || tr.Kind == SampleSystem) {
 		if tr.Value < 0 || tr.Value > 100 {
 			return nil, p.errf("sampling percentage %v outside [0,100]", tr.Value)
 		}
@@ -353,6 +405,20 @@ func (p *parser) parseTableRef() (*TableRef, error) {
 		tr.Repeatable = int64(v)
 	}
 	return tr, nil
+}
+
+// parseSampleArg parses a TABLESAMPLE numeric argument: either a literal
+// number (param = -1) or a placeholder whose value binds at execution.
+func (p *parser) parseSampleArg() (v float64, param int, err error) {
+	if p.cur().kind == tokParam {
+		idx, err := p.paramIndex(p.next())
+		if err != nil {
+			return 0, -1, err
+		}
+		return 0, idx, nil
+	}
+	v, err = p.parseNumber()
+	return v, -1, err
 }
 
 func (p *parser) parseNumber() (float64, error) {
@@ -514,6 +580,13 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 	case tokString:
 		p.i++
 		return expr.Str(t.text), nil
+	case tokParam:
+		p.i++
+		idx, err := p.paramIndex(t)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Param(idx), nil
 	case tokIdent:
 		p.i++
 		// Optional qualified form table.column; the planner resolves by

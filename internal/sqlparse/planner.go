@@ -3,10 +3,13 @@ package sqlparse
 import (
 	"fmt"
 
+	"github.com/sampling-algebra/gus/internal/core"
 	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/ops"
 	"github.com/sampling-algebra/gus/internal/plan"
 	"github.com/sampling-algebra/gus/internal/relation"
 	"github.com/sampling-algebra/gus/internal/sampling"
+	"github.com/sampling-algebra/gus/internal/stats"
 )
 
 // Catalog resolves table names to base relations.
@@ -27,9 +30,13 @@ type PlannerOptions struct {
 
 // Planned is the lowered query.
 type Planned struct {
-	// Root is the plan producing the pre-aggregation tuples.
+	// Root is the plan producing the pre-aggregation tuples. Selection and
+	// join predicates may still contain expr.ParamRef placeholders — the
+	// engine binds their values at evaluation time — but every sampling
+	// method is concrete.
 	Root plan.Node
-	// Aggregates are the SELECT items to evaluate over Root's output.
+	// Aggregates are the SELECT items to evaluate over Root's output, with
+	// placeholders substituted (the estimator sees only literals).
 	Aggregates []Aggregate
 	// GroupBy is the grouping column ("" for a global aggregate). Each
 	// group aggregate is SUM-like, so the GUS analysis applies per group
@@ -37,20 +44,90 @@ type Planned struct {
 	GroupBy string
 }
 
+// Template is a compiled-once query plan skeleton: tables resolved, join
+// order fixed, predicates classified and placed — everything that does not
+// depend on the execution's placeholder values or options. Sampling
+// methods stay deferred (they depend on bound values, the seed and the
+// SYSTEM block size) and are resolved by Bind, which is cheap enough to
+// run per execution. A Template is immutable and safe for concurrent Bind
+// calls.
+type Template struct {
+	root       plan.Node // Sample nodes hold *deferredMethod
+	aggregates []Aggregate
+	groupBy    string
+	nParams    int
+}
+
+// NumParams reports how many positional placeholders the statement binds.
+func (t *Template) NumParams() int { return t.nParams }
+
+// GroupBy reports the statement's grouping column ("" when absent).
+func (t *Template) GroupBy() string { return t.groupBy }
+
+// deferredMethod is the placeholder sampling method inside a Template: it
+// records the TABLESAMPLE clause and is swapped for the concrete method by
+// Bind. It never reaches analysis or execution.
+type deferredMethod struct{ ref TableRef }
+
+func (d *deferredMethod) Name() string        { return "tablesample(unbound)" }
+func (d *deferredMethod) Relations() []string { return []string{d.ref.EffectiveName()} }
+func (d *deferredMethod) Params(sampling.Cardinality) (*core.Params, error) {
+	return nil, fmt.Errorf("sampling: parameters of %s are unbound (execute the prepared statement instead of its template)", d.ref.EffectiveName())
+}
+func (d *deferredMethod) Apply(*ops.Rows, *stats.RNG) (*ops.Rows, error) {
+	return nil, fmt.Errorf("sampling: %s is unbound (execute the prepared statement instead of its template)", d.ref.EffectiveName())
+}
+
 // PlanQuery lowers a parsed query onto a plan tree: scans with sampling at
 // the leaves, single-table selections above their table, equi-joins chained
 // greedily along WHERE join predicates, remaining predicates as top
-// selections.
+// selections. It is exactly PlanTemplate followed by a parameter-free
+// Bind, so literal SQL and a prepared statement bound to the same values
+// produce identical plans.
 func PlanQuery(q *Query, cat Catalog, opts PlannerOptions) (*Planned, error) {
+	t, err := PlanTemplate(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	return t.Bind(nil, opts)
+}
+
+// PlanTemplate performs the per-query-shape half of planning (see
+// Template). The expensive work — catalog resolution, predicate
+// classification, join chaining, validation — happens here, once per
+// Prepare; Bind then stamps out executable plans.
+func PlanTemplate(q *Query, cat Catalog) (*Template, error) {
 	if len(q.Tables) == 0 {
 		return nil, fmt.Errorf("sql: query has no tables")
 	}
 	if len(q.Aggregates) == 0 {
 		return nil, fmt.Errorf("sql: query has no aggregates")
 	}
-	blockSize := opts.SystemBlockSize
-	if blockSize <= 0 {
-		blockSize = 32
+	// Placeholder indices must be contiguous: a gap means a parameter the
+	// caller can bind but nothing reads, which is always a typo.
+	used := make([]bool, q.NumParams)
+	mark := func(i int) {
+		if i >= 0 && i < len(used) {
+			used[i] = true
+		}
+	}
+	for _, a := range q.Aggregates {
+		if a.Arg != nil {
+			expr.WalkParams(a.Arg, mark)
+		}
+	}
+	if q.Where != nil {
+		expr.WalkParams(q.Where, mark)
+	}
+	for _, tr := range q.Tables {
+		if tr.ValueParam >= 0 {
+			mark(tr.ValueParam)
+		}
+	}
+	for i, u := range used {
+		if !u {
+			return nil, fmt.Errorf("sql: placeholder ?%d is never used (parameters must be numbered contiguously from 1)", i+1)
+		}
 	}
 
 	// Resolve tables and build the column → table index.
@@ -120,15 +197,13 @@ func PlanQuery(q *Query, cat Catalog, opts PlannerOptions) (*Planned, error) {
 		}
 	}
 
-	// Build per-table leaf plans: scan → sample → selections.
+	// Build per-table leaf plans: scan → sample → selections. Sampling
+	// methods stay deferred — Bind constructs the concrete method per
+	// execution from the clause, the bound values and the options.
 	for _, st := range states {
 		st.node = &plan.Scan{Rel: st.rel, Alias: st.ref.EffectiveName()}
-		m, err := methodFor(st.ref, blockSize, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		if m != nil {
-			st.node = &plan.Sample{Input: st.node, Method: m}
+		if st.ref.Kind != SampleNone {
+			st.node = &plan.Sample{Input: st.node, Method: &deferredMethod{ref: st.ref}}
 		}
 		for _, p := range st.preds {
 			st.node = &plan.Select{Input: st.node, Pred: p}
@@ -203,7 +278,139 @@ func PlanQuery(q *Query, cat Catalog, opts PlannerOptions) (*Planned, error) {
 			return nil, fmt.Errorf("sql: unknown GROUP BY column %q", q.GroupBy)
 		}
 	}
-	return &Planned{Root: root, Aggregates: q.Aggregates, GroupBy: q.GroupBy}, nil
+	return &Template{root: root, aggregates: q.Aggregates, groupBy: q.GroupBy, nParams: q.NumParams}, nil
+}
+
+// Bind stamps an executable plan out of the template: every deferred
+// TABLESAMPLE method becomes concrete (its parameter taken from vals when
+// the clause used a placeholder, with the GUS translation re-derived from
+// the bound value downstream by plan.Analyze), and aggregate arguments get
+// their placeholders substituted. Selection and join predicates keep their
+// ParamRef nodes — the engine injects vals into the compiled kernels at
+// evaluation time — so Bind allocates only the handful of plan nodes on
+// the path from a Sample leaf to the root.
+func (t *Template) Bind(vals []relation.Value, opts PlannerOptions) (*Planned, error) {
+	if len(vals) != t.nParams {
+		return nil, fmt.Errorf("sql: statement wants %d parameter(s), got %d", t.nParams, len(vals))
+	}
+	blockSize := opts.SystemBlockSize
+	if blockSize <= 0 {
+		blockSize = 32
+	}
+	root, err := bindNode(t.root, vals, blockSize, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	aggs := make([]Aggregate, len(t.aggregates))
+	copy(aggs, t.aggregates)
+	for i := range aggs {
+		if aggs[i].Arg == nil {
+			continue
+		}
+		bound, err := expr.BindParams(aggs[i].Arg, vals)
+		if err != nil {
+			return nil, fmt.Errorf("sql: %s: %w", aggs[i].Kind, err)
+		}
+		aggs[i].Arg = bound
+	}
+	return &Planned{Root: root, Aggregates: aggs, GroupBy: t.groupBy}, nil
+}
+
+// bindNode clones the spine of the plan that holds deferred sampling
+// methods, sharing every untouched subtree. The clone preserves the plan
+// shape exactly, so the engine's pre-order node numbering — and with it
+// every per-(seed, node, partition) sampling decision — matches a plan
+// built directly from literal SQL.
+func bindNode(n plan.Node, vals []relation.Value, blockSize int, seed uint64) (plan.Node, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		return t, nil
+	case *plan.Sample:
+		in, err := bindNode(t.Input, vals, blockSize, seed)
+		if err != nil {
+			return nil, err
+		}
+		d, ok := t.Method.(*deferredMethod)
+		if !ok {
+			if in == t.Input {
+				return t, nil
+			}
+			return &plan.Sample{Input: in, Method: t.Method}, nil
+		}
+		m, err := boundMethodFor(d.ref, vals, blockSize, seed)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Sample{Input: in, Method: m}, nil
+	case *plan.Select:
+		in, err := bindNode(t.Input, vals, blockSize, seed)
+		if err != nil {
+			return nil, err
+		}
+		if in == t.Input {
+			return t, nil
+		}
+		return &plan.Select{Input: in, Pred: t.Pred}, nil
+	case *plan.Join:
+		l, err := bindNode(t.Left, vals, blockSize, seed)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindNode(t.Right, vals, blockSize, seed)
+		if err != nil {
+			return nil, err
+		}
+		if l == t.Left && r == t.Right {
+			return t, nil
+		}
+		return &plan.Join{Left: l, Right: r, LeftCol: t.LeftCol, RightCol: t.RightCol}, nil
+	case *plan.Theta:
+		l, err := bindNode(t.Left, vals, blockSize, seed)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindNode(t.Right, vals, blockSize, seed)
+		if err != nil {
+			return nil, err
+		}
+		if l == t.Left && r == t.Right {
+			return t, nil
+		}
+		return &plan.Theta{Left: l, Right: r, Pred: t.Pred}, nil
+	default:
+		return nil, fmt.Errorf("sql: bind: unexpected plan node %T", n)
+	}
+}
+
+// boundMethodFor resolves a TABLESAMPLE clause's numeric argument (literal
+// or bound placeholder) and constructs the concrete sampling method,
+// applying exactly the validation the parser applies to literals.
+func boundMethodFor(tr TableRef, vals []relation.Value, blockSize int, seed uint64) (sampling.Method, error) {
+	if tr.ValueParam >= 0 {
+		if tr.ValueParam >= len(vals) {
+			return nil, fmt.Errorf("sql: TABLESAMPLE parameter ?%d is unbound (%d bound)", tr.ValueParam+1, len(vals))
+		}
+		v := vals[tr.ValueParam]
+		if !v.IsNumeric() {
+			return nil, fmt.Errorf("sql: TABLESAMPLE parameter ?%d must be numeric, got %s %q", tr.ValueParam+1, v.Kind(), v.AsString())
+		}
+		f, err := v.AsFloat()
+		if err != nil {
+			return nil, fmt.Errorf("sql: TABLESAMPLE parameter ?%d: %w", tr.ValueParam+1, err)
+		}
+		switch tr.Kind {
+		case SampleRows:
+			if f != float64(int64(f)) || f < 0 {
+				return nil, fmt.Errorf("sql: ROWS count must be a non-negative integer, got %v (parameter ?%d)", f, tr.ValueParam+1)
+			}
+		case SamplePercent, SampleSystem:
+			if f < 0 || f > 100 {
+				return nil, fmt.Errorf("sql: sampling percentage %v outside [0,100] (parameter ?%d)", f, tr.ValueParam+1)
+			}
+		}
+		tr.Value = f
+	}
+	return methodFor(tr, blockSize, seed)
 }
 
 // methodFor translates a TABLESAMPLE clause into a sampling method.

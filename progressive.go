@@ -18,6 +18,7 @@ import (
 	"github.com/sampling-algebra/gus/internal/expr"
 	"github.com/sampling-algebra/gus/internal/online"
 	"github.com/sampling-algebra/gus/internal/plan"
+	"github.com/sampling-algebra/gus/internal/relation"
 	"github.com/sampling-algebra/gus/internal/sqlparse"
 )
 
@@ -97,6 +98,28 @@ type Update struct {
 // moment accumulators instead.
 func (db *DB) QueryProgressive(ctx context.Context, sql string, opts ...Option) (<-chan Update, func() error) {
 	o := db.buildOptions(opts)
+	return db.progressiveStream(ctx, o, func() (*Stmt, []relation.Value, error) {
+		st, err := db.prepareCached(sql)
+		return st, nil, err
+	})
+}
+
+// QueryProgressive streams the prepared statement as online aggregation
+// with the given bindings, mirroring db.QueryProgressive (see there for
+// the full contract). args follows Stmt.Query: positional parameter
+// values, with per-call Options mixed in freely.
+func (s *Stmt) QueryProgressive(ctx context.Context, args ...any) (<-chan Update, func() error) {
+	vals, opts, err := splitArgs(args)
+	o := s.db.buildOptions(opts)
+	return s.db.progressiveStream(ctx, o, func() (*Stmt, []relation.Value, error) {
+		return s, vals, err
+	})
+}
+
+// progressiveStream owns the producer goroutine and the wait contract
+// shared by the SQL and prepared-statement entry points; prepare defers
+// statement resolution into the stream so its errors surface through wait.
+func (db *DB) progressiveStream(ctx context.Context, o queryOptions, prepare func() (*Stmt, []relation.Value, error)) (<-chan Update, func() error) {
 	ch := make(chan Update)
 	done := make(chan struct{})
 	sctx, cancel := context.WithCancel(ctx)
@@ -105,7 +128,12 @@ func (db *DB) QueryProgressive(ctx context.Context, sql string, opts ...Option) 
 		defer close(done)
 		defer close(ch)
 		defer cancel()
-		runErr = db.runProgressive(sctx, sql, o, ch)
+		st, vals, err := prepare()
+		if err != nil {
+			runErr = err
+			return
+		}
+		runErr = db.runProgressive(sctx, st, vals, o, ch)
 	}()
 	wait := func() error {
 		cancel()
@@ -126,11 +154,8 @@ func (db *DB) QueryProgressive(ctx context.Context, sql string, opts ...Option) 
 // snapshot, so the stream itself runs lock-free and catalog writes are
 // never blocked behind a long-lived stream. (The one-shot fallback keeps
 // the lock for its run, exactly like Query.)
-func (db *DB) runProgressive(ctx context.Context, sql string, o queryOptions, ch chan<- Update) error {
-	q, err := sqlparse.Parse(sql)
-	if err != nil {
-		return err
-	}
+func (db *DB) runProgressive(ctx context.Context, st *Stmt, vals []relation.Value, o queryOptions, ch chan<- Update) error {
+	o.args, o.prep = vals, st.prep
 	db.mu.RLock()
 	locked := true
 	unlock := func() {
@@ -140,7 +165,7 @@ func (db *DB) runProgressive(ctx context.Context, sql string, o queryOptions, ch
 		}
 	}
 	defer unlock()
-	planned, err := sqlparse.PlanQuery(q, catalog{db}, sqlparse.PlannerOptions{
+	planned, err := st.tmpl.Bind(vals, sqlparse.PlannerOptions{
 		SystemBlockSize: o.systemBlockSize,
 		Seed:            o.seed,
 	})
@@ -148,13 +173,13 @@ func (db *DB) runProgressive(ctx context.Context, sql string, o queryOptions, ch
 		return err
 	}
 	if planned.GroupBy != "" {
-		return fmt.Errorf("gus: progressive execution does not support GROUP BY (run Query instead)")
+		return fmt.Errorf("gus: progressive execution does not support GROUP BY (run Query instead): %w", ErrUnsupported)
 	}
 	analysis, err := plan.Analyze(planned.Root)
 	if err != nil {
 		return err
 	}
-	eng := engine.New(engine.Config{Workers: o.workers, Context: ctx})
+	eng := engine.New(engine.Config{Workers: o.workers, Context: ctx, Params: o.args, Prepared: o.prep})
 	waves, err := eng.PrepareWaves(planned.Root, o.seed)
 	if err != nil {
 		return err
