@@ -628,3 +628,41 @@ WHERE l_quantity < 45.0`
 		b.ReportMetric(100, "%scanned")
 	})
 }
+
+// BenchmarkTraceOverhead quantifies the tracing tax on the BenchmarkQuery
+// join shape: `off` is the production path (nil trace — every span site
+// is one pointer test), `on` attaches a fresh Trace per query. Compare
+// the two sub-benchmarks to price WithTrace; compare `off` against
+// BenchmarkQuery history to confirm the disabled path stayed within the
+// ≤2% regression budget (TestTraceOverheadGuard holds the allocation
+// half of that contract).
+func BenchmarkTraceOverhead(b *testing.B) {
+	db := Open()
+	if err := db.AttachTPCHConfig(tpch.Config{Orders: 20000, Customers: 2000, Parts: 500, Seed: 3}); err != nil {
+		b.Fatal(err)
+	}
+	const sql = `
+SELECT SUM(l_discount*(1.0-l_tax))
+FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS)
+WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0`
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(sql, WithSeed(uint64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := &Trace{}
+			if _, err := db.Query(sql, WithSeed(uint64(i)), WithTrace(tr)); err != nil {
+				b.Fatal(err)
+			}
+			if len(tr.Spans) == 0 {
+				b.Fatal("no spans recorded")
+			}
+		}
+	})
+}

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (fig1|query1|fig4|fig5|accuracy|variance|rewrite-runtime|subsample|robustness|planner|cardinality|prepared|all)")
+		exp      = flag.String("exp", "all", "experiment to run (fig1|query1|fig4|fig5|accuracy|variance|rewrite-runtime|subsample|robustness|planner|cardinality|prepared|obs|all)")
 		trials   = flag.Int("trials", 200, "Monte-Carlo trials for statistical experiments")
 		orders   = flag.Int("orders", 8000, "orders-table cardinality for generated TPC-H data")
 		seed     = flag.Uint64("seed", 42, "base RNG seed")
@@ -49,9 +49,10 @@ func main() {
 		"planner":         runPlanner,
 		"cardinality":     runCardinality,
 		"prepared":        runPrepared,
+		"obs":             runObs,
 	}
 	order := []string{"fig1", "query1", "fig4", "fig5", "accuracy", "variance",
-		"rewrite-runtime", "subsample", "robustness", "planner", "cardinality", "prepared"}
+		"rewrite-runtime", "subsample", "robustness", "planner", "cardinality", "prepared", "obs"}
 
 	if *exp == "all" {
 		for _, name := range order {

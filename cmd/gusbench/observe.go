@@ -1,0 +1,103 @@
+package main
+
+// The observability experiment: per-stage wall-clock attribution from
+// execution traces, and the cost of collecting them. Three query shapes
+// (sampled point aggregate, sampled join, sampled GROUP BY) run -trials
+// times each with a gus.Trace attached; span durations are summed by
+// stage (parse+plan, gus-compact, fused scan+sample, join build/probe,
+// group, estimate) to show where the time goes. A final pass re-runs the
+// point shape untraced to measure the tracing overhead directly. Recorded
+// results live in BENCH_obs.json.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	gus "github.com/sampling-algebra/gus"
+)
+
+func runObs(c benchConfig) error {
+	header("OBSERVABILITY — per-stage timing attribution from execution traces")
+	db := c.open()
+	if err := db.AttachTPCH(float64(c.orders)/1.5e6, c.seed); err != nil {
+		return err
+	}
+
+	shapes := []struct{ name, sql string }{
+		{"point", `SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (10 PERCENT) WHERE l_quantity < 24.0`},
+		{"join", `SELECT SUM(l_extendedprice*(1.0-l_discount)) FROM lineitem TABLESAMPLE BERNOULLI(20), orders WHERE l_orderkey = o_orderkey`},
+		{"group", `SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (25 PERCENT) GROUP BY l_linenumber`},
+	}
+	iters := c.trials
+	if iters < 20 {
+		iters = 20
+	}
+
+	for _, sh := range shapes {
+		// Warm the plan cache and lazily-compiled kernels so neither timing
+		// loop pays first-execution costs.
+		if _, err := db.Query(sh.sql, gus.WithSeed(1), gus.WithTrace(&gus.Trace{})); err != nil {
+			return fmt.Errorf("%s: %v", sh.name, err)
+		}
+		totals := map[string]time.Duration{}
+		var traced time.Duration
+		for i := 0; i < iters; i++ {
+			tr := &gus.Trace{}
+			t0 := time.Now()
+			if _, err := db.Query(sh.sql, gus.WithSeed(uint64(i)+1), gus.WithTrace(tr)); err != nil {
+				return fmt.Errorf("%s: %v", sh.name, err)
+			}
+			traced += time.Since(t0)
+			for stage, d := range tr.StageTotals() {
+				totals[stage] += d
+			}
+		}
+		var untraced time.Duration
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			if _, err := db.Query(sh.sql, gus.WithSeed(uint64(i)+1)); err != nil {
+				return err
+			}
+			untraced += time.Since(t0)
+		}
+
+		var attributed time.Duration
+		names := make([]string, 0, len(totals))
+		for n, d := range totals {
+			names = append(names, n)
+			attributed += d
+		}
+		sort.Strings(names)
+		fmt.Printf("\n%s (%d iterations, mean per query):\n", sh.name, iters)
+		for _, n := range names {
+			mean := totals[n] / time.Duration(iters)
+			fmt.Printf("  %-12s %10v  %5.1f%% of attributed time\n",
+				n, mean.Round(time.Microsecond), 100*float64(totals[n])/float64(attributed))
+		}
+		tm := traced / time.Duration(iters)
+		um := untraced / time.Duration(iters)
+		fmt.Printf("  traced %v/query vs untraced %v/query (overhead %+.1f%%)\n",
+			tm.Round(time.Microsecond), um.Round(time.Microsecond),
+			100*(float64(tm)-float64(um))/float64(um))
+	}
+
+	// Progressive shape: per-wave latency and CI refinement from the wave
+	// series the trace records.
+	tr := &gus.Trace{}
+	ch, wait := db.QueryProgressive(context.Background(),
+		`SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (90 PERCENT)`,
+		gus.WithSeed(c.seed), gus.WithWaveRows(2048), gus.WithTrace(tr))
+	for range ch {
+	}
+	if err := wait(); err != nil {
+		return err
+	}
+	fmt.Printf("\nprogressive (wave series from trace):\n")
+	for _, w := range tr.Waves {
+		fmt.Printf("  wave %2d  scanned=%6.2f%%  estimate=%.6g  ci_width=%.4g  latency=%v\n",
+			w.Wave, 100*w.FractionScanned, w.Estimate, w.CIWidth, w.Latency.Round(time.Microsecond))
+	}
+	return nil
+}

@@ -22,6 +22,13 @@
 //
 //	gusquery -gen 0.001 -prepare -args "25,100.0" \
 //	    -q "SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (? PERCENT) WHERE l_extendedprice > ?"
+//
+// With -explain the annotated execution trace (per-operator timings, row
+// counts, sampling fractions, stage table) is printed after the result,
+// like EXPLAIN ANALYZE; -trace-json FILE writes the same trace as JSON:
+//
+//	gusquery -gen 0.001 -explain -trace-json trace.json \
+//	    -q "SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (10 PERCENT)"
 package main
 
 import (
@@ -49,6 +56,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS; results are seed-stable at any width)")
 		exact     = flag.Bool("exact", false, "also run the query exactly and report the true error")
 		verbose   = flag.Bool("v", false, "print the plan and the SOA rewrite trace")
+		explain   = flag.Bool("explain", false, "print the annotated execution trace (EXPLAIN ANALYZE output) after the result")
+		traceJSON = flag.String("trace-json", "", "write the execution trace as JSON to this `file`")
 
 		prepare  = flag.Bool("prepare", false, "compile the query once with db.Prepare and execute it as a prepared statement (reports prepare/execute timings)")
 		argsFlag = flag.String("args", "", "comma-separated positional values for `?` placeholders (implies a prepared statement)")
@@ -100,6 +109,16 @@ func main() {
 		opts = append(opts, gus.WithVarianceSubsampling(*subsample))
 	}
 
+	// The trace is attached only to the primary run — the -prepare
+	// re-execution and -exact runs stay untraced so the output reflects a
+	// single execution.
+	var tr *gus.Trace
+	runOpts := opts
+	if *explain || *traceJSON != "" {
+		tr = &gus.Trace{}
+		runOpts = append(opts[:len(opts):len(opts)], gus.WithTrace(tr))
+	}
+
 	argVals, err := parseArgs(*argsFlag)
 	if err != nil {
 		fail(err)
@@ -143,11 +162,12 @@ func main() {
 			}
 			return db.QueryProgressive(context.Background(), *query, popts...)
 		}
-		runProgressive(stream, runExact, opts, *target, *deadline, *maxFrac, *waveRows, *level, *exact)
+		runProgressive(stream, runExact, runOpts, *target, *deadline, *maxFrac, *waveRows, *level, *exact)
+		emitTrace(tr, *explain, *traceJSON)
 		return
 	}
 	t0 := time.Now()
-	res, err := run(opts)
+	res, err := run(runOpts)
 	if err != nil {
 		fail(err)
 	}
@@ -187,6 +207,29 @@ func main() {
 			fmt.Printf("exact %s = %.6g (estimate rel.err %.4f%%)\n",
 				v.Name, v.Value, 100*relErr(res.Values[i].Estimate, v.Value))
 		}
+	}
+	emitTrace(tr, *explain, *traceJSON)
+}
+
+// emitTrace prints and/or persists the execution trace collected from the
+// primary run. No-op when tracing was not requested.
+func emitTrace(tr *gus.Trace, explain bool, jsonPath string) {
+	if tr == nil {
+		return
+	}
+	if explain {
+		fmt.Println("execution trace:")
+		fmt.Print(indent(tr.Format()))
+	}
+	if jsonPath != "" {
+		b, err := tr.JSON()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(jsonPath, b, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", jsonPath)
 	}
 }
 

@@ -14,9 +14,18 @@
 //	                     stop conditions and client disconnect
 //	                     (body: StreamRequest)
 //	GET  /tables       — registered tables and cardinalities
+//	GET  /metrics      — Prometheus text exposition: every DB-level gus_*
+//	                     metric (latency, rows scanned, sample fractions,
+//	                     plan-cache hit rate, per-shape counters,
+//	                     progressive stop reasons) plus the server's
+//	                     gusserve_* HTTP counters; always on
 //	GET  /healthz      — liveness probe
-//	GET  /debug/…      — net/http/pprof profiles and expvar counters
-//	                     (queries served, rows scanned); only with -pprof
+//	GET  /debug/…      — net/http/pprof profiles and the expvar page;
+//	                     only with -pprof
+//
+// Every query request gets an ID (q000001, …) that appears in the
+// structured request log line, the JSON response, each NDJSON stream
+// frame, and — for EXPLAIN ANALYZE — the rendered trace.
 //
 // Both query endpoints are wired to the request context: when the client
 // disconnects, the engine stops scanning at the next partition boundary.
@@ -38,34 +47,33 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	gus "github.com/sampling-algebra/gus"
+	"github.com/sampling-algebra/gus/internal/obs"
+	"github.com/sampling-algebra/gus/internal/sqlparse"
 )
 
-// Live counters, exported through /debug/vars when -pprof is set: how many
-// query requests the server has answered (successfully or not), how many
-// sample rows those queries produced, and how the DB's plan cache is doing
-// — the load numbers a profiling session wants next to its CPU and heap
-// data. The cache counters make amortization observable: a healthy
-// steady-state workload shows hits growing and misses flat.
-var (
-	statQueries     = expvar.NewInt("gusserve_queries_served")
-	statRowsScanned = expvar.NewInt("gusserve_rows_scanned")
-)
+// serverMetrics holds the HTTP-layer counters (the DB keeps its own
+// registry, exposed alongside on /metrics). These replace the former
+// gusserve_* expvars, which only existed behind -pprof.
+type serverMetrics struct {
+	reg      *obs.Registry
+	queries  *obs.Counter
+	rows     *obs.Counter
+	requests *obs.CounterVec
+}
 
-// publishCacheVars exposes the DB's plan-cache counters as expvars.
-func publishCacheVars(db *gus.DB) {
-	expvar.Publish("gusserve_plan_cache_hits", expvar.Func(func() any {
-		return db.PlanCacheStats().Hits
-	}))
-	expvar.Publish("gusserve_plan_cache_misses", expvar.Func(func() any {
-		return db.PlanCacheStats().Misses
-	}))
-	expvar.Publish("gusserve_plan_cache_entries", expvar.Func(func() any {
-		return db.PlanCacheStats().Entries
-	}))
+func newServerMetrics() *serverMetrics {
+	reg := obs.NewRegistry()
+	return &serverMetrics{
+		reg:      reg,
+		queries:  reg.Counter("gusserve_queries_served_total", "Query and stream requests answered (any outcome)."),
+		rows:     reg.Counter("gusserve_rows_scanned_total", "Sample rows produced by served queries."),
+		requests: reg.CounterVec("gusserve_http_requests_total", "HTTP requests by endpoint.", "endpoint"),
+	}
 }
 
 // QueryRequest is the POST /query body. Zero values select defaults.
@@ -151,6 +159,8 @@ type StreamValue struct {
 // StreamUpdate is one NDJSON line of the /query/stream response. The
 // top-level estimator fields mirror values[0].
 type StreamUpdate struct {
+	QueryID         string        `json:"queryId,omitempty"`
+	ExplainText     string        `json:"explainText,omitempty"`
 	Wave            int           `json:"wave"`
 	FractionScanned float64       `json:"fractionScanned"`
 	RowsScanned     int           `json:"rowsScanned"`
@@ -188,6 +198,7 @@ type GroupResponse struct {
 
 // QueryResponse is the POST /query reply.
 type QueryResponse struct {
+	QueryID    string          `json:"queryId"`
 	SampleRows int             `json:"sampleRows"`
 	ElapsedMS  float64         `json:"elapsedMs"`
 	Values     []ValueResponse `json:"values,omitempty"`
@@ -195,10 +206,93 @@ type QueryResponse struct {
 	PlanText   string          `json:"planText,omitempty"`
 	TraceText  string          `json:"traceText,omitempty"`
 	GUSText    string          `json:"gusText,omitempty"`
+	// ExplainText is the rendered execution trace, present for EXPLAIN
+	// ANALYZE statements.
+	ExplainText string `json:"explainText,omitempty"`
 }
 
 type server struct {
-	db *gus.DB
+	db      *gus.DB
+	metrics *serverMetrics
+	nextID  atomic.Uint64
+}
+
+func newServer(db *gus.DB) *server {
+	return &server{db: db, metrics: newServerMetrics()}
+}
+
+// queryID mints the per-request ID that ties the log line, the response
+// and the trace together.
+func (s *server) queryID() string {
+	return fmt.Sprintf("q%06d", s.nextID.Add(1))
+}
+
+// shapeKey is the normalized statement text — the same key the DB's plan
+// cache and per-shape metrics use — truncated for log lines.
+func shapeKey(sql string) string {
+	shape := sqlparse.Normalize(sql)
+	if len(shape) > 120 {
+		shape = shape[:117] + "..."
+	}
+	return shape
+}
+
+// sampleRowsOf tolerates the nil result of a failed query.
+func sampleRowsOf(res *gus.Result) int {
+	if res == nil {
+		return 0
+	}
+	return res.SampleRows
+}
+
+// logQuery emits the structured request log line.
+func logQuery(endpoint, id, sql string, elapsed time.Duration, sampleRows int, err error) {
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	if err != nil {
+		log.Printf("%s id=%s shape=%q ms=%.3f outcome=%s err=%q",
+			endpoint, id, shapeKey(sql), float64(elapsed.Microseconds())/1000, outcome, err.Error())
+		return
+	}
+	log.Printf("%s id=%s shape=%q ms=%.3f outcome=%s sampleRows=%d",
+		endpoint, id, shapeKey(sql), float64(elapsed.Microseconds())/1000, outcome, sampleRows)
+}
+
+// mux wires the server's routes. /metrics is always on; the pprof and
+// expvar debug surface stays opt-in.
+func (s *server) mux(pprofOn bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/query/stream", s.handleQueryStream)
+	mux.HandleFunc("/tables", s.handleTables)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	if pprofOn {
+		registerDebug(mux)
+	}
+	return mux
+}
+
+// handleMetrics serves the Prometheus text exposition: the DB's gus_*
+// registry followed by the server's gusserve_* counters.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	s.metrics.requests.With("/metrics").Inc()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.db.WriteMetrics(w); err != nil {
+		log.Printf("gusserve: write metrics: %v", err)
+		return
+	}
+	if err := s.metrics.reg.WritePrometheus(w); err != nil {
+		log.Printf("gusserve: write metrics: %v", err)
+	}
 }
 
 func main() {
@@ -238,23 +332,14 @@ func main() {
 	}
 	db.SetWorkers(*workers)
 
-	s := &server{db: db}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/query/stream", s.handleQueryStream)
-	mux.HandleFunc("/tables", s.handleTables)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s := newServer(db)
 	if *pprofOn {
-		publishCacheVars(db)
-		registerDebug(mux)
 		log.Print("gusserve: /debug/pprof and /debug/vars enabled")
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           s.mux(*pprofOn),
 		ReadHeaderTimeout: 5 * time.Second,
 		// Queries are intentionally long-running, so the write timeout is
 		// generous; idle keep-alive connections are reaped much sooner.
@@ -306,9 +391,10 @@ func decodeArgs(in []any) ([]any, error) {
 }
 
 // runRequest executes a request body through the DB's plan cache, binding
-// req.Args when present — the server-side prepared-statement path.
-func (s *server) runRequest(ctx context.Context, req QueryRequest, exact bool) (*gus.Result, error) {
-	st, err := s.db.PrepareCached(req.SQL)
+// req.Args when present — the server-side prepared-statement path. tr (may
+// be nil) picks up the parse+plan span and the execution spans.
+func (s *server) runRequest(ctx context.Context, req QueryRequest, exact bool, tr *gus.Trace) (*gus.Result, error) {
+	st, err := s.db.PrepareCachedTrace(req.SQL, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -318,6 +404,9 @@ func (s *server) runRequest(ctx context.Context, req QueryRequest, exact bool) (
 	}
 	for _, o := range req.options() {
 		args = append(args, o)
+	}
+	if tr != nil {
+		args = append(args, gus.Option(gus.WithTrace(tr)))
 	}
 	if exact {
 		return st.Exact(ctx, args...)
@@ -341,24 +430,32 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
 		return
 	}
+	s.metrics.requests.With("/query").Inc()
+	qid := s.queryID()
+	// The trace carries the request ID into EXPLAIN ANALYZE output; it is
+	// allocated per request, so concurrent queries never share one.
+	tr := &gus.Trace{QueryID: qid}
 	start := time.Now()
-	res, err := s.runRequest(r.Context(), req, false)
-	statQueries.Add(1)
+	res, err := s.runRequest(r.Context(), req, false, tr)
+	s.metrics.queries.Inc()
+	logQuery("query", qid, req.SQL, time.Since(start), sampleRowsOf(res), err)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	statRowsScanned.Add(int64(res.SampleRows))
+	s.metrics.rows.Add(uint64(res.SampleRows))
 	resp := QueryResponse{
-		SampleRows: res.SampleRows,
-		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+		QueryID:     qid,
+		SampleRows:  res.SampleRows,
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+		ExplainText: res.ExplainText,
 	}
 	if req.Verbose {
 		resp.PlanText, resp.TraceText, resp.GUSText = res.PlanText, res.TraceText, res.GUSText
 	}
 	var exact *gus.Result
 	if req.Exact {
-		if exact, err = s.runRequest(r.Context(), req, true); err != nil {
+		if exact, err = s.runRequest(r.Context(), req, true, nil); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("exact: %w", err))
 			return
 		}
@@ -430,7 +527,10 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, gus.WithWaveRows(req.WaveRows))
 	}
 
-	st, err := s.db.PrepareCached(req.SQL)
+	s.metrics.requests.With("/query/stream").Inc()
+	qid := s.queryID()
+	tr := &gus.Trace{QueryID: qid}
+	st, err := s.db.PrepareCachedTrace(req.SQL, tr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -443,10 +543,10 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	for _, o := range opts {
 		args = append(args, o)
 	}
-
+	args = append(args, gus.Option(gus.WithTrace(tr)))
 	start := time.Now()
 	ch, wait := st.QueryProgressive(r.Context(), args...)
-	statQueries.Add(1)
+	s.metrics.queries.Inc()
 
 	// Hold the status line until the first update: a stream that dies
 	// before producing anything (bad SQL, unknown table, an unsupported
@@ -456,7 +556,9 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	// client-fixable.
 	first, ok := <-ch
 	if !ok {
-		if err := wait(); err != nil {
+		err := wait()
+		logQuery("stream", qid, req.SQL, time.Since(start), 0, err)
+		if err != nil {
 			status := http.StatusBadRequest
 			if errors.Is(err, gus.ErrUnsupported) {
 				status = http.StatusUnprocessableEntity
@@ -475,9 +577,9 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	lastSample := 0
 	for u, ok := first, true; ok; u, ok = <-ch {
 		// Same unit as /query: sample rows the query produced so far.
-		statRowsScanned.Add(int64(u.SampleRows - lastSample))
+		s.metrics.rows.Add(uint64(u.SampleRows - lastSample))
 		lastSample = u.SampleRows
-		if err := enc.Encode(toStreamUpdate(u, start)); err != nil {
+		if err := enc.Encode(toStreamUpdate(u, qid, start)); err != nil {
 			// Client is gone; wait() below cancels the producer, so no
 			// further waves are scanned for a dead connection.
 			break
@@ -486,10 +588,12 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	if err := wait(); err != nil && r.Context().Err() == nil {
+	err = wait()
+	logQuery("stream", qid, req.SQL, time.Since(start), lastSample, err)
+	if err != nil && r.Context().Err() == nil {
 		// Mid-stream terminal error with the client still there: report
 		// it as a final NDJSON line — the status line is long gone.
-		if encErr := enc.Encode(StreamUpdate{Error: err.Error()}); encErr == nil && flusher != nil {
+		if encErr := enc.Encode(StreamUpdate{QueryID: qid, Error: err.Error()}); encErr == nil && flusher != nil {
 			flusher.Flush()
 		}
 	}
@@ -504,8 +608,10 @@ func fptr(v float64) *float64 {
 	return &v
 }
 
-func toStreamUpdate(u gus.Update, start time.Time) StreamUpdate {
+func toStreamUpdate(u gus.Update, qid string, start time.Time) StreamUpdate {
 	out := StreamUpdate{
+		QueryID:         qid,
+		ExplainText:     u.ExplainText,
 		Wave:            u.Wave,
 		FractionScanned: u.FractionScanned,
 		RowsScanned:     u.RowsScanned,

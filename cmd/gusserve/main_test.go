@@ -29,7 +29,7 @@ func testServer(t *testing.T) *server {
 			t.Fatal(err)
 		}
 	}
-	return &server{db: db}
+	return newServer(db)
 }
 
 func postQuery(t *testing.T, s *server, body string) (*httptest.ResponseRecorder, *QueryResponse) {
@@ -214,7 +214,7 @@ func streamServer(t *testing.T) *server {
 			t.Fatal(err)
 		}
 	}
-	return &server{db: db}
+	return newServer(db)
 }
 
 // streamLines POSTs to /query/stream and splits the NDJSON response.
@@ -373,21 +373,21 @@ func TestQueryStreamClientDisconnect(t *testing.T) {
 	}
 }
 
-// TestDebugCountersAndPprof: the expvar counters must track served queries
-// and scanned rows, and registerDebug must mount working pprof/vars
-// handlers on the server's private mux.
-func TestDebugCountersAndPprof(t *testing.T) {
+// TestServerCountersAndPprof: the server's registry counters must track
+// served queries and scanned rows, and registerDebug must mount working
+// pprof/vars handlers on the server's private mux.
+func TestServerCountersAndPprof(t *testing.T) {
 	s := testServer(t)
-	q0 := statQueries.Value()
-	r0 := statRowsScanned.Value()
+	q0 := s.metrics.queries.Value()
+	r0 := s.metrics.rows.Value()
 	_, resp := postQuery(t, s, `{"sql":"SELECT COUNT(*) FROM ev TABLESAMPLE (50 PERCENT)","seed":3}`)
 	if resp == nil {
 		t.Fatal("query failed")
 	}
-	if got := statQueries.Value() - q0; got != 1 {
+	if got := s.metrics.queries.Value() - q0; got != 1 {
 		t.Fatalf("queries_served advanced by %d, want 1", got)
 	}
-	if got := statRowsScanned.Value() - r0; got != int64(resp.SampleRows) {
+	if got := s.metrics.rows.Value() - r0; got != uint64(resp.SampleRows) {
 		t.Fatalf("rows_scanned advanced by %d, want %d", got, resp.SampleRows)
 	}
 
@@ -398,13 +398,120 @@ func TestDebugCountersAndPprof(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/debug/vars: status %d", rec.Code)
 	}
-	if !strings.Contains(rec.Body.String(), "gusserve_queries_served") {
-		t.Fatal("/debug/vars does not expose gusserve_queries_served")
-	}
 	rec = httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/debug/pprof/cmdline: status %d", rec.Code)
+	}
+}
+
+// TestMetricsEndpoint: GET /metrics must serve valid Prometheus text —
+// DB-level gus_* metrics and server-level gusserve_* counters — without
+// -pprof, while /debug/* stays gated.
+func TestMetricsEndpoint(t *testing.T) {
+	s := testServer(t)
+	if _, resp := postQuery(t, s, `{"sql":"SELECT SUM(v) FROM ev TABLESAMPLE (25 PERCENT)","seed":1}`); resp == nil {
+		t.Fatal("query failed")
+	}
+	mux := s.mux(false)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`gus_queries_total{status="ok"} 1`,
+		"# TYPE gus_query_seconds histogram",
+		"gus_query_seconds_count 1",
+		"gus_plan_cache_misses_total 1",
+		"gusserve_queries_served_total 1",
+		"gusserve_rows_scanned_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Every sample line must be `name[{labels}] value` with a parseable
+	// float value.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Label values may contain spaces, so the value is everything
+		// after the LAST space.
+		cut := strings.LastIndex(line, " ")
+		if cut <= 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[cut+1:], 64); err != nil {
+			t.Fatalf("non-numeric sample value in %q", line)
+		}
+	}
+	// /debug stays opt-in: absent from the default mux...
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("/debug/pprof without -pprof: status %d, want 404", rec.Code)
+	}
+	// ...and mounted with -pprof.
+	rec = httptest.NewRecorder()
+	s.mux(true).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof with -pprof: status %d", rec.Code)
+	}
+}
+
+// TestQueryIDAndExplain: responses carry the request's query ID, and an
+// EXPLAIN ANALYZE statement returns the rendered trace stamped with it.
+func TestQueryIDAndExplain(t *testing.T) {
+	s := testServer(t)
+	_, resp := postQuery(t, s, `{"sql":"SELECT SUM(v) FROM ev TABLESAMPLE (25 PERCENT)","seed":1}`)
+	if resp == nil {
+		t.Fatal("query failed")
+	}
+	if resp.QueryID == "" {
+		t.Fatal("response missing queryId")
+	}
+	if resp.ExplainText != "" {
+		t.Fatal("explainText set for a plain statement")
+	}
+	_, resp2 := postQuery(t, s, `{"sql":"EXPLAIN ANALYZE SELECT SUM(v) FROM ev TABLESAMPLE (25 PERCENT)","seed":1}`)
+	if resp2 == nil {
+		t.Fatal("explain query failed")
+	}
+	if resp2.QueryID == resp.QueryID {
+		t.Fatal("query IDs not unique")
+	}
+	if !strings.Contains(resp2.ExplainText, "fused") || !strings.Contains(resp2.ExplainText, resp2.QueryID) {
+		t.Fatalf("explainText missing stages or query ID:\n%s", resp2.ExplainText)
+	}
+	if !strings.Contains(resp2.ExplainText, "parse+plan") {
+		t.Fatalf("explainText missing the parse+plan span:\n%s", resp2.ExplainText)
+	}
+
+	// Stream frames carry the ID too, and the Done frame of an EXPLAIN
+	// ANALYZE stream carries the trace.
+	ss := streamServer(t)
+	_, ups := streamLines(t, ss,
+		`{"sql":"EXPLAIN ANALYZE SELECT SUM(v) FROM ev TABLESAMPLE (50 PERCENT)","seed":2,"waveRows":4096}`)
+	if len(ups) == 0 {
+		t.Fatal("no stream updates")
+	}
+	last := ups[len(ups)-1]
+	for _, u := range ups {
+		if u.QueryID != last.QueryID || u.QueryID == "" {
+			t.Fatalf("stream frames disagree on queryId: %+v", u)
+		}
+		if !u.Done && u.ExplainText != "" {
+			t.Fatal("explainText on a non-final frame")
+		}
+	}
+	if !last.Done || !strings.Contains(last.ExplainText, "wave") {
+		t.Fatalf("final frame missing explain trace: %+v", last)
 	}
 }
 

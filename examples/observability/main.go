@@ -1,0 +1,102 @@
+// Observability end to end: EXPLAIN ANALYZE, programmatic traces, the
+// progressive per-wave series (CI width vs fraction scanned), and the
+// DB-wide metrics registry rendered as Prometheus text. Everything here
+// is pay-for-what-you-use — queries that don't attach a trace run the
+// exact same engine with a nil-check per instrumentation site.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	gus "github.com/sampling-algebra/gus"
+)
+
+func main() {
+	db := gus.Open()
+	if err := db.AttachTPCH(0.005, 42); err != nil { // ~7.5k orders
+		log.Fatal(err)
+	}
+
+	// 1. EXPLAIN ANALYZE: the statement executes normally AND returns the
+	// annotated plan — per-operator wall time, rows in/out, partition
+	// counts and effective sampling fractions, plus a stage table.
+	res, err := db.Query(`EXPLAIN ANALYZE
+		SELECT SUM(l_extendedprice*(1.0-l_discount)) AS revenue
+		FROM lineitem TABLESAMPLE BERNOULLI(20), orders
+		WHERE l_orderkey = o_orderkey`, gus.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("revenue ≈ %.0f ± %.0f  (the query still ran)\n\n", res.Values[0].Estimate, res.Values[0].StdErr)
+	fmt.Println(indent(res.ExplainText))
+
+	// 2. The same trace, programmatically: attach a gus.Trace to any
+	// query and read spans (or serialize the whole thing as JSON).
+	tr := &gus.Trace{QueryID: "demo-1"}
+	if _, err := db.Query(`SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (25 PERCENT) GROUP BY l_linenumber`,
+		gus.WithSeed(7), gus.WithTrace(tr)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stage totals for a GROUP BY (from Trace spans):")
+	for _, sp := range tr.Spans {
+		fmt.Printf("  %-12s %8s  rows_in=%-6d rows_out=%d\n", sp.Name, sp.Dur.Round(1000), sp.RowsIn, sp.RowsOut)
+	}
+	fmt.Println()
+
+	// 3. Progressive queries record a per-wave series: watch the CI
+	// tighten as the scanned fraction grows — the online-aggregation
+	// accuracy/cost curve, one point per wave.
+	ptr := &gus.Trace{}
+	ch, wait := db.QueryProgressive(context.Background(),
+		`SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (90 PERCENT)`,
+		gus.WithSeed(7), gus.WithWaveRows(2048), gus.WithTrace(ptr))
+	for range ch {
+	}
+	if err := wait(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("progressive wave series (CI width vs fraction scanned):")
+	for _, w := range ptr.Waves {
+		bar := strings.Repeat("#", int(40*w.FractionScanned))
+		fmt.Printf("  %6.1f%%  ci_width=%10.4g  %s\n", 100*w.FractionScanned, w.CIWidth, bar)
+	}
+	fmt.Println()
+
+	// 4. The DB has been counting all along: MetricsSnapshot returns the
+	// registry as data, WriteMetrics renders Prometheus text — the same
+	// bytes gusserve serves at GET /metrics.
+	fmt.Println("a few registry samples (db.MetricsSnapshot):")
+	for _, m := range db.MetricsSnapshot() {
+		if m.Name == "gus_queries_total" || m.Name == "gus_rows_scanned_total" ||
+			m.Name == "gus_plan_cache_hits_total" || m.Name == "gus_progressive_stop_total" {
+			fmt.Printf("  %s%s = %g\n", m.Name, labels(m), m.Value)
+		}
+	}
+	fmt.Println("\nPrometheus exposition (first lines of db.WriteMetrics):")
+	var sb strings.Builder
+	if err := db.WriteMetrics(&sb); err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	for _, l := range lines[:min(12, len(lines))] {
+		fmt.Println("  " + l)
+	}
+}
+
+func labels(m gus.MetricSample) string {
+	if m.Label == "" {
+		return ""
+	}
+	return fmt.Sprintf("{%q}", m.Label)
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

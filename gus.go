@@ -41,6 +41,7 @@ import (
 	"github.com/sampling-algebra/gus/internal/expr"
 	"github.com/sampling-algebra/gus/internal/hashtab"
 	"github.com/sampling-algebra/gus/internal/lineage"
+	"github.com/sampling-algebra/gus/internal/obs"
 	"github.com/sampling-algebra/gus/internal/ops"
 	"github.com/sampling-algebra/gus/internal/plan"
 	"github.com/sampling-algebra/gus/internal/relation"
@@ -101,11 +102,16 @@ type DB struct {
 	// lookups discard entries from older generations.
 	gen   atomic.Uint64
 	plans *planCache
+	// metrics is the DB-wide registry behind MetricsSnapshot/WriteMetrics;
+	// hot-path slots are pre-resolved here and on each Stmt (see observe.go).
+	metrics *dbMetrics
 }
 
 // Open creates an empty database.
 func Open() *DB {
-	return &DB{tables: map[string]*relation.Relation{}, plans: newPlanCache(DefaultPlanCacheSize)}
+	db := &DB{tables: map[string]*relation.Relation{}, plans: newPlanCache(DefaultPlanCacheSize)}
+	db.metrics = newDBMetrics(db)
+	return db
 }
 
 // SetWorkers sets the default worker-pool width for subsequent queries
@@ -344,6 +350,15 @@ type queryOptions struct {
 	// snapshot.
 	args []relation.Value
 	prep *engine.Prepared
+
+	// trace receives per-stage spans when the caller attached one with
+	// WithTrace (or the statement is EXPLAIN ANALYZE); nil on the common
+	// path, where every span site reduces to one pointer test.
+	trace *obs.Trace
+	// sm holds the statement's pre-resolved per-shape metric slots and sql
+	// its original text; both set by Stmt, never by Options.
+	sm  *shapeMetrics
+	sql string
 }
 
 // Option customizes Query.
@@ -478,6 +493,15 @@ type Result struct {
 	TraceText string
 	// GUSText prints the single top GUS operator's parameters.
 	GUSText string
+	// ExplainText is the rendered execution trace — the annotated plan
+	// tree plus per-stage timings. Set only for EXPLAIN ANALYZE
+	// statements; attach WithTrace and call Trace.Format for the same
+	// text on any query.
+	ExplainText string
+
+	// scannedRows is the total base-table input cardinality, recorded for
+	// the metrics layer without re-walking the plan.
+	scannedRows int
 }
 
 // Query parses, plans, executes and estimates a SQL aggregate query. It
@@ -497,11 +521,20 @@ func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
 // containing `?` placeholders cannot run here — bind values through
 // Prepare/PrepareCached instead.
 func (db *DB) QueryContext(ctx context.Context, sql string, opts ...Option) (*Result, error) {
-	st, err := db.prepareCached(sql)
+	o := db.buildOptions(opts)
+	ppStart := time.Now()
+	st, hit, err := db.prepareCached(sql)
 	if err != nil {
+		db.metrics.queriesErr.Inc()
 		return nil, err
 	}
-	return st.exec(ctx, nil, db.buildOptions(opts), false)
+	if o.trace == nil && st.tmpl.Explain() {
+		o.trace = &obs.Trace{}
+	}
+	if o.trace != nil {
+		recordPlanSpan(o.trace, time.Since(ppStart), hit)
+	}
+	return st.exec(ctx, nil, o, false)
 }
 
 // Exact runs the query with all sampling stripped: the true answer, for
@@ -513,11 +546,20 @@ func (db *DB) Exact(sql string, opts ...Option) (*Result, error) {
 // ExactContext is Exact with cooperative cancellation (see QueryContext).
 // It shares the plan cache with Query.
 func (db *DB) ExactContext(ctx context.Context, sql string, opts ...Option) (*Result, error) {
-	st, err := db.prepareCached(sql)
+	o := db.buildOptions(opts)
+	ppStart := time.Now()
+	st, hit, err := db.prepareCached(sql)
 	if err != nil {
+		db.metrics.queriesErr.Inc()
 		return nil, err
 	}
-	return st.exec(ctx, nil, db.buildOptions(opts), true)
+	if o.trace == nil && st.tmpl.Explain() {
+		o.trace = &obs.Trace{}
+	}
+	if o.trace != nil {
+		recordPlanSpan(o.trace, time.Since(ppStart), hit)
+	}
+	return st.exec(ctx, nil, o, true)
 }
 
 // Robustness implements the §8 "database as a sample" analysis: the query
@@ -568,12 +610,62 @@ func (db *DB) Robustness(sql string, survival float64, opts ...Option) (*Result,
 // default, or on the legacy row-at-a-time path under withRowEngine — and
 // estimates every SELECT item. The two paths produce bit-identical
 // results. Must be called with db.mu read-held.
+//
+// run itself is the observability shim around runInner: in-flight gauge,
+// latency/rows/fraction metrics, outcome counters, and — when a trace is
+// attached — the final annotated plan tree. Every update on the success
+// path is an atomic on a pre-resolved slot, so the disabled-trace path
+// stays allocation-free.
 func (db *DB) run(ctx context.Context, planned *sqlparse.Planned, o queryOptions) (*Result, error) {
+	m := db.metrics
+	m.inFlight.Add(1)
+	start := time.Now()
+	res, err := db.runInner(ctx, planned, o)
+	secs := time.Since(start).Seconds()
+	m.inFlight.Add(-1)
+	m.querySecs.Observe(secs)
+	if o.sm != nil {
+		o.sm.seconds.Observe(secs)
+	}
+	if err != nil {
+		m.queriesErr.Inc()
+		if o.sm != nil {
+			o.sm.errors.Inc()
+		}
+		return nil, err
+	}
+	m.queriesOK.Inc()
+	if o.sm != nil {
+		o.sm.queries.Inc()
+	}
+	m.rowsScanned.Add(uint64(res.scannedRows))
+	m.sampleRows.Add(uint64(res.SampleRows))
+	if res.scannedRows > 0 {
+		m.sampleFrac.Observe(float64(res.SampleRows) / float64(res.scannedRows))
+	}
+	if o.trace != nil {
+		finishTrace(o.trace, planned.Root, o.sql, sqlparse.Normalize(o.sql))
+	}
+	return res, nil
+}
+
+func (db *DB) runInner(ctx context.Context, planned *sqlparse.Planned, o queryOptions) (*Result, error) {
+	var compact int
+	if o.trace != nil {
+		compact = o.trace.Begin("gus-compact", "", -1)
+	}
 	analysis, err := plan.Analyze(planned.Root)
 	if err != nil {
 		return nil, err
 	}
-	eng := engine.New(engine.Config{Workers: o.workers, Context: ctx, Params: o.args, Prepared: o.prep})
+	if o.trace != nil {
+		o.trace.End(compact, -1, -1)
+		steps := len(analysis.Steps)
+		o.trace.SetSpan(compact, func(s *obs.Span) {
+			s.Label = fmt.Sprintf("%d rewrite steps", steps)
+		})
+	}
+	eng := engine.New(engine.Config{Workers: o.workers, Context: ctx, Params: o.args, Prepared: o.prep, Trace: o.trace})
 	var sample aggSample
 	if o.rowEngine {
 		rows, err := eng.ExecuteRows(planned.Root, o.seed)
@@ -589,6 +681,7 @@ func (db *DB) run(ctx context.Context, planned *sqlparse.Planned, o queryOptions
 		sample = aggSample{b: b}
 	}
 	cards := map[string]int{}
+	scanned := 0
 	plan.Walk(planned.Root, func(n plan.Node) {
 		if s, ok := n.(*plan.Scan); ok {
 			alias := s.Rel.Name()
@@ -596,19 +689,23 @@ func (db *DB) run(ctx context.Context, planned *sqlparse.Planned, o queryOptions
 				alias = s.Alias
 			}
 			cards[alias] = s.Rel.Len()
+			scanned += s.Rel.Len()
 		}
 	})
 	res := &Result{
-		SampleRows: sample.len(),
-		PlanText:   plan.Format(planned.Root),
-		TraceText:  analysis.FormatTrace(),
-		GUSText:    analysis.G.String(),
+		SampleRows:  sample.len(),
+		PlanText:    plan.Format(planned.Root),
+		TraceText:   analysis.FormatTrace(),
+		GUSText:     analysis.G.String(),
+		scannedRows: scanned,
 	}
 	if planned.GroupBy != "" {
+		gsp := o.trace.Begin("group", planned.GroupBy, -1)
 		groups, err := sample.partitionBy(planned.GroupBy)
 		if err != nil {
 			return nil, err
 		}
+		o.trace.End(gsp, int64(sample.len()), int64(len(groups)))
 		for _, grp := range groups {
 			g := Group{Key: grp.key}
 			for i, agg := range planned.Aggregates {
@@ -828,6 +925,7 @@ func (db *DB) evalAggregate(g *core.Params, s aggSample, agg sqlparse.Aggregate,
 		MaxVarianceRows: o.maxVarianceRows,
 		Seed:            o.seed + 0x5b0c,
 		Workers:         o.workers,
+		Trace:           o.trace,
 	}
 	f := agg.Arg
 	if f == nil || agg.Kind == sqlparse.AggCount {

@@ -21,6 +21,7 @@ import (
 	"github.com/sampling-algebra/gus/internal/batch"
 	"github.com/sampling-algebra/gus/internal/expr"
 	"github.com/sampling-algebra/gus/internal/lineage"
+	"github.com/sampling-algebra/gus/internal/obs"
 	"github.com/sampling-algebra/gus/internal/ops"
 	"github.com/sampling-algebra/gus/internal/plan"
 	"github.com/sampling-algebra/gus/internal/relation"
@@ -43,14 +44,23 @@ func (e *Engine) bothB(l, r plan.Node, seed uint64, ids map[plan.Node]uint64) (*
 	})
 }
 
-// execB dispatches one plan node on the columnar path.
+// execB dispatches one plan node on the columnar path. When a trace is
+// attached, every operator records a span (the fused chain records one
+// span for the whole scan→sample→select→project pass; joins split into
+// build and probe). The untraced path pays one nil test per span site.
 func (e *Engine) execB(n plan.Node, seed uint64, ids map[plan.Node]uint64) (*batch.Batch, error) {
 	if c := fusedChainOf(n); c != nil {
-		return e.execFused(c, seed, ids)
+		return e.execFused(c, seed, ids, int(ids[n]))
 	}
 	switch t := n.(type) {
 	case *plan.Scan:
-		return batch.FromRelation(t.Rel, t.Alias)
+		sp := e.trace.Begin("scan", t.Label(), int(ids[n]))
+		b, err := batch.FromRelation(t.Rel, t.Alias)
+		if err != nil {
+			return nil, err
+		}
+		e.trace.End(sp, int64(b.Len()), int64(b.Len()))
+		return b, nil
 	case *plan.GUS:
 		return e.execB(t.Input, seed, ids)
 	case *plan.Sample:
@@ -58,49 +68,105 @@ func (e *Engine) execB(n plan.Node, seed uint64, ids map[plan.Node]uint64) (*bat
 		if err != nil {
 			return nil, err
 		}
+		sp := e.trace.Begin("sample", t.Method.Name(), int(ids[n]))
 		out, err := e.execSampleB(t, in, mix(seed, ids[n], 0))
 		if err != nil {
 			return nil, fmt.Errorf("engine: %s: %w", t.Label(), err)
 		}
+		e.trace.End(sp, int64(in.Len()), int64(out.Len()))
+		e.trace.SetSpan(sp, func(s *obs.Span) {
+			s.Partitions = len(ops.Partitions(in.Len(), e.partSize))
+			s.Fraction = methodFraction(t.Method)
+		})
 		return out, nil
 	case *plan.Select:
 		in, err := e.execB(t.Input, seed, ids)
 		if err != nil {
 			return nil, err
 		}
-		return e.execSelectB(in, t.Pred)
+		sp := e.trace.Begin("select", t.Pred.String(), int(ids[n]))
+		out, err := e.execSelectB(in, t.Pred)
+		if err != nil {
+			return nil, err
+		}
+		e.trace.End(sp, int64(in.Len()), int64(out.Len()))
+		return out, nil
 	case *plan.Project:
 		in, err := e.execB(t.Input, seed, ids)
 		if err != nil {
 			return nil, err
 		}
-		return e.execProjectB(in, t.Names, t.Exprs)
+		sp := e.trace.Begin("project", t.Label(), int(ids[n]))
+		out, err := e.execProjectB(in, t.Names, t.Exprs)
+		if err != nil {
+			return nil, err
+		}
+		e.trace.End(sp, int64(in.Len()), int64(out.Len()))
+		return out, nil
 	case *plan.Join:
 		l, r, err := e.bothB(t.Left, t.Right, seed, ids)
 		if err != nil {
 			return nil, err
 		}
-		return e.execJoinB(l, r, t.LeftCol, t.RightCol)
+		return e.execJoinB(l, r, t.LeftCol, t.RightCol, int(ids[n]))
 	case *plan.Theta:
 		l, r, err := e.bothB(t.Left, t.Right, seed, ids)
 		if err != nil {
 			return nil, err
 		}
-		return e.execThetaB(l, r, t.Pred)
+		sp := e.trace.Begin("theta", t.Pred.String(), int(ids[n]))
+		out, err := e.execThetaB(l, r, t.Pred)
+		if err != nil {
+			return nil, err
+		}
+		e.trace.End(sp, int64(l.Len())+int64(r.Len()), int64(out.Len()))
+		return out, nil
 	case *plan.Union:
 		l, r, err := e.bothB(t.Left, t.Right, seed, ids)
 		if err != nil {
 			return nil, err
 		}
-		return execUnionB(l, r)
+		sp := e.trace.Begin("union", "", int(ids[n]))
+		out, err := execUnionB(l, r)
+		if err != nil {
+			return nil, err
+		}
+		e.trace.End(sp, int64(l.Len())+int64(r.Len()), int64(out.Len()))
+		return out, nil
 	case *plan.Intersect:
 		l, r, err := e.bothB(t.Left, t.Right, seed, ids)
 		if err != nil {
 			return nil, err
 		}
-		return execIntersectB(l, r)
+		sp := e.trace.Begin("intersect", "", int(ids[n]))
+		out, err := execIntersectB(l, r)
+		if err != nil {
+			return nil, err
+		}
+		e.trace.End(sp, int64(l.Len())+int64(r.Len()), int64(out.Len()))
+		return out, nil
 	default:
 		return nil, fmt.Errorf("engine: unknown node %T", n)
+	}
+}
+
+// methodFraction reports a sampling method's effective per-tuple
+// inclusion fraction, 0 when the method has no fixed fraction (WOR's
+// depends on the input size).
+func methodFraction(m sampling.Method) float64 {
+	switch t := m.(type) {
+	case *sampling.Bernoulli:
+		return t.P
+	case *sampling.Block:
+		return t.P
+	case *sampling.LineageHash:
+		f := 1.0
+		for _, r := range t.Relations() {
+			f *= t.Prob(r)
+		}
+		return f
+	default:
+		return 0
 	}
 }
 
@@ -170,12 +236,40 @@ func stripGUS(n plan.Node) plan.Node {
 	}
 }
 
-func (e *Engine) execFused(c *fusedChain, seed uint64, ids map[plan.Node]uint64) (*batch.Batch, error) {
+func (e *Engine) execFused(c *fusedChain, seed uint64, ids map[plan.Node]uint64, node int) (*batch.Batch, error) {
 	in, smp, preds, proj, err := e.prepareChain(c, seed, ids)
 	if err != nil {
 		return nil, err
 	}
-	return e.pipe(in, smp, preds, proj)
+	sp := e.trace.Begin("fused", c.label(), node)
+	out, err := e.pipe(in, smp, preds, proj)
+	if err != nil {
+		return nil, err
+	}
+	e.trace.End(sp, int64(in.Len()), int64(out.Len()))
+	e.trace.SetSpan(sp, func(s *obs.Span) {
+		s.Partitions = len(ops.Partitions(in.Len(), e.partSize))
+		if smp != nil {
+			s.Fraction = smp.frac()
+		}
+	})
+	return out, nil
+}
+
+// label summarizes a fused chain for its trace span: the scanned
+// relation, the sampling method if any, and the fused stage counts.
+func (c *fusedChain) label() string {
+	l := c.scan.Label()
+	if c.sample != nil {
+		l += " + " + c.sample.Method.Name()
+	}
+	if n := len(c.preds); n > 0 {
+		l += fmt.Sprintf(" + %dσ", n)
+	}
+	if c.project != nil {
+		l += " + π"
+	}
+	return l
 }
 
 // prepareChain compiles a fused chain's stages once: the scan's columnar
@@ -234,6 +328,9 @@ type sampleStage struct {
 	lhSlots []int
 	lhRels  []string
 }
+
+// frac reports the stage's per-tuple inclusion fraction for tracing.
+func (s *sampleStage) frac() float64 { return methodFraction(s.method) }
 
 func newSampleStage(m sampling.Method, in *batch.Batch, sub uint64) (*sampleStage, error) {
 	s := &sampleStage{method: m, sub: sub}
@@ -618,7 +715,7 @@ func (e *Engine) sampleWORB(in *batch.Batch, m *sampling.WOR, sub uint64) (*batc
 // it replaces — and to the row path — at any worker count. Matches are
 // decided by canonical hash plus EqualAt's full typed compare, never by
 // materialized string keys.
-func (e *Engine) execJoinB(l, r *batch.Batch, leftCol, rightCol string) (*batch.Batch, error) {
+func (e *Engine) execJoinB(l, r *batch.Batch, leftCol, rightCol string, node int) (*batch.Batch, error) {
 	li, ok := l.Schema.Index(leftCol)
 	if !ok {
 		return nil, fmt.Errorf("engine: hash join: left input has no column %q", leftCol)
@@ -646,6 +743,7 @@ func (e *Engine) execJoinB(l, r *batch.Batch, leftCol, rightCol string) (*batch.
 
 	// Vectorized build-side hashing, then the radix-partitioned build.
 	n := build.Len()
+	buildSp := e.trace.Begin("join-build", fmt.Sprintf("%s = %s", leftCol, rightCol), node)
 	bh := getU64(n)
 	bspans := e.partitionsFor(n)
 	err = e.forEach(len(bspans), n, func(p int) error {
@@ -665,8 +763,11 @@ func (e *Engine) execJoinB(l, r *batch.Batch, leftCol, rightCol string) (*batch.
 		return nil, err
 	}
 	putU64(bh)
+	e.trace.End(buildSp, int64(n), int64(n))
+	e.trace.SetSpan(buildSp, func(s *obs.Span) { s.Partitions = len(bspans) })
 
 	// Parallel probe into per-partition (build, probe) index pairs.
+	probeSp := e.trace.Begin("join-probe", fmt.Sprintf("%s = %s", leftCol, rightCol), node)
 	pspans := e.partitionsFor(probe.Len())
 	bIdx := make([][]int32, len(pspans))
 	pIdx := make([][]int32, len(pspans))
@@ -714,6 +815,8 @@ func (e *Engine) execJoinB(l, r *batch.Batch, leftCol, rightCol string) (*batch.
 	if err != nil {
 		return nil, err
 	}
+	e.trace.End(probeSp, int64(probe.Len()), int64(out.Len()))
+	e.trace.SetSpan(probeSp, func(s *obs.Span) { s.Partitions = len(pspans) })
 	return out, nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"runtime"
 
 	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/obs"
 	"github.com/sampling-algebra/gus/internal/ops"
 	"github.com/sampling-algebra/gus/internal/plan"
 	"github.com/sampling-algebra/gus/internal/relation"
@@ -62,6 +63,10 @@ type Config struct {
 	// every execution of the statement (see prepared.go). Nil compiles per
 	// execution, the one-shot behavior.
 	Prepared *Prepared
+	// Trace, when non-nil, collects per-stage execution spans (wall time,
+	// rows in/out, partitions, sampling fractions). Nil — the default —
+	// costs one pointer test per stage.
+	Trace *obs.Trace
 }
 
 // Engine executes query plans in parallel. It is stateless between calls
@@ -75,6 +80,7 @@ type Engine struct {
 	binds    []expr.Vec      // ConstVec per param, built once per execution
 	kinds    []relation.Kind // bound kinds, part of the kernel-cache key
 	prep     *Prepared
+	trace    *obs.Trace
 }
 
 // New builds an Engine from cfg, applying defaults.
@@ -91,7 +97,7 @@ func New(cfg Config) *Engine {
 	if cut <= 0 {
 		cut = 2 * ps
 	}
-	e := &Engine{workers: w, partSize: ps, cutoff: cut, ctx: cfg.Context, params: cfg.Params, prep: cfg.Prepared}
+	e := &Engine{workers: w, partSize: ps, cutoff: cut, ctx: cfg.Context, params: cfg.Params, prep: cfg.Prepared, trace: cfg.Trace}
 	if len(cfg.Params) > 0 {
 		e.binds = make([]expr.Vec, len(cfg.Params))
 		e.kinds = make([]relation.Kind, len(cfg.Params))
@@ -144,6 +150,10 @@ func (e *Engine) ExecuteRows(root plan.Node, seed uint64) (*ops.Rows, error) {
 	ids := numberNodes(root)
 	return e.exec(root, seed, ids)
 }
+
+// NumberNodes exposes the engine's node numbering (pre-order walk) so
+// trace consumers can tie spans back to rendered plan trees.
+func NumberNodes(root plan.Node) map[plan.Node]uint64 { return numberNodes(root) }
 
 // numberNodes assigns each plan node a stable id by pre-order walk — the
 // per-node component of sampling sub-seeds. Rebuilding the same plan

@@ -28,11 +28,17 @@ func EstimateBatch(g *core.Params, b *batch.Batch, f expr.Expr, opts Options) (*
 		return nil, fmt.Errorf("estimator: sample lineage schema %v does not match GUS schema %v",
 			b.LSch.Names(), g.Schema().Names())
 	}
+	sp := opts.Trace.Begin("estimate", f.String(), -1)
 	fs, err := sumFBatch(b, f, opts)
 	if err != nil {
 		return nil, err
 	}
-	return fromSource(g, colLins(b.Lin), fs, opts)
+	res, err := fromSource(g, colLins(b.Lin), fs, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.Trace.End(sp, int64(b.Len()), 1)
+	return res, nil
 }
 
 // RatioBatch estimates num/den over a columnar sample — the batch
@@ -42,6 +48,7 @@ func RatioBatch(g *core.Params, b *batch.Batch, num, den expr.Expr, opts Options
 		return nil, fmt.Errorf("estimator: sample lineage schema %v does not match GUS schema %v",
 			b.LSch.Names(), g.Schema().Names())
 	}
+	sp := opts.Trace.Begin("estimate", num.String()+" / "+den.String(), -1)
 	nfs, err := sumFBatch(b, num, opts)
 	if err != nil {
 		return nil, err
@@ -50,7 +57,12 @@ func RatioBatch(g *core.Params, b *batch.Batch, num, den expr.Expr, opts Options
 	if err != nil {
 		return nil, err
 	}
-	return ratioSrc(g, colLins(b.Lin), nfs, dfs, opts)
+	res, err := ratioSrc(g, colLins(b.Lin), nfs, dfs, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.Trace.End(sp, int64(b.Len()), 1)
+	return res, nil
 }
 
 // sumFBatch evaluates the aggregate argument with vectorized kernels,

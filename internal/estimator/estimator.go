@@ -18,6 +18,7 @@ import (
 	"github.com/sampling-algebra/gus/internal/core"
 	"github.com/sampling-algebra/gus/internal/expr"
 	"github.com/sampling-algebra/gus/internal/lineage"
+	"github.com/sampling-algebra/gus/internal/obs"
 	"github.com/sampling-algebra/gus/internal/ops"
 	"github.com/sampling-algebra/gus/internal/sampling"
 	"github.com/sampling-algebra/gus/internal/stats"
@@ -67,6 +68,10 @@ type Options struct {
 	// PartitionSize overrides the accumulator morsel size (default
 	// ops.DefaultPartitionSize). Comparable runs must share it.
 	PartitionSize int
+	// Trace, when non-nil, records an "estimate" span per SBox run (wall
+	// time and the number of sample tuples fed in). Tracing never touches
+	// the estimate math — results are bit-identical either way.
+	Trace *obs.Trace
 }
 
 // Result carries the SBox outputs.

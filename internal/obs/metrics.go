@@ -1,0 +1,429 @@
+// Metrics primitives and the registry. Counters, gauges and fixed-bucket
+// histograms are plain atomics — observing is alloc-free and lock-free.
+// Vec variants key children by one label value; child lookup takes an
+// RLock and allocates only on first use of a label, so steady-state
+// observation through a cached child pointer is as cheap as the scalar
+// primitive (callers on hot paths resolve the child once and hold it).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (e.g. in-flight queries).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram with Prometheus `le`
+// semantics: bucket i counts observations v with v <= bounds[i], plus an
+// implicit +Inf bucket. Observe is alloc-free: a linear scan over the
+// (small, fixed) bound slice, one atomic add, and a CAS loop folding the
+// value into the float64 sum.
+type Histogram struct {
+	bounds  []float64       // ascending upper bounds
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns the bounds and the cumulative count per bound, plus
+// the total (the +Inf cumulative count).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64, total uint64) {
+	bounds = h.bounds
+	cumulative = make([]uint64, len(h.bounds))
+	var run uint64
+	for i := range h.bounds {
+		run += h.buckets[i].Load()
+		cumulative[i] = run
+	}
+	total = run + h.buckets[len(h.bounds)].Load()
+	return bounds, cumulative, total
+}
+
+// LatencyBuckets are the default query-latency histogram bounds, in
+// seconds: 100µs .. ~26s in powers of 4.
+var LatencyBuckets = []float64{0.0001, 0.0004, 0.0016, 0.0064, 0.0256, 0.1024, 0.4096, 1.6384, 6.5536, 26.2144}
+
+// FractionBuckets are the default sampling-fraction histogram bounds.
+var FractionBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1}
+
+// CounterVec is a counter family with one label dimension. Children are
+// created on first use and cached; callers on hot paths resolve the
+// child once (With) and keep the pointer.
+type CounterVec struct {
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// NewCounterVec builds an empty counter family.
+func NewCounterVec() *CounterVec {
+	return &CounterVec{children: map[string]*Counter{}}
+}
+
+// With returns the child counter for the label value, creating it if
+// needed.
+func (v *CounterVec) With(label string) *Counter {
+	v.mu.RLock()
+	c := v.children[label]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[label]; c == nil {
+		c = &Counter{}
+		v.children[label] = c
+	}
+	return c
+}
+
+// snapshot returns the label→count map under lock.
+func (v *CounterVec) snapshot() map[string]uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	m := make(map[string]uint64, len(v.children))
+	for k, c := range v.children {
+		m[k] = c.Value()
+	}
+	return m
+}
+
+// HistogramVec is a histogram family with one label dimension, all
+// children sharing one bound set.
+type HistogramVec struct {
+	mu       sync.RWMutex
+	bounds   []float64
+	children map[string]*Histogram
+}
+
+// NewHistogramVec builds an empty histogram family over bounds.
+func NewHistogramVec(bounds []float64) *HistogramVec {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &HistogramVec{bounds: b, children: map[string]*Histogram{}}
+}
+
+// With returns the child histogram for the label value, creating it if
+// needed.
+func (v *HistogramVec) With(label string) *Histogram {
+	v.mu.RLock()
+	h := v.children[label]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.children[label]; h == nil {
+		h = NewHistogram(v.bounds)
+		v.children[label] = h
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+// MetricType classifies a registered metric for exposition.
+type MetricType int
+
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// metricEntry is one registered metric family.
+type metricEntry struct {
+	name      string
+	help      string
+	typ       MetricType
+	labelName string // for vec families
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+	cvec      *CounterVec
+	hvec      *HistogramVec
+	fn        func() float64 // RegisterFunc gauge
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration happens at setup time (Open, server
+// start); only observation is hot.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*metricEntry
+	byName  map[string]*metricEntry
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*metricEntry{}}
+}
+
+func (r *Registry) register(e *metricEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[e.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", e.name))
+	}
+	r.byName[e.name] = e
+	r.entries = append(r.entries, e)
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metricEntry{name: name, help: help, typ: TypeCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metricEntry{name: name, help: help, typ: TypeGauge, gauge: g})
+	return g
+}
+
+// Histogram registers and returns a histogram with the given bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(&metricEntry{name: name, help: help, typ: TypeHistogram, hist: h})
+	return h
+}
+
+// CounterVec registers and returns a counter family labeled by labelName.
+func (r *Registry) CounterVec(name, help, labelName string) *CounterVec {
+	v := NewCounterVec()
+	r.register(&metricEntry{name: name, help: help, typ: TypeCounter, labelName: labelName, cvec: v})
+	return v
+}
+
+// HistogramVec registers and returns a histogram family labeled by
+// labelName.
+func (r *Registry) HistogramVec(name, help, labelName string, bounds []float64) *HistogramVec {
+	v := NewHistogramVec(bounds)
+	r.register(&metricEntry{name: name, help: help, typ: TypeHistogram, labelName: labelName, hvec: v})
+	return v
+}
+
+// RegisterFunc registers a gauge whose value is computed at exposition
+// time — e.g. plan-cache hit counts owned by another subsystem.
+func (r *Registry) RegisterFunc(name, help string, fn func() float64) {
+	r.register(&metricEntry{name: name, help: help, typ: TypeGauge, fn: fn})
+}
+
+// Metric is one exported sample in a Snapshot.
+type Metric struct {
+	// Name is the family name; Label the single label value ("" for
+	// unlabeled metrics); Type the family type.
+	Name  string
+	Label string
+	Type  MetricType
+	// Value is the counter/gauge value or the histogram sum.
+	Value float64
+	// Count is the histogram observation count (0 otherwise).
+	Count uint64
+}
+
+// Snapshot returns a point-in-time flat view of every registered metric,
+// sorted by (name, label).
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	entries := make([]*metricEntry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+
+	var out []Metric
+	for _, e := range entries {
+		switch {
+		case e.counter != nil:
+			out = append(out, Metric{Name: e.name, Type: TypeCounter, Value: float64(e.counter.Value())})
+		case e.gauge != nil:
+			out = append(out, Metric{Name: e.name, Type: TypeGauge, Value: float64(e.gauge.Value())})
+		case e.fn != nil:
+			out = append(out, Metric{Name: e.name, Type: TypeGauge, Value: e.fn()})
+		case e.hist != nil:
+			out = append(out, Metric{Name: e.name, Type: TypeHistogram, Value: e.hist.Sum(), Count: e.hist.Count()})
+		case e.cvec != nil:
+			for label, v := range e.cvec.snapshot() {
+				out = append(out, Metric{Name: e.name, Label: label, Type: TypeCounter, Value: float64(v)})
+			}
+		case e.hvec != nil:
+			e.hvec.mu.RLock()
+			for label, h := range e.hvec.children {
+				out = append(out, Metric{Name: e.name, Label: label, Type: TypeHistogram, Value: h.Sum(), Count: h.Count()})
+			}
+			e.hvec.mu.RUnlock()
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := make([]*metricEntry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	var b strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&b, "# HELP %s %s\n", e.name, e.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", e.name, e.typ)
+		switch {
+		case e.counter != nil:
+			fmt.Fprintf(&b, "%s %d\n", e.name, e.counter.Value())
+		case e.gauge != nil:
+			fmt.Fprintf(&b, "%s %d\n", e.name, e.gauge.Value())
+		case e.fn != nil:
+			fmt.Fprintf(&b, "%s %s\n", e.name, fmtFloat(e.fn()))
+		case e.hist != nil:
+			writeHist(&b, e.name, "", "", e.hist)
+		case e.cvec != nil:
+			snap := e.cvec.snapshot()
+			for _, label := range sortedKeys(snap) {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", e.name, e.labelName, label, snap[label])
+			}
+		case e.hvec != nil:
+			e.hvec.mu.RLock()
+			labels := make([]string, 0, len(e.hvec.children))
+			for k := range e.hvec.children {
+				labels = append(labels, k)
+			}
+			sort.Strings(labels)
+			hists := make([]*Histogram, len(labels))
+			for i, k := range labels {
+				hists[i] = e.hvec.children[k]
+			}
+			e.hvec.mu.RUnlock()
+			for i, label := range labels {
+				writeHist(&b, e.name, e.labelName, label, hists[i])
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHist renders one histogram child in exposition format.
+func writeHist(b *strings.Builder, name, labelName, label string, h *Histogram) {
+	bounds, cum, total := h.Buckets()
+	prefix := "" // `label="value",` inside the bucket braces
+	suffix := "" // `{label="value"}` on _sum/_count lines
+	if labelName != "" {
+		prefix = fmt.Sprintf("%s=%q,", labelName, label)
+		suffix = fmt.Sprintf("{%s=%q}", labelName, label)
+	}
+	for i, bound := range bounds {
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, prefix, fmtFloat(bound), cum[i])
+	}
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, prefix, total)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, fmtFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, h.Count())
+}
+
+// fmtFloat renders a float the Prometheus way: integers without
+// fraction, +Inf as "+Inf".
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Add(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+	g.Set(-7)
+	if got := g.Value(); got != -7 {
+		t.Fatalf("gauge = %d, want -7", got)
+	}
+}
+
+// TestHistogramBoundaries pins the le (less-or-equal) bucket semantics:
+// a value exactly on a bound lands in that bound's bucket, one ulp above
+// lands in the next.
+func TestHistogramBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(0)                          // ≤ 1
+	h.Observe(1)                          // ≤ 1 (on the bound)
+	h.Observe(math.Nextafter(1, 2))       // ≤ 2
+	h.Observe(2)                          // ≤ 2
+	h.Observe(3.5)                        // ≤ 4
+	h.Observe(4)                          // ≤ 4
+	h.Observe(math.Nextafter(4, 5))       // overflow (+Inf)
+	h.Observe(1e9)                        // overflow
+	bounds, cum, total := h.Buckets()
+	if want := []float64{1, 2, 4}; len(bounds) != len(want) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	wantCum := []uint64{2, 4, 6}
+	for i, c := range cum {
+		if c != wantCum[i] {
+			t.Fatalf("cumulative[%d] = %d, want %d (all %v)", i, c, wantCum[i], cum)
+		}
+	}
+	if total != 8 {
+		t.Fatalf("total = %d, want 8", total)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", h.Count())
+	}
+	wantSum := 0.0 + 1 + math.Nextafter(1, 2) + 2 + 3.5 + 4 + math.Nextafter(4, 5) + 1e9
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("Sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestBucketPresetsAreSortedAscending(t *testing.T) {
+	for name, b := range map[string][]float64{"latency": LatencyBuckets, "fraction": FractionBuckets} {
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				t.Fatalf("%s buckets not strictly increasing at %d: %v", name, i, b)
+			}
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers every metric kind from many goroutines
+// while snapshots and Prometheus renders run; the -race detector is the
+// assertion.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "c")
+	g := reg.Gauge("g", "g")
+	h := reg.Histogram("h_seconds", "h", LatencyBuckets)
+	cv := reg.CounterVec("cv_total", "cv", "k")
+	hv := reg.HistogramVec("hv_seconds", "hv", "k", []float64{0.5, 1})
+	reg.RegisterFunc("fn", "fn", func() float64 { return 1 })
+	labels := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%10) / 10)
+				cv.With(labels[i%len(labels)]).Inc()
+				hv.With(labels[(i+w)%len(labels)]).Observe(0.7)
+				if i%500 == 0 {
+					reg.Snapshot()
+					var buf bytes.Buffer
+					if err := reg.WritePrometheus(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8*2000 {
+		t.Fatalf("counter = %d, want %d", c.Value(), 8*2000)
+	}
+	var total uint64
+	for _, l := range labels {
+		total += cv.With(l).Value()
+	}
+	if total != 8*2000 {
+		t.Fatalf("counter-vec sum = %d, want %d", total, 8*2000)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate metric name")
+		}
+	}()
+	reg.Gauge("dup", "second")
+}
+
+// TestWritePrometheus validates the text exposition: HELP/TYPE ordering,
+// histogram bucket/sum/count structure, label rendering, and no empty
+// `{}` on unlabeled series.
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "Events.").Add(3)
+	reg.Gauge("y", "Level.").Set(-2)
+	h := reg.Histogram("z_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	reg.CounterVec("v_total", "By key.", "k").With("alpha").Add(7)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP x_total Events.",
+		"# TYPE x_total counter",
+		"x_total 3",
+		"y -2",
+		"# TYPE z_seconds histogram",
+		`z_seconds_bucket{le="0.1"} 1`,
+		`z_seconds_bucket{le="1"} 2`,
+		`z_seconds_bucket{le="+Inf"} 3`,
+		"z_seconds_sum 5.55",
+		"z_seconds_count 3",
+		`v_total{k="alpha"} 7`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "{}") {
+		t.Fatalf("exposition contains empty label braces:\n%s", text)
+	}
+	// Every non-comment line must be `name[{label}] value`.
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc2 := bufio.NewScanner(strings.NewReader(text)); sc2.Scan(); {
+		line := sc2.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "b").Inc()
+	reg.Counter("a_total", "a").Inc()
+	cv := reg.CounterVec("c_total", "c", "k")
+	cv.With("z").Inc()
+	cv.With("a").Inc()
+	snap := reg.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		prev, cur := snap[i-1], snap[i]
+		if prev.Name > cur.Name || (prev.Name == cur.Name && prev.Label > cur.Label) {
+			t.Fatalf("snapshot out of order: %v before %v", prev, cur)
+		}
+	}
+}

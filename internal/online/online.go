@@ -34,6 +34,7 @@ import (
 	"github.com/sampling-algebra/gus/internal/engine"
 	"github.com/sampling-algebra/gus/internal/estimator"
 	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/obs"
 	"github.com/sampling-algebra/gus/internal/relation"
 	"github.com/sampling-algebra/gus/internal/stats"
 )
@@ -149,6 +150,10 @@ type Executor struct {
 	// Items are the SELECT aggregates.
 	Items []Item
 	Cfg   Config
+	// Trace, when non-nil, receives one WavePoint per emitted update
+	// (fraction scanned, running estimate, CI width, wave latency). Nil
+	// costs one pointer test per wave.
+	Trace *obs.Trace
 }
 
 // itemState carries one item's per-stream state: the aggregate kernels,
@@ -211,6 +216,7 @@ func (x *Executor) Run(ctx context.Context, emit func(Update) bool) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		waveStart := time.Now()
 		pHi := pLo + waveParts
 		if pHi > nParts {
 			pHi = nParts
@@ -243,6 +249,7 @@ func (x *Executor) Run(ctx context.Context, emit func(Update) bool) error {
 		case x.Cfg.Deadline > 0 && time.Since(start) >= x.Cfg.Deadline:
 			u.Done, u.Reason = true, ReasonDeadline
 		}
+		x.Trace.AddWave(u.Wave, u.FractionScanned, u.Estimate, u.CIHigh-u.CILow, time.Since(waveStart))
 		if !emit(u) || u.Done {
 			return nil
 		}

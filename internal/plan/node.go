@@ -168,6 +168,32 @@ func Format(n Node) string {
 	return sb.String()
 }
 
+// FormatAnnotated renders the plan tree like Format, appending the
+// string annot returns for each node (when non-empty) after its label.
+// Node numbering for annot follows Walk's pre-order, matching the
+// engine's node numbering.
+func FormatAnnotated(root Node, annot func(n Node, id int) string) string {
+	var sb strings.Builder
+	id := 0
+	var walk func(Node, int)
+	walk = func(n Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.Label())
+		if a := annot(n, id); a != "" {
+			sb.WriteString("  [")
+			sb.WriteString(a)
+			sb.WriteByte(']')
+		}
+		sb.WriteByte('\n')
+		id++
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return sb.String()
+}
+
 // Walk visits the plan depth-first, parents before children.
 func Walk(n Node, fn func(Node)) {
 	fn(n)

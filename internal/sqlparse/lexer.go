@@ -49,7 +49,7 @@ var keywords = map[string]bool{
 	"NOT": true, "AS": true, "SUM": true, "COUNT": true, "AVG": true,
 	"QUANTILE": true, "TABLESAMPLE": true, "PERCENT": true, "ROWS": true,
 	"BERNOULLI": true, "SYSTEM": true, "REPEATABLE": true,
-	"GROUP": true, "BY": true,
+	"GROUP": true, "BY": true, "EXPLAIN": true, "ANALYZE": true,
 }
 
 // lex tokenizes the input. Errors carry byte positions.

@@ -94,6 +94,10 @@ type Query struct {
 	// are contiguous: a bare `?` takes the next free index (largest so far
 	// + 1, SQLite-style), `?N` addresses parameter N explicitly.
 	NumParams int
+	// Explain marks an `EXPLAIN ANALYZE SELECT …` statement: the query
+	// executes normally (it must, to measure anything) and the result
+	// additionally carries the annotated execution trace.
+	Explain bool
 }
 
 // Parse turns SQL text into a Query AST.
@@ -194,10 +198,19 @@ func (p *parser) expectSymbol(s string) error {
 }
 
 func (p *parser) parseQuery() (*Query, error) {
+	explain := false
+	if p.acceptKeyword("EXPLAIN") {
+		// Plain EXPLAIN would imply plan-without-execute semantics this
+		// engine does not have; require the measured form explicitly.
+		if !p.acceptKeyword("ANALYZE") {
+			return nil, p.errf("EXPLAIN must be followed by ANALYZE (plain EXPLAIN is not supported)")
+		}
+		explain = true
+	}
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
-	q := &Query{}
+	q := &Query{Explain: explain}
 	for {
 		agg, err := p.parseAggregate()
 		if err != nil {

@@ -42,6 +42,9 @@ type Planned struct {
 	// group aggregate is SUM-like, so the GUS analysis applies per group
 	// with the same top operator.
 	GroupBy string
+	// Explain marks an EXPLAIN ANALYZE statement: execute normally, and
+	// return the annotated execution trace with the result.
+	Explain bool
 }
 
 // Template is a compiled-once query plan skeleton: tables resolved, join
@@ -56,6 +59,7 @@ type Template struct {
 	aggregates []Aggregate
 	groupBy    string
 	nParams    int
+	explain    bool
 }
 
 // NumParams reports how many positional placeholders the statement binds.
@@ -278,8 +282,11 @@ func PlanTemplate(q *Query, cat Catalog) (*Template, error) {
 			return nil, fmt.Errorf("sql: unknown GROUP BY column %q", q.GroupBy)
 		}
 	}
-	return &Template{root: root, aggregates: q.Aggregates, groupBy: q.GroupBy, nParams: q.NumParams}, nil
+	return &Template{root: root, aggregates: q.Aggregates, groupBy: q.GroupBy, nParams: q.NumParams, explain: q.Explain}, nil
 }
+
+// Explain reports whether the statement is an EXPLAIN ANALYZE.
+func (t *Template) Explain() bool { return t.explain }
 
 // Bind stamps an executable plan out of the template: every deferred
 // TABLESAMPLE method becomes concrete (its parameter taken from vals when
@@ -313,7 +320,7 @@ func (t *Template) Bind(vals []relation.Value, opts PlannerOptions) (*Planned, e
 		}
 		aggs[i].Arg = bound
 	}
-	return &Planned{Root: root, Aggregates: aggs, GroupBy: t.groupBy}, nil
+	return &Planned{Root: root, Aggregates: aggs, GroupBy: t.groupBy, Explain: t.explain}, nil
 }
 
 // bindNode clones the spine of the plan that holds deferred sampling

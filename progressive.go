@@ -12,10 +12,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/sampling-algebra/gus/internal/engine"
 	"github.com/sampling-algebra/gus/internal/estimator"
 	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/obs"
 	"github.com/sampling-algebra/gus/internal/online"
 	"github.com/sampling-algebra/gus/internal/plan"
 	"github.com/sampling-algebra/gus/internal/relation"
@@ -62,6 +64,10 @@ type Update struct {
 	Estimate, StdErr float64
 	CILow, CIHigh    float64
 	Values           []UpdateValue
+
+	// ExplainText is the rendered execution trace, set on the Done update
+	// of an EXPLAIN ANALYZE statement only (empty otherwise).
+	ExplainText string
 }
 
 // QueryProgressive executes the query as online aggregation: it scans the
@@ -99,8 +105,15 @@ type Update struct {
 func (db *DB) QueryProgressive(ctx context.Context, sql string, opts ...Option) (<-chan Update, func() error) {
 	o := db.buildOptions(opts)
 	return db.progressiveStream(ctx, o, func() (*Stmt, []relation.Value, error) {
-		st, err := db.prepareCached(sql)
-		return st, nil, err
+		ppStart := time.Now()
+		st, hit, err := db.prepareCached(sql)
+		if err != nil {
+			return nil, nil, err
+		}
+		if o.trace != nil {
+			recordPlanSpan(o.trace, time.Since(ppStart), hit)
+		}
+		return st, nil, nil
 	})
 }
 
@@ -156,6 +169,11 @@ func (db *DB) progressiveStream(ctx context.Context, o queryOptions, prepare fun
 // the lock for its run, exactly like Query.)
 func (db *DB) runProgressive(ctx context.Context, st *Stmt, vals []relation.Value, o queryOptions, ch chan<- Update) error {
 	o.args, o.prep = vals, st.prep
+	o.sm, o.sql = st.sm, st.sql
+	explain := st.tmpl.Explain()
+	if o.trace == nil && explain {
+		o.trace = &obs.Trace{}
+	}
 	db.mu.RLock()
 	locked := true
 	unlock := func() {
@@ -179,13 +197,17 @@ func (db *DB) runProgressive(ctx context.Context, st *Stmt, vals []relation.Valu
 	if err != nil {
 		return err
 	}
-	eng := engine.New(engine.Config{Workers: o.workers, Context: ctx, Params: o.args, Prepared: o.prep})
+	eng := engine.New(engine.Config{Workers: o.workers, Context: ctx, Params: o.args, Prepared: o.prep, Trace: o.trace})
 	waves, err := eng.PrepareWaves(planned.Root, o.seed)
 	if err != nil {
 		return err
 	}
 	if waves == nil {
-		return db.progressiveFallback(ctx, planned, o, ch)
+		err := db.progressiveFallback(ctx, planned, o, explain, ch)
+		if err == nil {
+			db.metrics.stopReasons.With(online.ReasonComplete).Inc()
+		}
+		return err
 	}
 	items, err := progressiveItems(planned.Aggregates)
 	if err != nil {
@@ -199,6 +221,7 @@ func (db *DB) runProgressive(ctx context.Context, st *Stmt, vals []relation.Valu
 		G:     analysis.G,
 		Waves: waves,
 		Items: items,
+		Trace: o.trace,
 		Cfg: online.Config{
 			WaveRows:    o.waveRows,
 			TargetRelCI: o.targetRelCI,
@@ -211,21 +234,58 @@ func (db *DB) runProgressive(ctx context.Context, st *Stmt, vals []relation.Valu
 	// Wave batches alias the scan's immutable snapshot from here on;
 	// catalog writes may proceed while the stream runs.
 	unlock()
+	m := db.metrics
+	m.inFlight.Add(1)
+	start := time.Now()
 	canceled := false
+	var last online.Update
 	err = ex.Run(ctx, func(u online.Update) bool {
+		last = u
+		out := fromOnlineUpdate(u)
+		if u.Done && o.trace != nil {
+			// The stream ends with this update: stamp the annotated plan
+			// tree now so a caller-held trace (and EXPLAIN ANALYZE output)
+			// is complete when the channel closes.
+			finishTrace(o.trace, planned.Root, o.sql, sqlparse.Normalize(o.sql))
+			if explain {
+				out.ExplainText = o.trace.Format()
+			}
+		}
 		select {
-		case ch <- fromOnlineUpdate(u):
+		case ch <- out:
 			return true
 		case <-ctx.Done():
 			canceled = true
 			return false
 		}
 	})
-	if err != nil {
-		return err
+	secs := time.Since(start).Seconds()
+	m.inFlight.Add(-1)
+	m.querySecs.Observe(secs)
+	if o.sm != nil {
+		o.sm.seconds.Observe(secs)
 	}
-	if canceled {
+	if err != nil || canceled {
+		m.queriesErr.Inc()
+		if o.sm != nil {
+			o.sm.errors.Inc()
+		}
+		if err != nil {
+			return err
+		}
 		return ctx.Err()
+	}
+	m.queriesOK.Inc()
+	if o.sm != nil {
+		o.sm.queries.Inc()
+	}
+	m.rowsScanned.Add(uint64(last.RowsScanned))
+	m.sampleRows.Add(uint64(last.SampleRows))
+	if last.RowsScanned > 0 {
+		m.sampleFrac.Observe(float64(last.SampleRows) / float64(last.RowsScanned))
+	}
+	if last.Reason != "" {
+		m.stopReasons.With(last.Reason).Inc()
 	}
 	return nil
 }
@@ -233,7 +293,7 @@ func (db *DB) runProgressive(ctx context.Context, st *Stmt, vals []relation.Valu
 // progressiveFallback serves plan shapes the wave executor cannot split
 // (joins, unions, WOR): the query runs once — still cancellable via the
 // engine's context — and its answer streams as a single Final update.
-func (db *DB) progressiveFallback(ctx context.Context, planned *sqlparse.Planned, o queryOptions, ch chan<- Update) error {
+func (db *DB) progressiveFallback(ctx context.Context, planned *sqlparse.Planned, o queryOptions, explain bool, ch chan<- Update) error {
 	res, err := db.run(ctx, planned, o)
 	if err != nil {
 		return err
@@ -269,6 +329,9 @@ func (db *DB) progressiveFallback(ctx context.Context, planned *sqlparse.Planned
 	if len(u.Values) > 0 {
 		u.Estimate, u.StdErr = u.Values[0].Estimate, u.Values[0].StdErr
 		u.CILow, u.CIHigh = u.Values[0].CILow, u.Values[0].CIHigh
+	}
+	if explain {
+		u.ExplainText = o.trace.Format()
 	}
 	select {
 	case ch <- u:

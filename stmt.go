@@ -51,6 +51,9 @@ type Stmt struct {
 	sql  string
 	tmpl *sqlparse.Template
 	prep *engine.Prepared
+	// sm is this statement shape's pre-resolved metric slots, bound once at
+	// Prepare so per-execution metric updates are pure atomics.
+	sm *shapeMetrics
 }
 
 // Prepare compiles sql once for repeated execution. The statement is
@@ -69,7 +72,13 @@ func (db *DB) Prepare(sql string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, sql: sql, tmpl: tmpl, prep: engine.NewPrepared()}, nil
+	return &Stmt{
+		db:   db,
+		sql:  sql,
+		tmpl: tmpl,
+		prep: engine.NewPrepared(),
+		sm:   db.metrics.shapeSlot(sqlparse.Normalize(sql)),
+	}, nil
 }
 
 // SQL returns the statement's original text.
@@ -107,6 +116,12 @@ func (s *Stmt) Exact(ctx context.Context, args ...any) (*Result, error) {
 // for the duration, like db.Query.
 func (s *Stmt) exec(ctx context.Context, vals []relation.Value, o queryOptions, exact bool) (*Result, error) {
 	o.args, o.prep = vals, s.prep
+	o.sm, o.sql = s.sm, s.sql
+	if o.trace == nil && s.tmpl.Explain() {
+		// EXPLAIN ANALYZE through a directly-Prepared Stmt: no trace was
+		// attached upstream, so allocate one here for the rendered output.
+		o.trace = &Trace{}
+	}
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
 	planned, err := s.tmpl.Bind(vals, sqlparse.PlannerOptions{
@@ -114,12 +129,23 @@ func (s *Stmt) exec(ctx context.Context, vals []relation.Value, o queryOptions, 
 		Seed:            o.seed,
 	})
 	if err != nil {
+		s.db.metrics.queriesErr.Inc()
+		if o.sm != nil {
+			o.sm.errors.Inc()
+		}
 		return nil, err
 	}
 	if exact {
 		planned.Root = plan.StripSampling(planned.Root)
 	}
-	return s.db.run(ctx, planned, o)
+	res, err := s.db.run(ctx, planned, o)
+	if err != nil {
+		return nil, err
+	}
+	if s.tmpl.Explain() {
+		res.ExplainText = o.trace.Format()
+	}
+	return res, nil
 }
 
 // splitArgs separates a Stmt call's variadic arguments into positional
@@ -223,24 +249,27 @@ func (db *DB) SetPlanCacheCap(n int) {
 // The key is the normalized statement text, so formatting differences hit
 // the same entry.
 func (db *DB) PrepareCached(sql string) (*Stmt, error) {
-	return db.prepareCached(sql)
+	st, _, err := db.prepareCached(sql)
+	return st, err
 }
 
-func (db *DB) prepareCached(sql string) (*Stmt, error) {
+// prepareCached additionally reports whether the statement came from the
+// cache, for the trace's parse+plan span.
+func (db *DB) prepareCached(sql string) (*Stmt, bool, error) {
 	key := sqlparse.Normalize(sql)
 	// The generation is read BEFORE planning: if a catalog write lands in
 	// between, the entry is tagged with the older generation and the next
 	// lookup discards it — stale plans are never served.
 	gen := db.gen.Load()
 	if st := db.plans.get(key, gen); st != nil {
-		return st, nil
+		return st, true, nil
 	}
 	st, err := db.Prepare(sql)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	db.plans.put(key, st, gen)
-	return st, nil
+	return st, false, nil
 }
 
 // planCache is a mutex-guarded LRU of prepared statements, each tagged
