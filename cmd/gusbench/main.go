@@ -9,7 +9,8 @@
 //	gusbench -exp accuracy -trials 300 -orders 20000
 //
 // Experiments: fig1, query1, fig4, fig5, accuracy, variance,
-// rewrite-runtime, subsample, robustness, planner, all.
+// rewrite-runtime, subsample, robustness, planner, cardinality, prepared,
+// obs, storage, all.
 package main
 
 import (
@@ -22,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (fig1|query1|fig4|fig5|accuracy|variance|rewrite-runtime|subsample|robustness|planner|cardinality|prepared|obs|all)")
+		exp      = flag.String("exp", "all", "experiment to run (fig1|query1|fig4|fig5|accuracy|variance|rewrite-runtime|subsample|robustness|planner|cardinality|prepared|obs|storage|all)")
 		trials   = flag.Int("trials", 200, "Monte-Carlo trials for statistical experiments")
 		orders   = flag.Int("orders", 8000, "orders-table cardinality for generated TPC-H data")
 		seed     = flag.Uint64("seed", 42, "base RNG seed")
@@ -50,9 +51,10 @@ func main() {
 		"cardinality":     runCardinality,
 		"prepared":        runPrepared,
 		"obs":             runObs,
+		"storage":         runStorage,
 	}
 	order := []string{"fig1", "query1", "fig4", "fig5", "accuracy", "variance",
-		"rewrite-runtime", "subsample", "robustness", "planner", "cardinality", "prepared", "obs"}
+		"rewrite-runtime", "subsample", "robustness", "planner", "cardinality", "prepared", "obs", "storage"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -1,6 +1,9 @@
-// Command gusgen generates TPC-H-style CSV data for use with gusquery.
+// Command gusgen generates TPC-H-style data for use with gusquery and
+// gusserve — as CSV files, or as mmap-ready columnar segments
+// (-format segment) that those tools open without re-parsing:
 //
 //	gusgen -sf 0.001 -out ./data
+//	gusgen -sf 0.01 -format segment -out ./segdata
 package main
 
 import (
@@ -9,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"github.com/sampling-algebra/gus/internal/segment"
 	"github.com/sampling-algebra/gus/internal/tpch"
 )
 
@@ -19,8 +23,12 @@ func main() {
 		seed   = flag.Uint64("seed", 42, "generator seed")
 		skew   = flag.Float64("skew", 0, "price skew knob (0 = uniform)")
 		out    = flag.String("out", ".", "output directory")
+		format = flag.String("format", "csv", "output format: csv or segment (columnar *.gusseg files with zone maps)")
 	)
 	flag.Parse()
+	if *format != "csv" && *format != "segment" {
+		fail(fmt.Errorf("unknown -format %q (csv or segment)", *format))
+	}
 
 	cfg := tpch.ScaleFactor(*sf, *seed)
 	if *orders > 0 {
@@ -37,6 +45,15 @@ func main() {
 		fail(err)
 	}
 	for _, rel := range tables.All() {
+		if *format == "segment" {
+			path := filepath.Join(*out, rel.Name()+segment.Ext)
+			n, err := segment.Write(path, rel)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s (%d rows, %d bytes)\n", path, rel.Len(), n)
+			continue
+		}
 		path := filepath.Join(*out, rel.Name()+".csv")
 		if err := rel.SaveCSVFile(path); err != nil {
 			fail(err)

@@ -2,8 +2,9 @@
 // clauses and prints the estimate, confidence interval and — with -v —
 // the plan and the SOA rewrite trace that produced the top GUS operator.
 //
-// Tables come either from CSV files written by gusgen (-data dir loads
-// every *.csv in it) or from an in-process TPC-H generator (-gen).
+// Tables come from files written by gusgen — -data dir opens every
+// *.gusseg columnar segment in it (mmap, no parse) or, when there are
+// none, loads every *.csv — or from an in-process TPC-H generator (-gen).
 //
 //	gusquery -gen 0.001 -q "SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (10 PERCENT)"
 //	gusquery -data ./data -v -q "$(cat query.sql)"
@@ -80,12 +81,25 @@ func main() {
 			fail(err)
 		}
 	case *dataDir != "":
+		segs, err := filepath.Glob(filepath.Join(*dataDir, "*"+gus.SegmentExt))
+		if err != nil {
+			fail(err)
+		}
+		if len(segs) > 0 {
+			if err := db.AttachSegmentDir(*dataDir); err != nil {
+				fail(err)
+			}
+			for _, info := range db.Tables() {
+				fmt.Fprintf(os.Stderr, "attached %s (%d rows, segment)\n", info.Name, info.Rows)
+			}
+			break
+		}
 		paths, err := filepath.Glob(filepath.Join(*dataDir, "*.csv"))
 		if err != nil {
 			fail(err)
 		}
 		if len(paths) == 0 {
-			fail(fmt.Errorf("no *.csv files in %s", *dataDir))
+			fail(fmt.Errorf("no *%s or *.csv files in %s", gus.SegmentExt, *dataDir))
 		}
 		for _, p := range paths {
 			name := strings.TrimSuffix(filepath.Base(p), ".csv")
@@ -97,6 +111,7 @@ func main() {
 	default:
 		fail(fmt.Errorf("provide -data DIR or -gen SF"))
 	}
+	defer db.Close()
 
 	opts := []gus.Option{gus.WithSeed(*seed), gus.WithConfidence(*level)}
 	if *workers > 0 {

@@ -1,7 +1,9 @@
 // Command gusserve exposes a gus database as a long-lived HTTP/JSON
 // service, driving the parallel partitioned engine from concurrent
-// clients. Tables come from CSV files (-data, gusgen's format) or from
-// the in-process TPC-H generator (-gen).
+// clients. Tables come from files written by gusgen — -data opens every
+// *.gusseg columnar segment in the directory (mmap, no parse) or, when
+// there are none, loads every *.csv — or from the in-process TPC-H
+// generator (-gen).
 //
 //	gusserve -gen 0.01 -addr :8080
 //	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM lineitem TABLESAMPLE (10 PERCENT)","seed":7}'
@@ -13,7 +15,8 @@
 //	                     estimates, one line per partition wave, honoring
 //	                     stop conditions and client disconnect
 //	                     (body: StreamRequest)
-//	GET  /tables       — registered tables and cardinalities
+//	GET  /tables       — registered tables: rows, column schema, storage
+//	                     mode (resident heap vs mmap segment)
 //	GET  /metrics      — Prometheus text exposition: every DB-level gus_*
 //	                     metric (latency, rows scanned, sample fractions,
 //	                     plan-cache hit rate, per-shape counters,
@@ -313,12 +316,25 @@ func main() {
 			log.Fatalf("gusserve: %v", err)
 		}
 	case *dataDir != "":
+		segs, err := filepath.Glob(filepath.Join(*dataDir, "*"+gus.SegmentExt))
+		if err != nil {
+			log.Fatalf("gusserve: %v", err)
+		}
+		if len(segs) > 0 {
+			if err := db.AttachSegmentDir(*dataDir); err != nil {
+				log.Fatalf("gusserve: %v", err)
+			}
+			for _, info := range db.Tables() {
+				log.Printf("attached segment table %s (%d rows)", info.Name, info.Rows)
+			}
+			break
+		}
 		paths, err := filepath.Glob(filepath.Join(*dataDir, "*.csv"))
 		if err != nil {
 			log.Fatalf("gusserve: %v", err)
 		}
 		if len(paths) == 0 {
-			log.Fatalf("gusserve: no *.csv files in %s", *dataDir)
+			log.Fatalf("gusserve: no *%s or *.csv files in %s", gus.SegmentExt, *dataDir)
 		}
 		for _, p := range paths {
 			name := strings.TrimSuffix(filepath.Base(p), ".csv")
@@ -646,20 +662,37 @@ func (s *server) handleTables(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
 		return
 	}
-	type tableInfo struct {
+	type columnInfo struct {
 		Name string `json:"name"`
-		Rows int    `json:"rows"`
+		Type string `json:"type"`
 	}
-	var out []tableInfo
-	for _, name := range s.db.TableNames() {
-		n, err := s.db.TableLen(name)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
+	type tableInfo struct {
+		Name    string       `json:"name"`
+		Rows    int          `json:"rows"`
+		Columns []columnInfo `json:"columns"`
+		Storage string       `json:"storage"`
+	}
+	out := []tableInfo{}
+	for _, info := range s.db.Tables() {
+		ti := tableInfo{Name: info.Name, Rows: info.Rows, Storage: info.Storage}
+		for _, c := range info.Columns {
+			ti.Columns = append(ti.Columns, columnInfo{Name: c.Name, Type: columnTypeName(c.Type)})
 		}
-		out = append(out, tableInfo{Name: name, Rows: n})
+		out = append(out, ti)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// columnTypeName renders a schema column type for the /tables response.
+func columnTypeName(t gus.ColumnType) string {
+	switch t {
+	case gus.Int:
+		return "int"
+	case gus.Float:
+		return "float"
+	default:
+		return "string"
+	}
 }
 
 func toValueResponse(v gus.Value) ValueResponse {

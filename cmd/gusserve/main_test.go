@@ -169,30 +169,84 @@ func TestQueryBadRequests(t *testing.T) {
 	}
 }
 
-func TestTablesEndpoint(t *testing.T) {
-	s := testServer(t)
+// tableRow mirrors the GET /tables response entry.
+type tableRow struct {
+	Name    string `json:"name"`
+	Rows    int    `json:"rows"`
+	Columns []struct {
+		Name string `json:"name"`
+		Type string `json:"type"`
+	} `json:"columns"`
+	Storage string `json:"storage"`
+}
+
+func getTables(t *testing.T, s *server) []tableRow {
+	t.Helper()
 	req := httptest.NewRequest(http.MethodGet, "/tables", nil)
 	rec := httptest.NewRecorder()
 	s.handleTables(rec, req)
 	if rec.Code != http.StatusOK {
-		t.Fatalf("status %d", rec.Code)
+		t.Fatalf("GET /tables: status %d", rec.Code)
 	}
-	var tables []struct {
-		Name string `json:"name"`
-		Rows int    `json:"rows"`
-	}
+	var tables []tableRow
 	if err := json.NewDecoder(rec.Body).Decode(&tables); err != nil {
 		t.Fatal(err)
 	}
+	return tables
+}
+
+func TestTablesEndpoint(t *testing.T) {
+	s := testServer(t)
+	tables := getTables(t, s)
 	if len(tables) != 1 || tables[0].Name != "ev" || tables[0].Rows != 4000 {
 		t.Fatalf("tables: %+v", tables)
 	}
+	if tables[0].Storage != "resident" {
+		t.Errorf("storage = %q, want resident", tables[0].Storage)
+	}
+	cols := tables[0].Columns
+	if len(cols) != 2 || cols[0].Name != "cat" || cols[0].Type != "int" ||
+		cols[1].Name != "v" || cols[1].Type != "float" {
+		t.Errorf("columns: %+v", cols)
+	}
 
 	post := httptest.NewRequest(http.MethodPost, "/tables", nil)
-	rec = httptest.NewRecorder()
+	rec := httptest.NewRecorder()
 	s.handleTables(rec, post)
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("POST /tables: status %d, want 405", rec.Code)
+	}
+}
+
+// TestTablesEndpointSegmentStorage: a server over a saved segment
+// directory reports storage "segment" and serves the same queries.
+func TestTablesEndpointSegmentStorage(t *testing.T) {
+	src := testServer(t)
+	dir := t.TempDir()
+	if err := src.db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	db, err := gus.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := newServer(db)
+	tables := getTables(t, s)
+	if len(tables) != 1 || tables[0].Name != "ev" || tables[0].Rows != 4000 {
+		t.Fatalf("tables: %+v", tables)
+	}
+	if tables[0].Storage != "segment" {
+		t.Errorf("storage = %q, want segment", tables[0].Storage)
+	}
+	body := `{"sql":"SELECT SUM(v) AS s FROM ev TABLESAMPLE (25 PERCENT)","seed":7}`
+	rec, resp := postQuery(t, s, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	_, want := postQuery(t, src, body)
+	if resp.Values[0].Estimate != want.Values[0].Estimate {
+		t.Fatalf("segment estimate %v != resident %v", resp.Values[0].Estimate, want.Values[0].Estimate)
 	}
 }
 

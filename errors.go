@@ -1,6 +1,10 @@
 package gus
 
-import "errors"
+import (
+	"errors"
+
+	"github.com/sampling-algebra/gus/internal/segment"
+)
 
 // ErrUnsupported marks a request the engine understands but cannot serve —
 // e.g. GROUP BY under progressive execution. Callers branch on it with
@@ -8,3 +12,15 @@ import "errors"
 // worth a 4xx) from malformed input or internal failures; the wrapped
 // message names the specific limitation.
 var ErrUnsupported = errors.New("unsupported")
+
+// ErrCorruptSegment matches (via errors.Is) every error OpenDir,
+// AttachSegment and ATTACH SEGMENT return for a file that is not a
+// well-formed segment of the supported version — truncated, torn,
+// bit-flipped, or written by an incompatible format revision. Corrupt
+// files are always rejected whole at open time; a damaged segment never
+// surfaces as a silently short or garbled table.
+var ErrCorruptSegment = segment.ErrCorrupt
+
+// SegmentError is the concrete corruption error behind ErrCorruptSegment;
+// errors.As exposes the offending file path, byte offset and reason.
+type SegmentError = segment.CorruptError

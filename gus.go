@@ -105,6 +105,9 @@ type DB struct {
 	// metrics is the DB-wide registry behind MetricsSnapshot/WriteMetrics;
 	// hot-path slots are pre-resolved here and on each Stmt (see observe.go).
 	metrics *dbMetrics
+	// segs tracks the open mmap segment handles behind segment-mode tables
+	// (see storage.go): Close unmaps them, the bytes-mapped gauge sums them.
+	segs segState
 }
 
 // Open creates an empty database.
@@ -311,6 +314,21 @@ func (db *DB) TableNames() []string {
 	return out
 }
 
+// Table returns the write handle for a registered table — how rows are
+// appended to tables that were not CreateTable'd in this process (loaded
+// from CSV, generated, or attached from a segment). Segment-backed tables
+// accept appends too: new rows go to a resident tail and merge with the
+// mapped base image under snapshot isolation (the file is not modified).
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rel, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("gus: unknown table %q", name)
+	}
+	return &Table{db: db, rel: rel}, nil
+}
+
 // TableLen returns a table's cardinality.
 func (db *DB) TableLen(name string) (int, error) {
 	db.mu.RLock()
@@ -338,6 +356,7 @@ type queryOptions struct {
 	systemBlockSize int
 	workers         int
 	rowEngine       bool
+	noZoneSkip      bool
 
 	// Progressive (QueryProgressive) settings; ignored by Query.
 	targetRelCI float64
@@ -419,6 +438,15 @@ func WithMaxFraction(f float64) Option {
 func WithWaveRows(n int) Option {
 	return func(o *queryOptions) { o.waveRows = n }
 }
+
+// WithZoneSkipping enables or disables zone-map partition skipping for
+// this query (default on). When a table carries zone maps (segment-backed
+// tables always do), the fused scan kernel skips partitions whose min/max
+// statistics prove the WHERE clause false for every row. Skipping never
+// changes results — per-partition sub-seeded sampling makes a skipped
+// partition's outcome independent of every other partition — so the switch
+// exists for benchmarks and for verifying that invariant.
+func WithZoneSkipping(on bool) Option { return func(o *queryOptions) { o.noZoneSkip = !on } }
 
 // withRowEngine routes the query through the legacy row-at-a-time engine
 // and the row-major estimator — the in-tree baseline that the vectorized
@@ -502,6 +530,9 @@ type Result struct {
 	// scannedRows is the total base-table input cardinality, recorded for
 	// the metrics layer without re-walking the plan.
 	scannedRows int
+	// skippedParts is how many input partitions zone maps let the engine
+	// skip, recorded for the metrics layer.
+	skippedParts int64
 }
 
 // Query parses, plans, executes and estimates a SQL aggregate query. It
@@ -522,6 +553,10 @@ func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
 // Prepare/PrepareCached instead.
 func (db *DB) QueryContext(ctx context.Context, sql string, opts ...Option) (*Result, error) {
 	o := db.buildOptions(opts)
+	if path, ok := parseAttachSegment(sql); ok {
+		o.sql = sql
+		return db.execAttachSegment(ctx, path, o)
+	}
 	ppStart := time.Now()
 	st, hit, err := db.prepareCached(sql)
 	if err != nil {
@@ -640,6 +675,7 @@ func (db *DB) run(ctx context.Context, planned *sqlparse.Planned, o queryOptions
 	}
 	m.rowsScanned.Add(uint64(res.scannedRows))
 	m.sampleRows.Add(uint64(res.SampleRows))
+	m.partsSkipped.Add(uint64(res.skippedParts))
 	if res.scannedRows > 0 {
 		m.sampleFrac.Observe(float64(res.SampleRows) / float64(res.scannedRows))
 	}
@@ -665,7 +701,7 @@ func (db *DB) runInner(ctx context.Context, planned *sqlparse.Planned, o queryOp
 			s.Label = fmt.Sprintf("%d rewrite steps", steps)
 		})
 	}
-	eng := engine.New(engine.Config{Workers: o.workers, Context: ctx, Params: o.args, Prepared: o.prep, Trace: o.trace})
+	eng := engine.New(engine.Config{Workers: o.workers, Context: ctx, Params: o.args, Prepared: o.prep, Trace: o.trace, DisableZoneSkip: o.noZoneSkip})
 	var sample aggSample
 	if o.rowEngine {
 		rows, err := eng.ExecuteRows(planned.Root, o.seed)
@@ -693,11 +729,12 @@ func (db *DB) runInner(ctx context.Context, planned *sqlparse.Planned, o queryOp
 		}
 	})
 	res := &Result{
-		SampleRows:  sample.len(),
-		PlanText:    plan.Format(planned.Root),
-		TraceText:   analysis.FormatTrace(),
-		GUSText:     analysis.G.String(),
-		scannedRows: scanned,
+		SampleRows:   sample.len(),
+		PlanText:     plan.Format(planned.Root),
+		TraceText:    analysis.FormatTrace(),
+		GUSText:      analysis.G.String(),
+		scannedRows:  scanned,
+		skippedParts: eng.PartitionsSkipped(),
 	}
 	if planned.GroupBy != "" {
 		gsp := o.trace.Begin("group", planned.GroupBy, -1)

@@ -31,7 +31,12 @@ type Batch struct {
 	LSch   *lineage.Schema
 	Cols   []expr.Vec
 	Lin    [][]lineage.TupleID
-	rows   int
+	// Zones is the scanned relation's zone map when the batch aliases a
+	// base-relation snapshot partition-aligned with it (FromRelation), nil
+	// on every derived batch. The fused kernel uses it to skip partitions
+	// a predicate provably rejects.
+	Zones *relation.Zones
+	rows  int
 }
 
 // New assembles a batch from parts, validating slice lengths.
@@ -108,6 +113,7 @@ func FromRelation(r *relation.Relation, alias string) (*Batch, error) {
 		LSch:   ls,
 		Cols:   cols,
 		Lin:    [][]lineage.TupleID{snap.IDs},
+		Zones:  snap.Zones,
 		rows:   snap.Rows,
 	}, nil
 }

@@ -237,18 +237,19 @@ func stripGUS(n plan.Node) plan.Node {
 }
 
 func (e *Engine) execFused(c *fusedChain, seed uint64, ids map[plan.Node]uint64, node int) (*batch.Batch, error) {
-	in, smp, preds, proj, err := e.prepareChain(c, seed, ids)
+	in, smp, preds, proj, zp, err := e.prepareChain(c, seed, ids)
 	if err != nil {
 		return nil, err
 	}
 	sp := e.trace.Begin("fused", c.label(), node)
-	out, err := e.pipe(in, smp, preds, proj)
+	out, skipped, err := e.pipe(in, smp, preds, proj, zp)
 	if err != nil {
 		return nil, err
 	}
 	e.trace.End(sp, int64(in.Len()), int64(out.Len()))
 	e.trace.SetSpan(sp, func(s *obs.Span) {
 		s.Partitions = len(ops.Partitions(in.Len(), e.partSize))
+		s.Skipped = skipped
 		if smp != nil {
 			s.Fraction = smp.frac()
 		}
@@ -274,30 +275,31 @@ func (c *fusedChain) label() string {
 
 // prepareChain compiles a fused chain's stages once: the scan's columnar
 // input, the (optional) sampling stage with its node-derived sub-seed, the
-// compiled predicates and the (optional) projection. Under a prepared
-// statement the kernel compiles come from the statement's snapshot.
-func (e *Engine) prepareChain(c *fusedChain, seed uint64, ids map[plan.Node]uint64) (in *batch.Batch, smp *sampleStage, preds []*expr.VecCompiled, proj *projSpec, err error) {
+// compiled predicates, the (optional) projection, and the zone pruner the
+// predicates admit. Under a prepared statement the kernel compiles come
+// from the statement's snapshot.
+func (e *Engine) prepareChain(c *fusedChain, seed uint64, ids map[plan.Node]uint64) (in *batch.Batch, smp *sampleStage, preds []*expr.VecCompiled, proj *projSpec, zp *zonePruner, err error) {
 	in, err = batch.FromRelation(c.scan.Rel, c.scan.Alias)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 	if c.sample != nil {
 		smp, err = newSampleStage(c.sample.Method, in, mix(seed, ids[c.sample], 0))
 		if err != nil {
-			return nil, nil, nil, nil, fmt.Errorf("engine: %s: %w", c.sample.Label(), err)
+			return nil, nil, nil, nil, nil, fmt.Errorf("engine: %s: %w", c.sample.Label(), err)
 		}
 	}
 	if c.project != nil {
 		proj, err = e.newProjSpec(in.Schema, c.project.Names, c.project.Exprs)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, nil, nil, err
 		}
 	}
 	preds, err = e.compilePreds(c.preds, in.Schema)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
-	return in, smp, preds, proj, nil
+	return in, smp, preds, proj, e.newZonePruner(c.preds, in.Schema), nil
 }
 
 func (e *Engine) compilePreds(preds []expr.Expr, schema *relation.Schema) ([]*expr.VecCompiled, error) {
@@ -456,8 +458,8 @@ func (ps *projSpec) schemaFor(total int) (*relation.Schema, error) {
 // either no predicates or none evaluated yet — work on zero-copy column
 // slices (expr.Vec.Slice + EvalAll) instead of building identity
 // selection vectors and gathering.
-func (e *Engine) pipe(in *batch.Batch, smp *sampleStage, preds []*expr.VecCompiled, proj *projSpec) (*batch.Batch, error) {
-	return e.pipeWindow(in, smp, preds, proj, ops.Partitions(in.Len(), e.partSize), 0)
+func (e *Engine) pipe(in *batch.Batch, smp *sampleStage, preds []*expr.VecCompiled, proj *projSpec, zp *zonePruner) (*batch.Batch, int, error) {
+	return e.pipeWindow(in, smp, preds, proj, zp, ops.Partitions(in.Len(), e.partSize), 0)
 }
 
 // pipeWindow is pipe restricted to a window of consecutive input
@@ -467,7 +469,20 @@ func (e *Engine) pipe(in *batch.Batch, smp *sampleStage, preds []*expr.VecCompil
 // the GLOBAL partition index, so the concatenation of windowed outputs
 // over a cover of the partitions is bit-identical to one full pipe — the
 // property progressive wave execution rests on.
-func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.VecCompiled, proj *projSpec, spans []ops.Span, pBase int) (*batch.Batch, error) {
+//
+// When the input carries a zone map whose granularity matches the engine's
+// partition size, the pruner (if any) runs first per partition: a
+// partition some predicate provably rejects contributes zero rows without
+// its columns ever being touched — on an mmap-backed segment, without its
+// pages ever faulting in. Skipping is safe at any worker count and wave
+// cover because the per-partition sampling RNG is keyed on the global
+// partition index with no cross-partition state. The second return value
+// is the number of partitions skipped.
+func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.VecCompiled, proj *projSpec, zp *zonePruner, spans []ops.Span, pBase int) (*batch.Batch, int, error) {
+	zones := in.Zones
+	if zones == nil || zones.ZoneRows != e.partSize || e.noSkip {
+		zp = nil
+	}
 	n := 0
 	if len(spans) > 0 {
 		n = spans[len(spans)-1].Hi - spans[0].Lo
@@ -475,6 +490,10 @@ func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.Vec
 	sels := make([][]int32, len(spans))
 	full := make([]bool, len(spans)) // whole span survives; sels[p] unused
 	counts := make([]int, len(spans))
+	var skipped []bool
+	if zp != nil {
+		skipped = make([]bool, len(spans))
+	}
 	spanCols := func(span ops.Span) []expr.Vec {
 		cols := make([]expr.Vec, len(in.Cols))
 		for j, c := range in.Cols {
@@ -484,6 +503,10 @@ func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.Vec
 	}
 	err := e.forEach(len(spans), n, func(p int) error {
 		span := spans[p]
+		if zp != nil && zp.skip(zones, pBase+p) {
+			skipped[p] = true
+			return nil
+		}
 		// Selection vectors come from the engine's scratch pool, so
 		// steady-state execution — one-shot queries and progressive waves
 		// alike — reuses buffers instead of growing fresh ones per span.
@@ -540,7 +563,16 @@ func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.Vec
 	}
 	if err != nil {
 		releaseSels()
-		return nil, err
+		return nil, 0, err
+	}
+	nSkipped := 0
+	for _, s := range skipped {
+		if s {
+			nSkipped++
+		}
+	}
+	if nSkipped > 0 {
+		e.skipped.Add(int64(nSkipped))
 	}
 
 	offs := make([]int, len(spans)+1)
@@ -554,7 +586,7 @@ func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.Vec
 	if proj != nil {
 		if outSchema, err = proj.schemaFor(total); err != nil {
 			releaseSels()
-			return nil, err
+			return nil, 0, err
 		}
 		out = batch.Alloc(outSchema, in.LSch, total)
 	} else {
@@ -612,9 +644,9 @@ func (e *Engine) pipeWindow(in *batch.Batch, smp *sampleStage, preds []*expr.Vec
 	})
 	releaseSels()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return out, nil
+	return out, nSkipped, nil
 }
 
 // copyVec copies a dense kernel result into an output column at offset.
@@ -650,7 +682,8 @@ func (e *Engine) execSelectB(in *batch.Batch, pred expr.Expr) (*batch.Batch, err
 	if err != nil {
 		return nil, fmt.Errorf("engine: select: %w", err)
 	}
-	return e.pipe(in, nil, []*expr.VecCompiled{c}, nil)
+	out, _, err := e.pipe(in, nil, []*expr.VecCompiled{c}, nil, e.newZonePruner([]expr.Expr{pred}, in.Schema))
+	return out, err
 }
 
 func (e *Engine) execProjectB(in *batch.Batch, names []string, exprs []expr.Expr) (*batch.Batch, error) {
@@ -658,7 +691,8 @@ func (e *Engine) execProjectB(in *batch.Batch, names []string, exprs []expr.Expr
 	if err != nil {
 		return nil, err
 	}
-	return e.pipe(in, nil, nil, ps)
+	out, _, err := e.pipe(in, nil, nil, ps, nil)
+	return out, err
 }
 
 // execSampleB runs one sampling operator columnar. Bernoulli, SYSTEM and
@@ -673,7 +707,8 @@ func (e *Engine) execSampleB(t *plan.Sample, in *batch.Batch, sub uint64) (*batc
 		if err != nil {
 			return nil, err
 		}
-		return e.pipe(in, smp, nil, nil)
+		out, _, err := e.pipe(in, smp, nil, nil, nil)
+		return out, err
 	case *sampling.WOR:
 		return e.sampleWORB(in, m, sub)
 	default:

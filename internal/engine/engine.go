@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"github.com/sampling-algebra/gus/internal/expr"
 	"github.com/sampling-algebra/gus/internal/obs"
@@ -67,6 +68,10 @@ type Config struct {
 	// rows in/out, partitions, sampling fractions). Nil — the default —
 	// costs one pointer test per stage.
 	Trace *obs.Trace
+	// DisableZoneSkip turns off zone-map partition skipping in the fused
+	// kernel. Skipping never changes results (that is test-enforced);
+	// the switch exists for bit-identity tests, benchmarks and debugging.
+	DisableZoneSkip bool
 }
 
 // Engine executes query plans in parallel. It is stateless between calls
@@ -81,6 +86,8 @@ type Engine struct {
 	kinds    []relation.Kind // bound kinds, part of the kernel-cache key
 	prep     *Prepared
 	trace    *obs.Trace
+	noSkip   bool
+	skipped  atomic.Int64 // partitions zone-skipped across this engine's executions
 }
 
 // New builds an Engine from cfg, applying defaults.
@@ -97,7 +104,7 @@ func New(cfg Config) *Engine {
 	if cut <= 0 {
 		cut = 2 * ps
 	}
-	e := &Engine{workers: w, partSize: ps, cutoff: cut, ctx: cfg.Context, params: cfg.Params, prep: cfg.Prepared, trace: cfg.Trace}
+	e := &Engine{workers: w, partSize: ps, cutoff: cut, ctx: cfg.Context, params: cfg.Params, prep: cfg.Prepared, trace: cfg.Trace, noSkip: cfg.DisableZoneSkip}
 	if len(cfg.Params) > 0 {
 		e.binds = make([]expr.Vec, len(cfg.Params))
 		e.kinds = make([]relation.Kind, len(cfg.Params))
@@ -127,6 +134,12 @@ func (e *Engine) compileScalar(x expr.Expr, schema *relation.Schema) (expr.Compi
 
 // Workers reports the configured worker-pool width.
 func (e *Engine) Workers() int { return e.workers }
+
+// PartitionsSkipped reports how many input partitions zone maps allowed
+// the fused kernel to skip, accumulated across this engine's executions
+// (one-shot queries build one engine per run; progressive waves keep one
+// engine per stream, so the count accumulates over waves).
+func (e *Engine) PartitionsSkipped() int64 { return e.skipped.Load() }
 
 // Execute runs the plan and returns the result rows with their lineage.
 // seed drives all sampling decisions; the same (plan, seed) yields the

@@ -34,6 +34,7 @@ type WaveExec struct {
 	smp   *sampleStage
 	preds []*expr.VecCompiled
 	proj  *projSpec
+	zp    *zonePruner
 	alias string
 }
 
@@ -55,7 +56,7 @@ func (e *Engine) PrepareWaves(root plan.Node, seed uint64) (*WaveExec, error) {
 		}
 		c = &fusedChain{scan: s}
 	}
-	in, smp, preds, proj, err := e.prepareChain(c, seed, ids)
+	in, smp, preds, proj, zp, err := e.prepareChain(c, seed, ids)
 	if err != nil {
 		return nil, err
 	}
@@ -70,6 +71,7 @@ func (e *Engine) PrepareWaves(root plan.Node, seed uint64) (*WaveExec, error) {
 		smp:   smp,
 		preds: preds,
 		proj:  proj,
+		zp:    zp,
 		alias: alias,
 	}, nil
 }
@@ -115,5 +117,6 @@ func (w *WaveExec) ExecuteWave(pLo, pHi int) (*batch.Batch, error) {
 	if pLo < 0 || pHi < pLo || pHi > len(w.spans) {
 		return nil, fmt.Errorf("engine: wave [%d,%d) outside [0,%d)", pLo, pHi, len(w.spans))
 	}
-	return w.e.pipeWindow(w.in, w.smp, w.preds, w.proj, w.spans[pLo:pHi], pLo)
+	out, _, err := w.e.pipeWindow(w.in, w.smp, w.preds, w.proj, w.zp, w.spans[pLo:pHi], pLo)
+	return out, err
 }

@@ -1,0 +1,275 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/ops"
+	"github.com/sampling-algebra/gus/internal/plan"
+	"github.com/sampling-algebra/gus/internal/relation"
+	"github.com/sampling-algebra/gus/internal/sampling"
+)
+
+// zoneRel builds a relation whose int column k ascends 0..n-1 (so zone
+// maps are maximally selective), v = k/2.0 with NaN planted in a few
+// partitions, and a low-cardinality string tag.
+func zoneRel(t testing.TB, n int) *relation.Relation {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "k", Kind: relation.KindInt},
+		relation.Column{Name: "v", Kind: relation.KindFloat},
+		relation.Column{Name: "tag", Kind: relation.KindString},
+	)
+	r := relation.MustNew("zr", schema)
+	tags := []string{"a", "b", "c"}
+	for i := 0; i < n; i++ {
+		v := float64(i) / 2
+		if i%9000 == 17 {
+			v = math.NaN()
+		}
+		r.MustAppend(relation.Int(int64(i)), relation.Float(v), relation.String_(tags[i%3]))
+	}
+	return r
+}
+
+// zonePlans are fused shapes whose predicates exercise the pruner: range
+// cuts that prune most partitions, NOT over a NaN-bearing float column
+// (the case a naive pruner gets wrong), arithmetic, parameters, and
+// sampling above and below the predicate.
+func zonePlans(rel *relation.Relation) map[string]plan.Node {
+	scan := func() plan.Node { return &plan.Scan{Rel: rel} }
+	bern, _ := sampling.NewBernoulli("zr", 0.25)
+	return map[string]plan.Node{
+		"range-low": &plan.Select{Input: scan(), Pred: expr.Lt(expr.Col("k"), expr.Int(3000))},
+		"range-high": &plan.Select{
+			Input: scan(),
+			Pred:  expr.Bin(expr.OpGe, expr.Col("k"), expr.Int(int64(rel.Len()-100))),
+		},
+		"range-none": &plan.Select{Input: scan(), Pred: expr.Gt(expr.Col("k"), expr.Int(int64(rel.Len())))},
+		"not-over-nan": &plan.Select{
+			Input: scan(),
+			Pred:  expr.Not{X: expr.Bin(expr.OpLe, expr.Col("v"), expr.Float(1e9))},
+		},
+		"arith": &plan.Select{
+			Input: scan(),
+			Pred:  expr.Lt(expr.Mul(expr.Col("k"), expr.Int(2)), expr.Int(5000)),
+		},
+		"and-or": &plan.Select{
+			Input: scan(),
+			Pred: expr.Or(
+				expr.And(expr.Lt(expr.Col("k"), expr.Int(2000)), expr.Gt(expr.Col("v"), expr.Float(10))),
+				expr.Gt(expr.Col("k"), expr.Int(int64(rel.Len()-50)))),
+		},
+		"string-no-stats": &plan.Select{Input: scan(), Pred: expr.Eq(expr.Col("tag"), expr.Str("b"))},
+		"sample-select-project": &plan.Project{
+			Input: &plan.Select{
+				Input: &plan.Sample{Input: scan(), Method: bern},
+				Pred:  expr.Lt(expr.Col("k"), expr.Int(6000)),
+			},
+			Names: []string{"kk", "w"},
+			Exprs: []expr.Expr{expr.Col("k"), expr.Mul(expr.Col("v"), expr.Float(2))},
+		},
+		"param": &plan.Select{Input: scan(), Pred: expr.Lt(expr.Col("k"), expr.Param(0))},
+	}
+}
+
+// sameRowsNaN is sameRows with NaN-tolerant value comparison: rows are
+// rendered to strings, so bit-equal NaNs count as identical (the engine is
+// deterministic; float == is not the right equality for it).
+func sameRowsNaN(t *testing.T, label string, want, got *ops.Rows) {
+	t.Helper()
+	if len(want.Data) != len(got.Data) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got.Data), len(want.Data))
+	}
+	for i := range want.Data {
+		w := fmt.Sprint(want.Data[i].Lin, want.Data[i].Vals)
+		g := fmt.Sprint(got.Data[i].Lin, got.Data[i].Vals)
+		if w != g {
+			t.Fatalf("%s: row %d differs:\nwant %s\ngot  %s", label, i, w, g)
+		}
+	}
+}
+
+// TestZoneSkipBitIdentity is the skipping safety contract: for every plan,
+// seed and worker count, execution with zone-map skipping enabled must be
+// bit-identical to execution with it disabled.
+func TestZoneSkipBitIdentity(t *testing.T) {
+	rel := zoneRel(t, 10*relation.DefaultZoneRows)
+	params := []relation.Value{relation.Int(1234)}
+	for name, p := range zonePlans(rel) {
+		for _, seed := range []uint64{1, 7} {
+			ref := New(Config{Workers: 1, DisableZoneSkip: true, Params: params})
+			want, err := ref.ExecuteBatch(p, seed)
+			if err != nil {
+				t.Fatalf("%s: reference: %v", name, err)
+			}
+			if n := ref.PartitionsSkipped(); n != 0 {
+				t.Fatalf("%s: DisableZoneSkip still skipped %d partitions", name, n)
+			}
+			for _, w := range []int{1, 4, 13} {
+				eng := New(Config{Workers: w, Params: params})
+				got, err := eng.ExecuteBatch(p, seed)
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", name, w, err)
+				}
+				sameRowsNaN(t, fmt.Sprintf("%s seed=%d workers=%d", name, seed, w), want.ToRows(), got.ToRows())
+			}
+		}
+	}
+}
+
+// TestZoneSkipActuallySkips pins down that the pruner fires where it
+// should — a bit-identity suite alone would pass with a pruner that never
+// skips anything.
+func TestZoneSkipActuallySkips(t *testing.T) {
+	rel := zoneRel(t, 10*relation.DefaultZoneRows)
+	plans := zonePlans(rel)
+	cases := []struct {
+		name     string
+		min, max int64 // expected skipped-partition bounds (10 total)
+	}{
+		{"range-low", 9, 9},       // only partition 0 holds k < 3000
+		{"range-high", 9, 9},      // only the last partition survives
+		{"range-none", 10, 10},    // nothing matches anywhere
+		{"arith", 9, 9},           // 2k < 5000 ⇒ k < 2500 ⇒ partition 0
+		{"and-or", 8, 8},          // first and last partitions survive
+		{"string-no-stats", 0, 0}, // no string zone stats, never skips
+		{"not-over-nan", 5, 5},    // 5 NaN-free partitions prune; 5 NaN ones must not
+		{"sample-select-project", 8, 8},
+		{"param", 9, 9}, // bound 1234 ⇒ partition 0 only
+	}
+	params := []relation.Value{relation.Int(1234)}
+	for _, tc := range cases {
+		eng := New(Config{Workers: 4, Params: params})
+		if _, err := eng.ExecuteBatch(plans[tc.name], 1); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if n := eng.PartitionsSkipped(); n < tc.min || n > tc.max {
+			t.Errorf("%s: skipped %d partitions, want [%d,%d]", tc.name, n, tc.min, tc.max)
+		}
+	}
+}
+
+// TestZoneSkipWaves: progressive wave execution with skipping on must
+// concatenate to the one-shot skipping-off result, wave by wave, at any
+// worker count — skipping is keyed on GLOBAL partition indices.
+func TestZoneSkipWaves(t *testing.T) {
+	rel := zoneRel(t, 10*relation.DefaultZoneRows)
+	for name, p := range zonePlans(rel) {
+		if name == "param" {
+			continue // params covered by the one-shot suite
+		}
+		ref := New(Config{Workers: 1, DisableZoneSkip: true})
+		want, err := ref.ExecuteBatch(p, 42)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", name, err)
+		}
+		for _, w := range []int{1, 4} {
+			eng := New(Config{Workers: w})
+			wx, err := eng.PrepareWaves(p, 42)
+			if err != nil {
+				t.Fatalf("%s: PrepareWaves: %v", name, err)
+			}
+			if wx == nil {
+				t.Fatalf("%s: plan did not prepare for waves", name)
+			}
+			var rows []string
+			for lo := 0; lo < wx.Partitions(); lo += 3 {
+				hi := lo + 3
+				if hi > wx.Partitions() {
+					hi = wx.Partitions()
+				}
+				b, err := wx.ExecuteWave(lo, hi)
+				if err != nil {
+					t.Fatalf("%s wave [%d,%d): %v", name, lo, hi, err)
+				}
+				r := b.ToRows()
+				for _, row := range r.Data {
+					rows = append(rows, fmt.Sprint(row.Lin, row.Vals))
+				}
+			}
+			wantRows := want.ToRows()
+			if len(rows) != len(wantRows.Data) {
+				t.Fatalf("%s workers=%d: %d wave rows, want %d", name, w, len(rows), len(wantRows.Data))
+			}
+			for i, row := range wantRows.Data {
+				if rows[i] != fmt.Sprint(row.Lin, row.Vals) {
+					t.Fatalf("%s workers=%d: row %d differs: %s vs %s", name, w, i, rows[i], fmt.Sprint(row.Lin, row.Vals))
+				}
+			}
+		}
+	}
+}
+
+// TestZonePrunerConservative covers the pruner's "unknown never prunes"
+// rules directly: NaN zones, huge integers, division through zero, and
+// zone/partition-size mismatch.
+func TestZonePrunerConservative(t *testing.T) {
+	e := New(Config{})
+	schema := relation.MustSchema(
+		relation.Column{Name: "i", Kind: relation.KindInt},
+		relation.Column{Name: "f", Kind: relation.KindFloat},
+	)
+	mkZones := func(z ...relation.Zone) *relation.Zones {
+		return &relation.Zones{ZoneRows: relation.DefaultZoneRows, NCols: 2, Z: z}
+	}
+	okZ := relation.Zone{MinI: 0, MaxI: 100}
+	fZ := relation.Zone{MinF: 0, MaxF: 100}
+
+	cases := []struct {
+		name string
+		pred expr.Expr
+		z    *relation.Zones
+		skip bool
+	}{
+		{"provably false", expr.Gt(expr.Col("i"), expr.Int(1000)), mkZones(okZ, fZ), true},
+		{"maybe true", expr.Gt(expr.Col("i"), expr.Int(50)), mkZones(okZ, fZ), false},
+		{"nan zone never prunes", expr.Gt(expr.Col("f"), expr.Float(1e9)),
+			mkZones(okZ, relation.Zone{MinF: 0, MaxF: 100, Flags: relation.ZoneHasNaN}), false},
+		{"no-stats zone never prunes", expr.Gt(expr.Col("f"), expr.Float(1e9)),
+			mkZones(okZ, relation.Zone{Flags: relation.ZoneNoStats}), false},
+		{"huge ints never prune", expr.Gt(expr.Col("i"), expr.Int(10)),
+			mkZones(relation.Zone{MinI: 1 << 60, MaxI: 1 << 61}, fZ), false},
+		{"div through zero never prunes",
+			expr.Gt(expr.Div(expr.Int(1), expr.Col("f")), expr.Float(1e9)),
+			mkZones(okZ, relation.Zone{MinF: -1, MaxF: 1}), false},
+		{"not flips to skip", expr.Not{X: expr.Bin(expr.OpLe, expr.Col("i"), expr.Int(1000))},
+			mkZones(okZ, fZ), true},
+		{"int div truncation", // 7/2*2 = 6 (int div), not 7: 6 = 6 must stay maybe-true
+			expr.Eq(expr.Mul(expr.Div(expr.Col("i"), expr.Int(2)), expr.Int(2)), expr.Col("i")),
+			mkZones(relation.Zone{MinI: 7, MaxI: 7}, fZ), false},
+	}
+	for _, tc := range cases {
+		zp := e.newZonePruner([]expr.Expr{tc.pred}, schema)
+		if zp == nil {
+			t.Fatalf("%s: nil pruner", tc.name)
+		}
+		if got := zp.skip(tc.z, 0); got != tc.skip {
+			t.Errorf("%s: skip = %v, want %v", tc.name, got, tc.skip)
+		}
+	}
+}
+
+// TestZoneSkipGranularityGuard: an engine whose partition size differs
+// from the zone granularity must never skip — spans and zones would not
+// line up.
+func TestZoneSkipGranularityGuard(t *testing.T) {
+	rel := zoneRel(t, 2*relation.DefaultZoneRows)
+	p := &plan.Select{Input: &plan.Scan{Rel: rel}, Pred: expr.Lt(expr.Col("k"), expr.Int(10))}
+	eng := New(Config{Workers: 2, PartitionSize: 100})
+	ref := New(Config{Workers: 1, PartitionSize: 100, DisableZoneSkip: true})
+	want, err := ref.ExecuteBatch(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.ExecuteBatch(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := eng.PartitionsSkipped(); n != 0 {
+		t.Fatalf("mismatched granularity skipped %d partitions", n)
+	}
+	sameRows(t, "granularity-guard", want.ToRows(), got.ToRows())
+}

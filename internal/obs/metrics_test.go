@@ -33,14 +33,14 @@ func TestCounterGauge(t *testing.T) {
 // lands in the next.
 func TestHistogramBoundaries(t *testing.T) {
 	h := NewHistogram([]float64{1, 2, 4})
-	h.Observe(0)                          // ≤ 1
-	h.Observe(1)                          // ≤ 1 (on the bound)
-	h.Observe(math.Nextafter(1, 2))       // ≤ 2
-	h.Observe(2)                          // ≤ 2
-	h.Observe(3.5)                        // ≤ 4
-	h.Observe(4)                          // ≤ 4
-	h.Observe(math.Nextafter(4, 5))       // overflow (+Inf)
-	h.Observe(1e9)                        // overflow
+	h.Observe(0)                    // ≤ 1
+	h.Observe(1)                    // ≤ 1 (on the bound)
+	h.Observe(math.Nextafter(1, 2)) // ≤ 2
+	h.Observe(2)                    // ≤ 2
+	h.Observe(3.5)                  // ≤ 4
+	h.Observe(4)                    // ≤ 4
+	h.Observe(math.Nextafter(4, 5)) // overflow (+Inf)
+	h.Observe(1e9)                  // overflow
 	bounds, cum, total := h.Buckets()
 	if want := []float64{1, 2, 4}; len(bounds) != len(want) {
 		t.Fatalf("bounds = %v", bounds)

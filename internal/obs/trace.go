@@ -41,6 +41,9 @@ type Span struct {
 	// Partitions is the number of morsel partitions the stage touched (0
 	// when not partitioned).
 	Partitions int `json:"partitions,omitempty"`
+	// Skipped is the number of those partitions zone maps let the fused
+	// kernel skip without touching their rows.
+	Skipped int `json:"skipped,omitempty"`
 	// Fraction is the effective sampling fraction a sample stage applied
 	// (0 when the stage does not sample).
 	Fraction float64 `json:"fraction,omitempty"`
@@ -254,6 +257,9 @@ func (t *Trace) Format() string {
 			}
 			if s.Partitions > 0 {
 				fmt.Fprintf(&b, " partitions=%d", s.Partitions)
+			}
+			if s.Skipped > 0 {
+				fmt.Fprintf(&b, " skipped=%d", s.Skipped)
 			}
 			if s.Fraction > 0 {
 				fmt.Fprintf(&b, " fraction=%.4g", s.Fraction)

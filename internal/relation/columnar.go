@@ -23,11 +23,16 @@ type ColumnSlice struct {
 
 // Snapshot is a columnar image of a relation: per-column typed slices plus
 // the parallel lineage-ID column. It is immutable; readers must not write
-// through its slices.
+// through its slices (which may alias memory-mapped segment files).
 type Snapshot struct {
 	Cols []ColumnSlice
 	IDs  []lineage.TupleID
 	Rows int
+	// Zones is the per-partition zone map (min/max/null-count per column
+	// at DefaultZoneRows granularity), built once with the snapshot or
+	// loaded from a segment footer. The engine uses it to skip partitions
+	// a predicate provably rejects; nil disables skipping.
+	Zones *Zones
 }
 
 // Snapshot returns the relation's columnar image, building and caching it
@@ -45,7 +50,11 @@ func (r *Relation) Snapshot() *Snapshot {
 }
 
 func (r *Relation) buildSnapshot() *Snapshot {
-	n := len(r.rows)
+	if r.base != nil && len(r.rows) == 0 {
+		return r.base
+	}
+	nb := r.baseRows()
+	n := nb + len(r.rows)
 	s := &Snapshot{Cols: make([]ColumnSlice, r.schema.Len()), Rows: n}
 	for j := range s.Cols {
 		kind := r.schema.Col(j).Kind
@@ -53,31 +62,50 @@ func (r *Relation) buildSnapshot() *Snapshot {
 		switch kind {
 		case KindInt:
 			col := make([]int64, n)
+			if nb > 0 {
+				copy(col, r.base.Cols[j].Ints)
+			}
 			for i, row := range r.rows {
-				col[i] = row[j].i
+				col[nb+i] = row[j].i
 			}
 			s.Cols[j].Ints = col
 		case KindFloat:
 			col := make([]float64, n)
+			if nb > 0 {
+				copy(col, r.base.Cols[j].Floats)
+			}
 			for i, row := range r.rows {
-				col[i] = row[j].f
+				col[nb+i] = row[j].f
 			}
 			s.Cols[j].Floats = col
 		default:
 			col := make([]string, n)
+			if nb > 0 {
+				copy(col, r.base.Cols[j].Strs)
+			}
 			for i, row := range r.rows {
-				col[i] = row[j].s
+				col[nb+i] = row[j].s
 			}
 			s.Cols[j].Strs = col
 			s.Cols[j].Codes, s.Cols[j].Dict = encodeDict(col)
 		}
 	}
-	s.IDs = append([]lineage.TupleID(nil), r.ids...)
+	ids := make([]lineage.TupleID, n)
+	if nb > 0 {
+		copy(ids, r.base.IDs)
+	}
+	copy(ids[nb:], r.ids)
+	s.IDs = ids
+	s.Zones = BuildZones(s.Cols, n, DefaultZoneRows)
 	return s
 }
 
-// encodeDict dictionary-encodes a string column: codes in row order, the
+// EncodeDict dictionary-encodes a string column: codes in row order, the
 // dictionary in first-appearance order, one StringHash per distinct value.
+// Snapshots call it internally; the segment writer uses it to encode
+// columns that arrive without a dictionary.
+func EncodeDict(col []string) ([]int32, *StrDict) { return encodeDict(col) }
+
 func encodeDict(col []string) ([]int32, *StrDict) {
 	codes := make([]int32, len(col))
 	d := &StrDict{}

@@ -25,9 +25,9 @@ func (r *Relation) WriteCSV(w io.Writer) error {
 		return err
 	}
 	rec := make([]string, r.schema.Len()+1)
-	for i, row := range r.rows {
-		rec[0] = strconv.FormatUint(uint64(r.ids[i]), 10)
-		for j, v := range row {
+	for i, n := 0, r.Len(); i < n; i++ {
+		rec[0] = strconv.FormatUint(uint64(r.ID(i)), 10)
+		for j, v := range r.Row(i) {
 			rec[j+1] = v.AsString()
 		}
 		if err := cw.Write(rec); err != nil {

@@ -83,13 +83,27 @@ type Tuple []Value
 // Clone returns an independent copy of the tuple.
 func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
 
+// Storage modes a Relation reports through StorageMode.
+const (
+	StorageResident = "resident"
+	StorageSegment  = "segment"
+)
+
 // Relation is a named, materialized base relation. Every tuple carries a
 // lineage.TupleID unique within the relation — the paper's §6.2 lineage:
 // row IDs if the engine has them, otherwise an injective encoding of the
 // primary key.
+//
+// Storage is an optional immutable columnar base image (a sealed segment,
+// typically mmap-backed) plus an append-only resident tail; pure-resident
+// relations simply have no base. Reads go through the merged Snapshot;
+// appends land in the tail and invalidate the cached merge, so in-flight
+// readers keep the snapshot they started with (snapshot isolation).
 type Relation struct {
 	name   string
 	schema *Schema
+	base   *Snapshot // immutable columnar base (nil for pure-resident)
+	mode   string    // StorageResident or StorageSegment
 	ids    []lineage.TupleID
 	rows   []Tuple
 	nextID lineage.TupleID
@@ -101,8 +115,47 @@ func New(name string, schema *Schema) (*Relation, error) {
 	if name == "" {
 		return nil, fmt.Errorf("relation: empty relation name")
 	}
-	return &Relation{name: name, schema: schema, nextID: 1}, nil
+	return &Relation{name: name, schema: schema, mode: StorageResident, nextID: 1}, nil
 }
+
+// FromSnapshot creates a relation whose storage starts from an immutable
+// columnar base image — how segment-backed tables come to life. snap's
+// column count and kinds must match schema; its slices are aliased, never
+// copied (they may point into mapped memory). Appends still work: they go
+// to the resident tail, and the next Snapshot() merges base and tail.
+func FromSnapshot(name string, schema *Schema, snap *Snapshot, mode string) (*Relation, error) {
+	r, err := New(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	if len(snap.Cols) != schema.Len() {
+		return nil, fmt.Errorf("relation %s: snapshot has %d columns, schema has %d", name, len(snap.Cols), schema.Len())
+	}
+	for j, c := range snap.Cols {
+		if c.Kind != schema.Col(j).Kind {
+			return nil, fmt.Errorf("relation %s: column %s is %s in snapshot, %s in schema",
+				name, schema.Col(j).Name, c.Kind, schema.Col(j).Kind)
+		}
+	}
+	if len(snap.IDs) != snap.Rows {
+		return nil, fmt.Errorf("relation %s: snapshot has %d lineage IDs for %d rows", name, len(snap.IDs), snap.Rows)
+	}
+	if mode != "" {
+		r.mode = mode
+	}
+	r.base = snap
+	for _, id := range snap.IDs {
+		if id >= r.nextID {
+			r.nextID = id + 1
+		}
+	}
+	r.snap.Store(snap)
+	return r, nil
+}
+
+// StorageMode reports where the relation's base image lives:
+// StorageResident (Go heap) or StorageSegment (on-disk mmap segment).
+func (r *Relation) StorageMode() string { return r.mode }
 
 // MustNew is New that panics on error.
 func MustNew(name string, schema *Schema) *Relation {
@@ -120,13 +173,51 @@ func (r *Relation) Name() string { return r.name }
 func (r *Relation) Schema() *Schema { return r.schema }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.rows) }
+func (r *Relation) Len() int {
+	n := len(r.rows)
+	if r.base != nil {
+		n += r.base.Rows
+	}
+	return n
+}
 
-// Row returns tuple i (shared storage; treat as read-only).
-func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+// baseRows returns the number of tuples stored in the columnar base.
+func (r *Relation) baseRows() int {
+	if r.base == nil {
+		return 0
+	}
+	return r.base.Rows
+}
+
+// Row returns tuple i (shared storage; treat as read-only). Rows living
+// in a columnar base are boxed on access — the row-at-a-time engine path
+// is the legacy baseline; the columnar path reads the flat arrays.
+func (r *Relation) Row(i int) Tuple {
+	nb := r.baseRows()
+	if i >= nb {
+		return r.rows[i-nb]
+	}
+	t := make(Tuple, len(r.base.Cols))
+	for j, c := range r.base.Cols {
+		switch c.Kind {
+		case KindInt:
+			t[j] = Int(c.Ints[i])
+		case KindFloat:
+			t[j] = Float(c.Floats[i])
+		default:
+			t[j] = String_(c.Strs[i])
+		}
+	}
+	return t
+}
 
 // ID returns the lineage ID of tuple i.
-func (r *Relation) ID(i int) lineage.TupleID { return r.ids[i] }
+func (r *Relation) ID(i int) lineage.TupleID {
+	if nb := r.baseRows(); i < nb {
+		return r.base.IDs[i]
+	}
+	return r.ids[i-r.baseRows()]
+}
 
 // Append adds a tuple with an automatically assigned sequential ID.
 func (r *Relation) Append(t Tuple) error {
@@ -168,8 +259,10 @@ func (r *Relation) MustAppend(vals ...Value) {
 // Validate checks the invariants that the estimator relies on, most
 // importantly that lineage IDs are unique within the relation.
 func (r *Relation) Validate() error {
-	seen := make(map[lineage.TupleID]struct{}, len(r.ids))
-	for i, id := range r.ids {
+	n := r.Len()
+	seen := make(map[lineage.TupleID]struct{}, n)
+	for i := 0; i < n; i++ {
+		id := r.ID(i)
 		if _, dup := seen[id]; dup {
 			return fmt.Errorf("relation %s: duplicate lineage ID %d at row %d", r.name, id, i)
 		}
@@ -186,8 +279,8 @@ func (r *Relation) SumFloat(col string) (float64, error) {
 		return 0, fmt.Errorf("relation %s: no column %q", r.name, col)
 	}
 	var sum float64
-	for _, row := range r.rows {
-		f, err := row[idx].AsFloat()
+	for i, n := 0, r.Len(); i < n; i++ {
+		f, err := r.Row(i)[idx].AsFloat()
 		if err != nil {
 			return 0, fmt.Errorf("relation %s: %v", r.name, err)
 		}

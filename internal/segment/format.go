@@ -1,0 +1,85 @@
+// Package segment implements the persistent columnar storage format: one
+// append-only file per table holding the relation's dictionary-encoded
+// columnar snapshot (typed flat columns, int32 string codes with
+// precomputed hashes, lineage IDs) partitioned exactly as the engine
+// partitions it, plus a footer of per-partition zone maps (min/max/null
+// count per column) and a checksummed schema header.
+//
+// Layout (all integers little-endian, every section 8-byte aligned):
+//
+//	header   magic "GUSSEG1\n" · u32 version · u32 headerLen ·
+//	         headerBody{u64 rows · u32 zoneRows · u32 ncols ·
+//	         (u16 nameLen · name · u8 kind)*} · u32 crc32(headerBody)
+//	columns  int/float: rows×8B values
+//	         string:    u64 dictN · u64 blobLen · (dictN+1)×u32 offsets ·
+//	                    blob · dictN×8B hashes · rows×4B codes
+//	ids      rows×8B lineage IDs
+//	footer   parts×ncols zone entries
+//	         {i64 min · i64 max · f64 min · f64 max · u32 nulls · u32 flags}
+//	trailer  u64 footerOff · u64 footerLen · u32 crc32(footer) ·
+//	         u32 version · tail magic "\nGESSUG1"
+//
+// A reader validates both checksums, the magics, and that the section
+// layout derived from the header lands exactly on the file length —
+// truncated, torn or mismatched files yield a typed *CorruptError (file +
+// offset), never a panic or a silently short table. Column sections are
+// deliberately NOT checksummed: verifying them would read every byte and
+// forfeit the O(1) mmap cold open; the layout check plus mmap's
+// page-granular integrity is the trade this format makes.
+//
+// On-disk column data is memory-mapped at open and aliased zero-copy by
+// the engine's expr.Vec columns (numeric values, string codes, dictionary
+// hashes, lineage IDs). Only the per-row []string headers and the small
+// dictionary are materialized on the heap; string bytes stay mapped.
+package segment
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	headMagic = "GUSSEG1\n"
+	tailMagic = "\nGESSUG1"
+
+	// Version is the current format version; files written by a newer or
+	// older incompatible build are rejected with a CorruptError.
+	Version = 1
+
+	// Ext is the conventional file extension for segment files.
+	Ext = ".gusseg"
+
+	zoneEntrySize = 40
+	trailerSize   = 32
+	maxHeaderLen  = 1 << 20 // schema blobs beyond 1MiB are implausible
+)
+
+// ErrCorrupt is the sentinel every *CorruptError matches via errors.Is:
+// the file is not a well-formed segment of the supported version.
+var ErrCorrupt = errors.New("corrupt segment")
+
+// CorruptError describes exactly where a segment file failed validation.
+type CorruptError struct {
+	// Path is the offending file ("<memory>" when decoding a raw buffer).
+	Path string
+	// Offset is the byte offset the problem was detected at.
+	Offset int64
+	// Reason says what was expected and what was found.
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("segment %s: offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// Is matches ErrCorrupt, so errors.Is(err, segment.ErrCorrupt) (or the
+// gus.ErrCorruptSegment re-export) detects any corruption reason.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+func corrupt(path string, off int64, format string, args ...any) error {
+	return &CorruptError{Path: path, Offset: off, Reason: fmt.Sprintf(format, args...)}
+}
+
+// pad8 returns the number of zero bytes needed to 8-align n.
+func pad8(n int64) int64 { return (8 - n&7) & 7 }

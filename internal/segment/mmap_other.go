@@ -1,0 +1,18 @@
+//go:build !unix
+
+package segment
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without syscall.Mmap falls back to reading the whole
+// file into the heap. Semantics are identical to the mapped path; only the
+// zero-copy cold-open property is lost.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	data, err = io.ReadAll(f)
+	return data, false, err
+}
+
+func unmapFile(data []byte) error { return nil }

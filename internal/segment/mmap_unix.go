@@ -1,0 +1,24 @@
+//go:build unix
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only. The returned slice aliases the page cache —
+// opening a cold segment costs no data copies and no read syscalls; pages
+// fault in as the engine touches them.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,72 @@
+package segment
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/sampling-algebra/gus/internal/relation"
+)
+
+// Table is an open segment file: the decoded relation plus the memory
+// mapping its columns alias. The relation stays valid until Close.
+type Table struct {
+	Rel    *relation.Relation
+	Path   string
+	data   []byte
+	mapped bool
+}
+
+// Open maps the segment file at path and decodes it into a relation named
+// name. Column data is aliased from the mapping zero-copy; Open reads and
+// verifies only the header and the zone-map footer, so opening is O(schema
+// + zones), not O(rows). A malformed file yields a *CorruptError
+// (errors.Is(err, ErrCorrupt)), never a panic.
+func Open(name, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return nil, corrupt(path, 0, "empty file")
+	}
+	data, mapped, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("segment %s: mmap: %w", path, err)
+	}
+	rel, err := Decode(name, path, data)
+	if err != nil {
+		if mapped {
+			unmapFile(data)
+		}
+		return nil, err
+	}
+	return &Table{Rel: rel, Path: path, data: data, mapped: mapped}, nil
+}
+
+// BytesMapped reports the size of the live memory mapping backing the
+// table's columns (0 when the read-into-heap fallback was used).
+func (t *Table) BytesMapped() int64 {
+	if !t.mapped {
+		return 0
+	}
+	return int64(len(t.data))
+}
+
+// Close releases the mapping. The relation (and anything still aliasing its
+// snapshot — batches, result vectors) must not be used afterwards.
+func (t *Table) Close() error {
+	if t.data == nil {
+		return nil
+	}
+	data, mapped := t.data, t.mapped
+	t.data, t.mapped, t.Rel = nil, false, nil
+	if mapped {
+		return unmapFile(data)
+	}
+	return nil
+}

@@ -66,14 +66,15 @@ type shapeMetrics struct {
 type dbMetrics struct {
 	reg *obs.Registry
 
-	queriesOK   *obs.Counter
-	queriesErr  *obs.Counter
-	inFlight    *obs.Gauge
-	rowsScanned *obs.Counter
-	sampleRows  *obs.Counter
-	sampleFrac  *obs.Histogram
-	querySecs   *obs.Histogram
-	stopReasons *obs.CounterVec
+	queriesOK    *obs.Counter
+	queriesErr   *obs.Counter
+	inFlight     *obs.Gauge
+	rowsScanned  *obs.Counter
+	sampleRows   *obs.Counter
+	partsSkipped *obs.Counter
+	sampleFrac   *obs.Histogram
+	querySecs    *obs.Histogram
+	stopReasons  *obs.CounterVec
 
 	shapeQueries *obs.CounterVec
 	shapeErrors  *obs.CounterVec
@@ -91,6 +92,7 @@ func newDBMetrics(db *DB) *dbMetrics {
 		inFlight:     reg.Gauge("gus_in_flight_queries", "Queries currently executing."),
 		rowsScanned:  reg.Counter("gus_rows_scanned_total", "Base-table input rows read by completed queries."),
 		sampleRows:   reg.Counter("gus_sample_rows_total", "Sample tuples produced by completed queries."),
+		partsSkipped: reg.Counter("gus_partitions_skipped_total", "Input partitions zone maps let completed queries skip."),
 		sampleFrac:   reg.Histogram("gus_sample_fraction", "Sample rows over input rows per completed query.", obs.FractionBuckets),
 		querySecs:    reg.Histogram("gus_query_seconds", "Query latency in seconds.", obs.LatencyBuckets),
 		stopReasons:  reg.CounterVec("gus_progressive_stop_total", "Progressive streams by stop reason.", "reason"),
@@ -110,6 +112,9 @@ func newDBMetrics(db *DB) *dbMetrics {
 	})
 	reg.RegisterFunc("gus_plan_cache_entries", "Implicit plan cache current entries.", func() float64 {
 		return float64(db.plans.stats().Entries)
+	})
+	reg.RegisterFunc("gus_segment_bytes_mapped", "Bytes of segment files currently mmapped into this process.", func() float64 {
+		return float64(db.segs.bytesMapped())
 	})
 	return m
 }
@@ -211,6 +216,7 @@ func annotateNode(t *obs.Trace, id int) string {
 	var dur time.Duration
 	rowsOut := int64(-1)
 	parts := 0
+	skipped := 0
 	frac := 0.0
 	for _, s := range spans {
 		dur += s.Dur
@@ -220,6 +226,7 @@ func annotateNode(t *obs.Trace, id int) string {
 		if s.Partitions > parts {
 			parts = s.Partitions
 		}
+		skipped += s.Skipped
 		if s.Fraction > 0 {
 			frac = s.Fraction
 		}
@@ -231,6 +238,9 @@ func annotateNode(t *obs.Trace, id int) string {
 	}
 	if parts > 0 {
 		fmt.Fprintf(&b, " partitions=%d", parts)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(&b, " skipped=%d", skipped)
 	}
 	if frac > 0 {
 		fmt.Fprintf(&b, " fraction=%.4g", frac)

@@ -197,7 +197,7 @@ func (db *DB) runProgressive(ctx context.Context, st *Stmt, vals []relation.Valu
 	if err != nil {
 		return err
 	}
-	eng := engine.New(engine.Config{Workers: o.workers, Context: ctx, Params: o.args, Prepared: o.prep, Trace: o.trace})
+	eng := engine.New(engine.Config{Workers: o.workers, Context: ctx, Params: o.args, Prepared: o.prep, Trace: o.trace, DisableZoneSkip: o.noZoneSkip})
 	waves, err := eng.PrepareWaves(planned.Root, o.seed)
 	if err != nil {
 		return err
@@ -281,6 +281,7 @@ func (db *DB) runProgressive(ctx context.Context, st *Stmt, vals []relation.Valu
 	}
 	m.rowsScanned.Add(uint64(last.RowsScanned))
 	m.sampleRows.Add(uint64(last.SampleRows))
+	m.partsSkipped.Add(uint64(eng.PartitionsSkipped()))
 	if last.RowsScanned > 0 {
 		m.sampleFrac.Observe(float64(last.SampleRows) / float64(last.RowsScanned))
 	}

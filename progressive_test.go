@@ -66,7 +66,7 @@ func TestProgressiveFinalBitIdentical(t *testing.T) {
 		"sum-bernoulli": `SELECT SUM(l_extendedprice*(1.0-l_discount)) AS rev
 			FROM lineitem TABLESAMPLE (30 PERCENT) WHERE l_extendedprice > 500.0`,
 		"count-system": `SELECT COUNT(*) FROM lineitem TABLESAMPLE SYSTEM (20)`,
-		"avg": `SELECT AVG(l_extendedprice) FROM lineitem TABLESAMPLE (50 PERCENT)`,
+		"avg":          `SELECT AVG(l_extendedprice) FROM lineitem TABLESAMPLE (50 PERCENT)`,
 		"quantiles": `SELECT QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.05) AS lo,
 			QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.95) AS hi
 			FROM lineitem TABLESAMPLE (40 PERCENT)`,

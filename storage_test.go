@@ -1,0 +1,374 @@
+package gus
+
+// Public-API tests for persistent segment storage: save→open→query must be
+// bit-identical to querying the resident tables — across seeds, worker
+// counts, zone-map skipping on/off, and progressive execution — corrupt
+// files must surface as typed errors, and ATTACH SEGMENT must work as a
+// statement.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// saveReopen saves db to a fresh directory and opens it back.
+func saveReopen(t *testing.T, db *DB) *DB {
+	t.Helper()
+	dir := t.TempDir()
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { opened.Close() })
+	return opened
+}
+
+// TestSegmentBitIdentity is the storage tentpole regression: every query
+// must return bit-identical results whether the tables live on the Go heap
+// or alias an mmap'd segment file, at any seed, worker count, and with
+// zone-map skipping on or off.
+func TestSegmentBitIdentity(t *testing.T) {
+	resident := testDB(t, 1500)
+	segment := saveReopen(t, resident)
+	queries := []string{
+		paperQuery1,
+		`SELECT SUM(l_discount*(1.0-l_tax)) AS rev, COUNT(*) AS n
+		 FROM lineitem TABLESAMPLE (15 PERCENT)
+		 WHERE l_extendedprice > 100.0 AND l_quantity < 45.0`,
+		`SELECT AVG(l_extendedprice) AS m FROM lineitem TABLESAMPLE (20 PERCENT)`,
+		`SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE SYSTEM (25)`,
+		`SELECT SUM(o_totalprice) FROM orders TABLESAMPLE (500 ROWS)`,
+		// Selective range over a clustered key: the shape zone maps prune.
+		`SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (50 PERCENT) WHERE l_orderkey < 50`,
+		`SELECT SUM(l_extendedprice) AS s FROM lineitem TABLESAMPLE (25 PERCENT) GROUP BY l_linenumber`,
+	}
+	for qi, sql := range queries {
+		for _, seed := range []uint64{1, 7, 42} {
+			for _, w := range []int{1, 4, 13} {
+				for _, skip := range []bool{true, false} {
+					label := fmt.Sprintf("query %d seed %d workers %d skip %v", qi, seed, w, skip)
+					opts := []Option{WithSeed(seed), WithWorkers(w), WithZoneSkipping(skip)}
+					want, err := resident.Query(sql, opts...)
+					if err != nil {
+						t.Fatalf("%s: resident: %v", label, err)
+					}
+					got, err := segment.Query(sql, opts...)
+					if err != nil {
+						t.Fatalf("%s: segment: %v", label, err)
+					}
+					requireSameResult(t, label, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentProgressiveBitIdentity: a progressive stream over a segment
+// backend must converge to the same Final update as over the resident one.
+func TestSegmentProgressiveBitIdentity(t *testing.T) {
+	resident := testDB(t, 1200)
+	segment := saveReopen(t, resident)
+	sql := `SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (30 PERCENT) WHERE l_quantity < 40.0`
+	final := func(db *DB) Update {
+		t.Helper()
+		ch, wait := db.QueryProgressive(context.Background(), sql, WithSeed(5), WithWorkers(3), WithWaveRows(2048))
+		var last Update
+		for u := range ch {
+			last = u
+		}
+		if err := wait(); err != nil {
+			t.Fatal(err)
+		}
+		if !last.Final {
+			t.Fatal("stream did not reach Final")
+		}
+		return last
+	}
+	want, got := final(resident), final(segment)
+	if want.Estimate != got.Estimate || want.StdErr != got.StdErr ||
+		want.CILow != got.CILow || want.CIHigh != got.CIHigh || want.SampleRows != got.SampleRows {
+		t.Fatalf("final updates differ:\nresident %+v\nsegment  %+v", want, got)
+	}
+}
+
+// TestSegmentZoneSkipObservable: a provably-false range over the clustered
+// order key must actually skip partitions on a segment backend (visible in
+// the trace and the DB counter), and not with skipping disabled.
+func TestSegmentZoneSkipObservable(t *testing.T) {
+	resident := testDB(t, 4000) // ~3 partitions of lineitem at 4096 rows
+	segment := saveReopen(t, resident)
+	sql := `SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (50 PERCENT) WHERE l_orderkey < 10`
+	skippedOf := func(opts ...Option) int {
+		t.Helper()
+		tr := &Trace{}
+		if _, err := segment.Query(sql, append(opts, WithSeed(2), WithTrace(tr))...); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, s := range tr.Spans {
+			n += s.Skipped
+		}
+		return n
+	}
+	if n := skippedOf(); n == 0 {
+		t.Fatal("no partitions skipped on a selective clustered-key range")
+	}
+	if n := skippedOf(WithZoneSkipping(false)); n != 0 {
+		t.Fatalf("skipped %d partitions with skipping disabled", n)
+	}
+	var total float64
+	for _, m := range segment.MetricsSnapshot() {
+		if m.Name == "gus_partitions_skipped_total" {
+			total = m.Value
+		}
+	}
+	if total == 0 {
+		t.Fatal("gus_partitions_skipped_total not incremented")
+	}
+}
+
+// TestTablesInfo covers the Tables introspection both storage modes feed.
+func TestTablesInfo(t *testing.T) {
+	db := Open()
+	if _, err := db.CreateTable("t", Column{"k", Int}, Column{"v", Float}, Column{"s", String}); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := tb.Insert(i, float64(i)/2, fmt.Sprintf("s%d", i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := db.Tables()
+	if len(infos) != 1 {
+		t.Fatalf("tables = %d", len(infos))
+	}
+	in := infos[0]
+	if in.Name != "t" || in.Rows != 10 || in.Storage != "resident" {
+		t.Fatalf("info = %+v", in)
+	}
+	wantCols := []Column{{"k", Int}, {"v", Float}, {"s", String}}
+	if len(in.Columns) != len(wantCols) {
+		t.Fatalf("columns = %+v", in.Columns)
+	}
+	for i, c := range wantCols {
+		if in.Columns[i] != c {
+			t.Fatalf("column %d = %+v, want %+v", i, in.Columns[i], c)
+		}
+	}
+
+	opened := saveReopen(t, db)
+	infos = opened.Tables()
+	if len(infos) != 1 || infos[0].Storage != "segment" || infos[0].Rows != 10 {
+		t.Fatalf("reopened info = %+v", infos)
+	}
+}
+
+// TestAttachSegmentStatement runs ATTACH SEGMENT through db.Query: a file
+// path, a directory path, the duplicate-name error, and querying after.
+func TestAttachSegmentStatement(t *testing.T) {
+	src := testDB(t, 400)
+	dir := t.TempDir()
+	if err := src.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	db := Open()
+	defer db.Close()
+	res, err := db.Query(fmt.Sprintf("ATTACH SEGMENT '%s';", filepath.Join(dir, "orders.gusseg")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanText == "" {
+		t.Fatal("no plan text from ATTACH SEGMENT")
+	}
+	n, err := db.TableLen("orders")
+	if err != nil || n == 0 {
+		t.Fatalf("orders after attach: n=%d err=%v", n, err)
+	}
+	if _, err := db.Query(fmt.Sprintf("attach segment '%s'", filepath.Join(dir, "orders.gusseg"))); err == nil {
+		t.Fatal("duplicate attach did not fail")
+	}
+	// Attaching the directory picks up the remaining tables.
+	dir2 := Open()
+	defer dir2.Close()
+	if _, err := dir2.Query(fmt.Sprintf("ATTACH SEGMENT '%s'", dir)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := src.Query(paperQuery1, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dir2.Query(paperQuery1, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "after ATTACH SEGMENT dir", want, got)
+}
+
+// TestCorruptSegmentTypedError: damaged files must surface ErrCorruptSegment
+// (with file/offset detail via SegmentError), never a short table or panic.
+func TestCorruptSegmentTypedError(t *testing.T) {
+	src := testDB(t, 200)
+	dir := t.TempDir()
+	if err := src.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "lineitem.gusseg")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated":  raw[:len(raw)/2],
+		"torn tail":  append(append([]byte{}, raw[:len(raw)-16]...), make([]byte, 16)...),
+		"bad magic":  append([]byte("XUSSEG1\n"), raw[8:]...),
+		"empty file": {},
+	}
+	for name, data := range cases {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db := Open()
+		err := db.AttachSegment(path)
+		if err == nil {
+			t.Fatalf("%s: attach succeeded", name)
+		}
+		if !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("%s: error %v does not match ErrCorruptSegment", name, err)
+		}
+		var se *SegmentError
+		if !errors.As(err, &se) {
+			t.Fatalf("%s: error %v carries no *SegmentError", name, err)
+		}
+		if se.Path != path || se.Offset < 0 {
+			t.Fatalf("%s: SegmentError = %+v", name, se)
+		}
+		// The whole directory open must fail too — no silent short catalog.
+		if _, err := OpenDir(dir); err == nil {
+			t.Fatalf("%s: OpenDir ignored the corrupt file", name)
+		}
+		db.Close()
+	}
+}
+
+// TestSegmentAppendAfterOpen: appends to a segment-backed table land in a
+// resident tail, become visible to new queries, and never touch the file.
+func TestSegmentAppendAfterOpen(t *testing.T) {
+	src := Open()
+	tb, err := src.CreateTable("t", Column{"k", Int}, Column{"v", Float})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tb.Insert(i, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	if err := src.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "t.gusseg")
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	wt, err := db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 150; i++ {
+		if err := wt.Insert(i, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Exact(`SELECT COUNT(*) AS n, SUM(v) AS s FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Values[0].Value; got != 150 {
+		t.Fatalf("count after append = %v, want 150", got)
+	}
+	if got, want := res.Values[1].Value, float64(149*150/2); got != want {
+		t.Fatalf("sum after append = %v, want %v", got, want)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() || !after.ModTime().Equal(before.ModTime()) {
+		t.Fatal("append modified the segment file")
+	}
+	// Re-saving captures base + tail; reopening sees all 150 rows.
+	dir2 := t.TempDir()
+	if err := db.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenDir(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if n, _ := db2.TableLen("t"); n != 150 {
+		t.Fatalf("reopened len = %d, want 150", n)
+	}
+}
+
+// TestSegmentBytesMappedGauge: the mapped-bytes gauge reflects open
+// segments and returns to zero after Close.
+func TestSegmentBytesMappedGauge(t *testing.T) {
+	src := testDB(t, 300)
+	dir := t.TempDir()
+	if err := src.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gauge := func() float64 {
+		for _, m := range db.MetricsSnapshot() {
+			if m.Name == "gus_segment_bytes_mapped" {
+				return m.Value
+			}
+		}
+		t.Fatal("gus_segment_bytes_mapped not registered")
+		return 0
+	}
+	if g := gauge(); g <= 0 {
+		t.Skipf("no mmap on this platform (gauge=%v)", g)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if g := gauge(); g != 0 {
+		t.Fatalf("gauge after Close = %v", g)
+	}
+}
+
+// TestOpenDirErrors: a directory without segments, and a missing one.
+func TestOpenDirErrors(t *testing.T) {
+	if _, err := OpenDir(t.TempDir()); err == nil {
+		t.Fatal("OpenDir on an empty dir succeeded")
+	}
+	if _, err := OpenDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("OpenDir on a missing dir succeeded")
+	}
+}
