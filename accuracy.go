@@ -1,0 +1,252 @@
+// Estimator-calibration observability: is the 95% CI really a 95% CI?
+//
+// The estimator's intervals are analytically sound under Theorem 1's
+// assumptions, but a deployed workload can violate them quietly — skewed
+// data starves the variance estimate of effective terms, delta-method
+// ratios are first-order, clamped variances hide negative moments. This
+// file closes the loop empirically: a shadow auditor (internal/audit)
+// replays hot query shapes sampled-and-exact in the background and every
+// observation — claimed interval vs realized error — lands in a per-shape
+// calibration tracker (internal/obs) with Wilson-scored coverage rates.
+// AccuracySnapshot reports it all; ObserveAccuracy accepts offline
+// comparisons from callers running their own ground-truth checks.
+package gus
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/sampling-algebra/gus/internal/audit"
+	"github.com/sampling-algebra/gus/internal/obs"
+	"github.com/sampling-algebra/gus/internal/stats"
+)
+
+// DBOption customizes Open.
+type DBOption func(*DB)
+
+// AuditorOptions tunes the shadow auditor (see WithAuditor/EnableAuditor).
+// The zero value audits every 15 seconds, spending at most half the
+// total table rows per minute on replays.
+type AuditorOptions struct {
+	// Interval is the pause between audit attempts (≤ 0 selects 15s).
+	Interval time.Duration
+	// MaxFractionPerMinute caps audit scan traffic as a fraction of the
+	// DB's total row count per minute (≤ 0 selects 0.5). An exact replay
+	// scans whole tables, so 0.5 allows roughly one full audit every four
+	// minutes on a single-table workload.
+	MaxFractionPerMinute float64
+	// Seed drives shape selection and per-replay sampling seeds.
+	Seed uint64
+}
+
+// WithAuditor starts the shadow auditor at Open time. Equivalent to
+// calling EnableAuditor on the fresh DB.
+func WithAuditor(o AuditorOptions) DBOption {
+	return func(db *DB) { _ = db.EnableAuditor(o) }
+}
+
+// ShapeAccuracy is one query shape's calibration summary: all-time
+// empirical CI coverage with its 95% Wilson score interval, plus
+// realized-error statistics over the recent observation window.
+type ShapeAccuracy = obs.ShapeCalibration
+
+// AuditorStats is the shadow auditor's counter snapshot.
+type AuditorStats = audit.Stats
+
+// AccuracyReport is AccuracySnapshot's result: DB-wide CI-calibration
+// totals plus per-shape summaries.
+type AccuracyReport struct {
+	// Observations and Covered count every calibration observation ever
+	// recorded (audits plus ObserveAccuracy); CoverageRate is their ratio
+	// (0 before any observation) and [CoverageLow, CoverageHigh] its 95%
+	// Wilson score interval. A nominal confidence level outside that
+	// interval means the error bars are miscalibrated for this workload.
+	Observations int     `json:"observations"`
+	Covered      int     `json:"covered"`
+	CoverageRate float64 `json:"coverageRate"`
+	CoverageLow  float64 `json:"coverageLow"`
+	CoverageHigh float64 `json:"coverageHigh"`
+	// Shapes holds per-shape summaries, sorted by shape.
+	Shapes []ShapeAccuracy `json:"shapes"`
+	// Auditor reports the shadow auditor's counters; nil if an auditor
+	// was never enabled on this DB.
+	Auditor *AuditorStats `json:"auditor,omitempty"`
+}
+
+// AccuracySnapshot reports the DB's CI-calibration state: how often
+// claimed confidence intervals actually covered exact answers, overall
+// and per query shape. Served by gusserve at GET /accuracy.
+func (db *DB) AccuracySnapshot() AccuracyReport {
+	rep := AccuracyReport{Shapes: db.calib.Snapshot()}
+	rep.Covered, rep.Observations = db.calib.Totals()
+	if rep.Observations > 0 {
+		rep.CoverageRate = float64(rep.Covered) / float64(rep.Observations)
+	}
+	rep.CoverageLow, rep.CoverageHigh = stats.Wilson(rep.Covered, rep.Observations, 0.95)
+	db.audit.mu.Lock()
+	if a := db.audit.auditor; a != nil {
+		st := a.Stats()
+		rep.Auditor = &st
+	}
+	db.audit.mu.Unlock()
+	return rep
+}
+
+// ObserveAccuracy records one CI-calibration observation for a query
+// shape: the sampled run's point estimate and claimed interval against
+// the exact answer for the same statement. The shadow auditor feeds this
+// automatically; callers with their own ground truth (offline validation
+// jobs, canary queries) may feed it directly. reliability is the sampled
+// run's CI grade ("" if diagnostics were off).
+func (db *DB) ObserveAccuracy(shape string, estimate, ciLow, ciHigh, truth float64, reliability string) {
+	relErr := math.Abs(estimate - truth)
+	switch {
+	case truth != 0:
+		relErr /= math.Abs(truth)
+	case estimate != 0:
+		relErr /= math.Abs(estimate)
+	}
+	db.calib.Record(shape, obs.CalibrationObs{
+		ClaimedHalfWidth: (ciHigh - ciLow) / 2,
+		RelErr:           relErr,
+		Covered:          ciLow <= truth && truth <= ciHigh,
+		Reliability:      reliability,
+		At:               time.Now(),
+	})
+}
+
+// auditState is the DB's shadow-auditor lifecycle: at most one running
+// loop, stoppable via DisableAuditor/Close. The auditor pointer survives
+// a stop so AccuracySnapshot keeps reporting its final counters.
+type auditState struct {
+	mu      sync.Mutex
+	auditor *audit.Auditor
+	cancel  context.CancelFunc
+	done    chan struct{}
+}
+
+// EnableAuditor starts the background shadow auditor: a goroutine that
+// periodically picks a hot query shape (demand-weighted), replays it
+// sampled with a fresh seed and exactly, and records whether the claimed
+// CI covered the truth. Scan traffic is budget-capped per
+// AuditorOptions. Errors if an auditor is already running.
+func (db *DB) EnableAuditor(o AuditorOptions) error {
+	db.audit.mu.Lock()
+	defer db.audit.mu.Unlock()
+	if db.audit.cancel != nil {
+		return fmt.Errorf("gus: auditor already running")
+	}
+	a := db.newAuditor(o)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	db.audit.auditor, db.audit.cancel, db.audit.done = a, cancel, done
+	go func() {
+		defer close(done)
+		_ = a.Run(ctx) // always ctx.Err(): cancellation is the clean stop
+	}()
+	return nil
+}
+
+// DisableAuditor stops the shadow auditor and waits for its goroutine to
+// exit (an in-flight replay is cancelled through its context). No-op if
+// no auditor is running. Close calls this automatically.
+func (db *DB) DisableAuditor() {
+	db.audit.mu.Lock()
+	cancel, done := db.audit.cancel, db.audit.done
+	db.audit.cancel, db.audit.done = nil, nil
+	db.audit.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+}
+
+// newAuditor builds the auditor over this DB with its observation and
+// metrics hooks wired; EnableAuditor runs it, tests drive AuditOnce.
+func (db *DB) newAuditor(o AuditorOptions) *audit.Auditor {
+	return audit.New(dbRunner{db}, audit.Options{
+		Interval:             o.Interval,
+		MaxFractionPerMinute: o.MaxFractionPerMinute,
+		Seed:                 o.Seed,
+		OnObservation: func(shape string, it audit.Item, _ bool) {
+			db.ObserveAccuracy(shape, it.Estimate, it.CILow, it.CIHigh, it.Truth, it.Reliability)
+		},
+		OnResult: func(_, status string) {
+			db.metrics.auditRuns.With(status).Inc()
+		},
+	})
+}
+
+// dbRunner adapts a DB to audit.Runner: the shape registry feeds
+// candidates, PrepareCached replays them.
+type dbRunner struct{ db *DB }
+
+// Shapes lists the per-shape metric registry's normalized statements with
+// their completed-query counts as demand weights. The overflow slot is
+// not a statement and is excluded.
+func (r dbRunner) Shapes() []audit.Shape {
+	m := r.db.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]audit.Shape, 0, len(m.shapes))
+	for shape, s := range m.shapes {
+		out = append(out, audit.Shape{SQL: shape, Queries: s.queries.Value()})
+	}
+	return out
+}
+
+// TotalRows sums every registered table's cardinality — the budget
+// fraction's denominator.
+func (r dbRunner) TotalRows() int {
+	r.db.mu.RLock()
+	defer r.db.mu.RUnlock()
+	n := 0
+	for _, rel := range r.db.tables {
+		n += rel.Len()
+	}
+	return n
+}
+
+// Audit replays one shape: once sampled under the given fresh seed (with
+// a trace attached, so the run carries variance diagnostics), once
+// exactly. Shapes that cannot be paired one-for-one — parameterized
+// statements (nothing to bind), EXPLAIN wrappers, GROUP BY (group sets
+// differ between sample and truth) — are skipped, not failed. Normalized
+// shape text is executable SQL (literals survive normalization), which is
+// what makes replay-from-the-registry possible at all.
+func (r dbRunner) Audit(ctx context.Context, sql string, seed uint64) (*audit.Replay, error) {
+	st, err := r.db.PrepareCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	if st.NumParams() > 0 || st.tmpl.Explain() || st.tmpl.GroupBy() != "" {
+		return nil, audit.ErrSkip
+	}
+	sampled, err := st.Query(ctx, WithSeed(seed), WithTrace(&Trace{}))
+	if err != nil {
+		return nil, err
+	}
+	exact, err := st.Exact(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(sampled.Values) == 0 || len(exact.Values) != len(sampled.Values) {
+		return nil, audit.ErrSkip
+	}
+	rep := &audit.Replay{RowsScanned: sampled.scannedRows + exact.scannedRows}
+	for i, v := range sampled.Values {
+		rep.Items = append(rep.Items, audit.Item{
+			Name:        v.Name,
+			Estimate:    v.Estimate,
+			CILow:       v.CILow,
+			CIHigh:      v.CIHigh,
+			Truth:       exact.Values[i].Estimate,
+			Reliability: v.Reliability,
+		})
+	}
+	r.db.metrics.auditRows.Add(uint64(rep.RowsScanned))
+	return rep, nil
+}

@@ -124,15 +124,14 @@ func main() {
 		opts = append(opts, gus.WithVarianceSubsampling(*subsample))
 	}
 
-	// The trace is attached only to the primary run — the -prepare
-	// re-execution and -exact runs stay untraced so the output reflects a
-	// single execution.
-	var tr *gus.Trace
-	runOpts := opts
-	if *explain || *traceJSON != "" {
-		tr = &gus.Trace{}
-		runOpts = append(opts[:len(opts):len(opts)], gus.WithTrace(tr))
-	}
+	// The primary run always carries a trace: it is what activates the
+	// variance diagnostics behind the CI-reliability grade, and tracing is
+	// bit-identity-guaranteed not to perturb the estimate. The -prepare
+	// re-execution and -exact runs stay untraced so the timings reflect a
+	// single plain execution; the trace itself is only printed/persisted
+	// when -explain or -trace-json asks for it.
+	tr := &gus.Trace{}
+	runOpts := append(opts[:len(opts):len(opts)], gus.WithTrace(tr))
 
 	argVals, err := parseArgs(*argsFlag)
 	if err != nil {
@@ -212,6 +211,9 @@ func main() {
 		fmt.Printf("%s [%s] = %.6g\n", v.Name, v.Kind, v.Value)
 		fmt.Printf("  estimate %.6g ± %.6g; %.0f%% CI [%.6g, %.6g]%s\n",
 			v.Estimate, v.StdErr, *level*100, v.CILow, v.CIHigh, approx)
+		if v.Reliability != "" {
+			fmt.Printf("  CI reliability %s (rse of variance estimate %.2g)\n", v.Reliability, v.VarianceRSE)
+		}
 	}
 	if *exact {
 		ex, err := runExact()
@@ -295,9 +297,13 @@ func runProgressive(stream func([]gus.Option) (<-chan gus.Update, func() error),
 			if v.RelHalfWidth < 1e6 {
 				rel = fmt.Sprintf("  rel ±%.3f%%", 100*v.RelHalfWidth)
 			}
-			fmt.Printf("wave %3d  %6.2f%% scanned  %8d sample rows  %s [%s] = %.6g  %.0f%% CI [%.6g, %.6g]%s\n",
+			grade := ""
+			if v.Reliability != "" {
+				grade = "  CI-grade " + v.Reliability
+			}
+			fmt.Printf("wave %3d  %6.2f%% scanned  %8d sample rows  %s [%s] = %.6g  %.0f%% CI [%.6g, %.6g]%s%s\n",
 				u.Wave, 100*u.FractionScanned, u.SampleRows, v.Name, v.Kind, v.Value,
-				level*100, v.CILow, v.CIHigh, rel)
+				level*100, v.CILow, v.CIHigh, rel, grade)
 		}
 	}
 	if err := wait(); err != nil {

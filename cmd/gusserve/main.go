@@ -17,6 +17,10 @@
 //	                     (body: StreamRequest)
 //	GET  /tables       — registered tables: rows, column schema, storage
 //	                     mode (resident heap vs mmap segment)
+//	GET  /accuracy     — CI-calibration report: empirical coverage of the
+//	                     estimator's confidence intervals (Wilson-scored,
+//	                     overall and per query shape), fed by the shadow
+//	                     auditor (-audit) and ObserveAccuracy
 //	GET  /metrics      — Prometheus text exposition: every DB-level gus_*
 //	                     metric (latency, rows scanned, sample fractions,
 //	                     plan-cache hit rate, per-shape counters,
@@ -27,8 +31,15 @@
 //	                     only with -pprof
 //
 // Every query request gets an ID (q000001, …) that appears in the
-// structured request log line, the JSON response, each NDJSON stream
-// frame, and — for EXPLAIN ANALYZE — the rendered trace.
+// structured request log line, the JSON response — including 4xx/5xx
+// error bodies — each NDJSON stream frame, and — for EXPLAIN ANALYZE —
+// the rendered trace.
+//
+// With -audit the server runs the shadow auditor: it periodically replays
+// hot query shapes sampled-and-exact in the background (scan traffic
+// capped by -audit-fraction per minute) and records whether each claimed
+// confidence interval covered the exact answer; the results appear on
+// /accuracy and as gus_audit_*/gus_ci_coverage_ratio metrics.
 //
 // Both query endpoints are wired to the request context: when the client
 // disconnects, the engine stops scanning at the next partition boundary.
@@ -157,6 +168,11 @@ type StreamValue struct {
 	CIHigh       *float64 `json:"ciHigh"`
 	Approximate  bool     `json:"approximate,omitempty"`
 	RelHalfWidth *float64 `json:"relHalfWidth"`
+	// Reliability grades the CI's own trustworthiness (A–D) from the
+	// variance diagnostics; varianceRse is the relative standard error
+	// of the variance estimate itself.
+	Reliability string   `json:"reliability,omitempty"`
+	VarianceRSE *float64 `json:"varianceRse,omitempty"`
 }
 
 // StreamUpdate is one NDJSON line of the /query/stream response. The
@@ -190,6 +206,12 @@ type ValueResponse struct {
 	CILow       float64  `json:"ciLow"`
 	CIHigh      float64  `json:"ciHigh"`
 	Approximate bool     `json:"approximate,omitempty"`
+	// Reliability grades the CI's own trustworthiness (A–D) from the
+	// variance diagnostics; varianceRse is the relative standard error
+	// of the variance estimate itself. Always present on /query results
+	// (the server traces every request), absent on exact replays.
+	Reliability string   `json:"reliability,omitempty"`
+	VarianceRSE *float64 `json:"varianceRse,omitempty"`
 	Exact       *float64 `json:"exact,omitempty"`
 }
 
@@ -270,6 +292,7 @@ func (s *server) mux(pprofOn bool) *http.ServeMux {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/query/stream", s.handleQueryStream)
 	mux.HandleFunc("/tables", s.handleTables)
+	mux.HandleFunc("/accuracy", s.handleAccuracy)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -280,11 +303,23 @@ func (s *server) mux(pprofOn bool) *http.ServeMux {
 	return mux
 }
 
+// handleAccuracy serves the DB's CI-calibration report: empirical
+// coverage of claimed confidence intervals, overall and per shape, plus
+// the shadow auditor's counters when -audit is on.
+func (s *server) handleAccuracy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "", fmt.Errorf("GET only"))
+		return
+	}
+	s.metrics.requests.With("/accuracy").Inc()
+	writeJSON(w, http.StatusOK, s.db.AccuracySnapshot())
+}
+
 // handleMetrics serves the Prometheus text exposition: the DB's gus_*
 // registry followed by the server's gusserve_* counters.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		writeError(w, http.StatusMethodNotAllowed, "", fmt.Errorf("GET only"))
 		return
 	}
 	s.metrics.requests.With("/metrics").Inc()
@@ -306,6 +341,10 @@ func main() {
 		genSeed = flag.Uint64("genseed", 42, "TPC-H generator seed")
 		workers = flag.Int("workers", 0, "default worker-pool width per query (0 = GOMAXPROCS)")
 		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof and expvar counters under /debug/ (profiling aid; do not enable on untrusted networks)")
+
+		auditOn       = flag.Bool("audit", false, "run the shadow auditor: replay hot query shapes sampled+exact in the background and track CI coverage on /accuracy")
+		auditFraction = flag.Float64("audit-fraction", 0.5, "with -audit: cap audit scan traffic at this fraction of total table rows per minute")
+		auditInterval = flag.Duration("audit-interval", 15*time.Second, "with -audit: pause between audit attempts")
 	)
 	flag.Parse()
 
@@ -347,6 +386,16 @@ func main() {
 		log.Fatal("gusserve: provide -data DIR or -gen SF")
 	}
 	db.SetWorkers(*workers)
+	if *auditOn {
+		if err := db.EnableAuditor(gus.AuditorOptions{
+			Interval:             *auditInterval,
+			MaxFractionPerMinute: *auditFraction,
+		}); err != nil {
+			log.Fatalf("gusserve: %v", err)
+		}
+		defer db.DisableAuditor()
+		log.Printf("gusserve: shadow auditor on (interval %s, %.2g of rows/min)", *auditInterval, *auditFraction)
+	}
 
 	s := newServer(db)
 	if *pprofOn {
@@ -432,22 +481,24 @@ func (s *server) runRequest(ctx context.Context, req QueryRequest, exact bool, t
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		writeError(w, http.StatusMethodNotAllowed, "", fmt.Errorf("POST only"))
 		return
 	}
+	// The ID is minted before the body is even parsed, so every error
+	// response already carries the queryId the log line will show.
+	qid := s.queryID()
 	var req QueryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.UseNumber()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, qid, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if strings.TrimSpace(req.SQL) == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
+		writeError(w, http.StatusBadRequest, qid, fmt.Errorf("missing sql"))
 		return
 	}
 	s.metrics.requests.With("/query").Inc()
-	qid := s.queryID()
 	// The trace carries the request ID into EXPLAIN ANALYZE output; it is
 	// allocated per request, so concurrent queries never share one.
 	tr := &gus.Trace{QueryID: qid}
@@ -456,7 +507,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.metrics.queries.Inc()
 	logQuery("query", qid, req.SQL, time.Since(start), sampleRowsOf(res), err)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, qid, err)
 		return
 	}
 	s.metrics.rows.Add(uint64(res.SampleRows))
@@ -472,7 +523,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var exact *gus.Result
 	if req.Exact {
 		if exact, err = s.runRequest(r.Context(), req, true, nil); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("exact: %w", err))
+			writeError(w, http.StatusBadRequest, qid, fmt.Errorf("exact: %w", err))
 			return
 		}
 	}
@@ -515,18 +566,19 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // the query at the next wave boundary.
 func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		writeError(w, http.StatusMethodNotAllowed, "", fmt.Errorf("POST only"))
 		return
 	}
+	qid := s.queryID()
 	var req StreamRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.UseNumber()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, qid, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if strings.TrimSpace(req.SQL) == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
+		writeError(w, http.StatusBadRequest, qid, fmt.Errorf("missing sql"))
 		return
 	}
 	opts := req.options()
@@ -544,16 +596,15 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.metrics.requests.With("/query/stream").Inc()
-	qid := s.queryID()
 	tr := &gus.Trace{QueryID: qid}
 	st, err := s.db.PrepareCachedTrace(req.SQL, tr)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, qid, err)
 		return
 	}
 	args, err := decodeArgs(req.Args)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, qid, err)
 		return
 	}
 	for _, o := range opts {
@@ -579,10 +630,10 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 			if errors.Is(err, gus.ErrUnsupported) {
 				status = http.StatusUnprocessableEntity
 			}
-			writeError(w, status, err)
+			writeError(w, status, qid, err)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("stream produced no updates"))
+		writeError(w, http.StatusInternalServerError, qid, fmt.Errorf("stream produced no updates"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -652,6 +703,8 @@ func toStreamUpdate(u gus.Update, qid string, start time.Time) StreamUpdate {
 			CIHigh:       fptr(v.CIHigh),
 			Approximate:  v.Approximate,
 			RelHalfWidth: fptr(v.RelHalfWidth),
+			Reliability:  v.Reliability,
+			VarianceRSE:  fptr(v.VarianceRSE),
 		})
 	}
 	return out
@@ -659,7 +712,7 @@ func toStreamUpdate(u gus.Update, qid string, start time.Time) StreamUpdate {
 
 func (s *server) handleTables(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		writeError(w, http.StatusMethodNotAllowed, "", fmt.Errorf("GET only"))
 		return
 	}
 	type columnInfo struct {
@@ -696,7 +749,7 @@ func columnTypeName(t gus.ColumnType) string {
 }
 
 func toValueResponse(v gus.Value) ValueResponse {
-	return ValueResponse{
+	out := ValueResponse{
 		Name:        v.Name,
 		Kind:        v.Kind,
 		Value:       v.Value,
@@ -705,7 +758,12 @@ func toValueResponse(v gus.Value) ValueResponse {
 		CILow:       v.CILow,
 		CIHigh:      v.CIHigh,
 		Approximate: v.Approximate,
+		Reliability: v.Reliability,
 	}
+	if v.Reliability != "" {
+		out.VarianceRSE = fptr(v.VarianceRSE)
+	}
+	return out
 }
 
 // registerDebug mounts the net/http/pprof handlers and the expvar page on
@@ -727,6 +785,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeError renders a JSON error body. qid ties the failure back to the
+// request log line; it is "" (and omitted) only for failures that happen
+// before a request ID exists — wrong method, non-query endpoints.
+func writeError(w http.ResponseWriter, status int, qid string, err error) {
+	body := map[string]string{"error": err.Error()}
+	if qid != "" {
+		body["queryId"] = qid
+	}
+	writeJSON(w, status, body)
 }

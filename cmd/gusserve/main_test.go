@@ -630,6 +630,129 @@ func TestQueryArgs(t *testing.T) {
 	}
 }
 
+// TestErrorBodiesCarryQueryID: every 4xx/5xx from the query endpoints
+// names the request's queryId, so a failed call ties back to its request
+// log line; only failures that precede a request ID (405s) omit it.
+func TestErrorBodiesCarryQueryID(t *testing.T) {
+	s := testServer(t)
+	errBody := func(name string, rec *httptest.ResponseRecorder) map[string]string {
+		t.Helper()
+		var e map[string]string
+		if err := json.NewDecoder(rec.Body).Decode(&e); err != nil || e["error"] == "" {
+			t.Fatalf("%s: bad error body %q (%v)", name, rec.Body, err)
+		}
+		return e
+	}
+	cases := map[string]string{
+		"malformed json": `{"sql": "SELECT`,
+		"missing sql":    `{}`,
+		"bad sql":        `{"sql":"SELEKT broken"}`,
+		"unknown table":  `{"sql":"SELECT COUNT(*) FROM nope"}`,
+	}
+	seen := map[string]bool{}
+	for name, body := range cases {
+		rec, _ := postQuery(t, s, body)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("/query %s: status %d", name, rec.Code)
+		}
+		qid := errBody("/query "+name, rec)["queryId"]
+		if !strings.HasPrefix(qid, "q") {
+			t.Fatalf("/query %s: queryId %q", name, qid)
+		}
+		if seen[qid] {
+			t.Fatalf("/query %s: duplicate queryId %q", name, qid)
+		}
+		seen[qid] = true
+	}
+	// Stream endpoint: pre-stream failures (400 and the 422 for GROUP BY)
+	// carry the ID too.
+	for name, body := range map[string]string{
+		"malformed json": `{`,
+		"bad sql":        `{"sql":"SELECT FROM nope"}`,
+		"group by":       `{"sql":"SELECT SUM(v) FROM ev TABLESAMPLE (50 PERCENT) GROUP BY cat"}`,
+	} {
+		req := httptest.NewRequest(http.MethodPost, "/query/stream", bytes.NewBufferString(body))
+		rec := httptest.NewRecorder()
+		s.handleQueryStream(rec, req)
+		if rec.Code != http.StatusBadRequest && rec.Code != http.StatusUnprocessableEntity {
+			t.Fatalf("/query/stream %s: status %d", name, rec.Code)
+		}
+		if qid := errBody("/query/stream "+name, rec)["queryId"]; !strings.HasPrefix(qid, "q") {
+			t.Fatalf("/query/stream %s: queryId %q", name, qid)
+		}
+	}
+	// A 405 happens before a request ID exists: the field is omitted.
+	req := httptest.NewRequest(http.MethodGet, "/query", nil)
+	rec := httptest.NewRecorder()
+	s.handleQuery(rec, req)
+	if e := errBody("GET /query", rec); e["queryId"] != "" {
+		t.Fatalf("405 body carries queryId %q, want none", e["queryId"])
+	}
+}
+
+// TestAccuracyEndpoint: GET /accuracy serves the DB's CI-calibration
+// report as JSON, empty-but-valid on a fresh server and reflecting
+// recorded observations afterwards.
+func TestAccuracyEndpoint(t *testing.T) {
+	s := testServer(t)
+	mux := s.mux(false)
+	get := func() gus.AccuracyReport {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/accuracy", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /accuracy: status %d: %s", rec.Code, rec.Body)
+		}
+		var rep gus.AccuracyReport
+		if err := json.NewDecoder(rec.Body).Decode(&rep); err != nil {
+			t.Fatalf("GET /accuracy: %v", err)
+		}
+		return rep
+	}
+	if rep := get(); rep.Observations != 0 || len(rep.Shapes) != 0 || rep.Auditor != nil {
+		t.Fatalf("fresh server accuracy report: %+v", rep)
+	}
+
+	s.db.ObserveAccuracy("select sum(v) from ev", 10, 8, 12, 11, "A")
+	s.db.ObserveAccuracy("select sum(v) from ev", 10, 8, 12, 20, "B")
+	rep := get()
+	if rep.Observations != 2 || rep.Covered != 1 || rep.CoverageRate != 0.5 {
+		t.Fatalf("accuracy totals: %+v", rep)
+	}
+	if !(0 < rep.CoverageLow && rep.CoverageLow < 0.5 && 0.5 < rep.CoverageHigh && rep.CoverageHigh < 1) {
+		t.Fatalf("Wilson interval [%v, %v] should strictly bracket 0.5", rep.CoverageLow, rep.CoverageHigh)
+	}
+	if len(rep.Shapes) != 1 || rep.Shapes[0].Shape != "select sum(v) from ev" || rep.Shapes[0].Observations != 2 {
+		t.Fatalf("accuracy shapes: %+v", rep.Shapes)
+	}
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/accuracy", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /accuracy: status %d, want 405", rec.Code)
+	}
+}
+
+// TestStreamReliability: NDJSON frames carry the CI-reliability grade on
+// every value (progressive waves always run diagnostics).
+func TestStreamReliability(t *testing.T) {
+	s := streamServer(t)
+	rec, ups := streamLines(t, s,
+		`{"sql":"SELECT SUM(v) AS s FROM ev TABLESAMPLE (50 PERCENT)","seed":7,"waveRows":4096}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	for _, u := range ups {
+		v := u.Values[0]
+		if v.Reliability == "" || v.Reliability < "A" || v.Reliability > "D" {
+			t.Fatalf("wave %d reliability %q, want A–D", u.Wave, v.Reliability)
+		}
+		if v.VarianceRSE == nil || *v.VarianceRSE < 0 {
+			t.Fatalf("wave %d varianceRse %v", u.Wave, v.VarianceRSE)
+		}
+	}
+}
+
 // TestStreamArgs: the NDJSON endpoint binds args too.
 func TestStreamArgs(t *testing.T) {
 	s := testServer(t)

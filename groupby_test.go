@@ -93,8 +93,13 @@ func TestGroupByCoverage(t *testing.T) {
 			cov.Observe(v.CILow, v.CIHigh, truths[g.Key])
 		}
 	}
-	if cov.Rate() < 0.85 {
-		t.Errorf("per-group 95%% CI coverage = %v over %d observations", cov.Rate(), cov.Trials())
+	// Fail only when the Wilson interval on the observed coverage rate
+	// confidently excludes near-nominal coverage: a hard cutoff on the
+	// point rate flakes on small samples, the interval does not.
+	if _, hi := cov.Wilson(0.99); hi < 0.90 {
+		lo, _ := cov.Wilson(0.99)
+		t.Errorf("per-group 95%% CI coverage = %v (99%% Wilson [%v, %v]) over %d observations",
+			cov.Rate(), lo, hi, cov.Trials())
 	}
 }
 

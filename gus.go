@@ -108,12 +108,23 @@ type DB struct {
 	// segs tracks the open mmap segment handles behind segment-mode tables
 	// (see storage.go): Close unmaps them, the bytes-mapped gauge sums them.
 	segs segState
+	// calib aggregates CI-calibration observations — shadow audits and
+	// ObserveAccuracy feeds — behind AccuracySnapshot and the
+	// gus_ci_coverage_ratio gauge (see accuracy.go).
+	calib *obs.Calibration
+	// audit holds the optional shadow auditor's lifecycle (see accuracy.go).
+	audit auditState
 }
 
-// Open creates an empty database.
-func Open() *DB {
+// Open creates an empty database. Options configure optional subsystems —
+// e.g. WithAuditor starts the background CI-calibration auditor.
+func Open(opts ...DBOption) *DB {
 	db := &DB{tables: map[string]*relation.Relation{}, plans: newPlanCache(DefaultPlanCacheSize)}
+	db.calib = obs.NewCalibration(0)
 	db.metrics = newDBMetrics(db)
+	for _, fn := range opts {
+		fn(db)
+	}
 	return db
 }
 
@@ -488,6 +499,16 @@ type Value struct {
 	// Approximate marks delta-method results (AVG), whose variance is a
 	// first-order approximation rather than Theorem 1's exact form (§9).
 	Approximate bool
+	// Reliability grades the trustworthiness of the CI itself, "A"
+	// (dependable) through "D" (decorative), from the variance
+	// diagnostics: the relative standard error of the variance estimate,
+	// the effective term count, and structural caveats (delta-method
+	// variance, clamping). VarianceRSE is that relative standard error.
+	// Both are set only when the query carries a trace (WithTrace or
+	// EXPLAIN ANALYZE) — the diagnostics pass is gated off the untraced
+	// hot path, which stays allocation-free.
+	Reliability string
+	VarianceRSE float64
 
 	schema *lineage.Schema
 	yhat   []float64
@@ -963,6 +984,11 @@ func (db *DB) evalAggregate(g *core.Params, s aggSample, agg sqlparse.Aggregate,
 		Seed:            o.seed + 0x5b0c,
 		Workers:         o.workers,
 		Trace:           o.trace,
+		// Variance diagnostics ride along with tracing: the extra
+		// read-only pass allocates, so it is gated off the untraced hot
+		// path (never changing results either way — see the bit-identity
+		// tests).
+		Diagnostics: o.trace != nil,
 	}
 	f := agg.Arg
 	if f == nil || agg.Kind == sqlparse.AggCount {
@@ -988,6 +1014,9 @@ func (db *DB) evalAggregate(g *core.Params, s aggSample, agg sqlparse.Aggregate,
 		v.Estimate = er.Estimate
 		v.StdErr = er.StdDev()
 		v.yhat = er.YHat
+		if er.Diag != nil {
+			v.Reliability, v.VarianceRSE = er.Diag.Grade, er.Diag.VarianceRSE
+		}
 		if agg.HasQuantile {
 			v.Kind = fmt.Sprintf("QUANTILE(%s,%g)", agg.Kind, agg.Quantile)
 			v.Value = er.QuantileWith(agg.Quantile, ciMethod)
@@ -996,11 +1025,14 @@ func (db *DB) evalAggregate(g *core.Params, s aggSample, agg sqlparse.Aggregate,
 		}
 		v.CILow, v.CIHigh = er.CI(o.level, ciMethod)
 	case sqlparse.AggAvg:
-		est, sd, err := avgDelta(g, s, agg.Arg, eopts)
+		est, sd, diag, err := avgDelta(g, s, agg.Arg, eopts)
 		if err != nil {
 			return nil, err
 		}
 		v.Estimate, v.StdErr, v.Approximate = est, sd, true
+		if diag != nil {
+			v.Reliability, v.VarianceRSE = diag.Grade, diag.VarianceRSE
+		}
 		if agg.HasQuantile {
 			v.Kind = fmt.Sprintf("QUANTILE(AVG,%g)", agg.Quantile)
 			switch ciMethod {
@@ -1030,15 +1062,15 @@ func (db *DB) evalAggregate(g *core.Params, s aggSample, agg sqlparse.Aggregate,
 // (§9: "good quality approximations can be provided, using for example the
 // delta method"), delegating to the estimator's Ratio machinery, which
 // estimates Cov(SUM, COUNT) from unbiased bilinear lineage moments.
-func avgDelta(g *core.Params, s aggSample, f expr.Expr, eopts estimator.Options) (est, sd float64, err error) {
+func avgDelta(g *core.Params, s aggSample, f expr.Expr, eopts estimator.Options) (est, sd float64, diag *estimator.Diagnostics, err error) {
 	if f == nil {
-		return 0, 0, fmt.Errorf("gus: AVG(*) is not valid SQL")
+		return 0, 0, nil, fmt.Errorf("gus: AVG(*) is not valid SQL")
 	}
 	r, err := s.ratio(g, f, expr.Int(1), eopts)
 	if err != nil {
-		return 0, 0, fmt.Errorf("gus: AVG: %w", err)
+		return 0, 0, nil, fmt.Errorf("gus: AVG: %w", err)
 	}
-	return r.Estimate, r.StdDev(), nil
+	return r.Estimate, r.StdDev(), r.Diag, nil
 }
 
 // Sampling describes one relation's sampling in a hypothetical design for

@@ -1,0 +1,288 @@
+// Package audit implements the shadow auditor: a background loop that
+// samples hot query shapes from the shape registry, replays each shape
+// twice — once sampled with a fresh seed, once exactly — and reports the
+// realized error of the sampled run against its claimed confidence
+// interval. The observations feed the calibration tracker, turning
+// "the analysis says 95%" into a measured per-workload coverage rate.
+//
+// The auditor is deliberately dumb about SQL: the Runner owns replay
+// semantics (which shapes are replayable, how results pair up). This
+// package owns scheduling — demand-weighted shape selection, a
+// scanned-rows token bucket so audit traffic never exceeds a configured
+// fraction of the table data per minute, and context cancellation.
+package audit
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/sampling-algebra/gus/internal/stats"
+)
+
+// ErrSkip is returned by Runner.Audit for shapes that cannot be audited
+// (parameterized statements, EXPLAIN wrappers, grouped results). Skips
+// are counted but are not failures.
+var ErrSkip = errors.New("audit: shape not auditable")
+
+// Shape is one candidate query shape with its demand weight (completed
+// query count) from the registry.
+type Shape struct {
+	SQL     string
+	Queries uint64
+}
+
+// Item is one SELECT item's paired sampled/exact outcome.
+type Item struct {
+	Name string
+	// Estimate and [CILow, CIHigh] come from the sampled replay; Truth
+	// from the exact one. Reliability is the sampled run's CI grade
+	// ("" when diagnostics were unavailable).
+	Estimate, CILow, CIHigh, Truth float64
+	Reliability                    string
+}
+
+// Replay is a Runner.Audit result: per-item outcomes plus the input rows
+// both replays scanned (the budget charge).
+type Replay struct {
+	Items       []Item
+	RowsScanned int
+}
+
+// Runner abstracts the database being audited.
+type Runner interface {
+	// Shapes lists candidate shapes with demand weights. Order need not
+	// be stable; the auditor sorts.
+	Shapes() []Shape
+	// TotalRows reports the current total base-table row count — the
+	// denominator of the budget fraction.
+	TotalRows() int
+	// Audit replays one shape sampled (with the given seed) and exactly,
+	// returning paired outcomes. ErrSkip marks a non-auditable shape.
+	Audit(ctx context.Context, sql string, seed uint64) (*Replay, error)
+}
+
+// Options tunes an Auditor. The zero value audits every 15 seconds with
+// at most half the table rows scanned per minute.
+type Options struct {
+	// Interval is the pause between audit attempts (≤ 0 selects 15s).
+	Interval time.Duration
+	// MaxFractionPerMinute caps audit scan traffic: token bucket refilled
+	// at TotalRows()×fraction rows per minute, burst one minute's worth
+	// (≤ 0 selects 0.5). An Exact replay scans the full table, so e.g.
+	// 0.5 allows roughly one full-table audit every four minutes.
+	MaxFractionPerMinute float64
+	// Seed drives shape selection and the per-audit replay seeds;
+	// audits are deterministic given the same registry states.
+	Seed uint64
+	// OnObservation receives each item outcome (shape, item, covered).
+	// Called from the audit goroutine; must be concurrency-safe.
+	OnObservation func(shape string, it Item, covered bool)
+	// OnResult, when non-nil, is called once per attempted audit with
+	// its status ("ok", "skipped", "budget", "error") — the metrics hook.
+	OnResult func(shape, status string)
+}
+
+func (o Options) interval() time.Duration {
+	if o.Interval <= 0 {
+		return 15 * time.Second
+	}
+	return o.Interval
+}
+
+func (o Options) fraction() float64 {
+	if o.MaxFractionPerMinute <= 0 {
+		return 0.5
+	}
+	return o.MaxFractionPerMinute
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Audits        int `json:"audits"`  // replays that produced observations
+	Skipped       int `json:"skipped"` // non-auditable shapes picked
+	BudgetDefers  int `json:"budgetDefers"`
+	Errors        int `json:"errors"`
+	Observations  int `json:"observations"`
+	RowsScanned   int `json:"rowsScanned"`
+	ShapesTracked int `json:"shapesTracked"`
+}
+
+// Auditor runs the shadow-audit loop. Create with New, drive with Run.
+type Auditor struct {
+	r   Runner
+	o   Options
+	rng *stats.RNG
+
+	mu         sync.Mutex
+	budget     float64 // rows currently spendable
+	lastRefill time.Time
+	seq        uint64
+	stats      Stats
+}
+
+// New builds an Auditor over r. The budget starts full (one minute's
+// allowance), so the first audit never stalls.
+func New(r Runner, o Options) *Auditor {
+	a := &Auditor{r: r, o: o, rng: stats.NewRNG(o.Seed ^ 0xa0d17), lastRefill: time.Now()}
+	a.budget = a.o.fraction() * float64(r.TotalRows())
+	return a
+}
+
+// Stats returns a snapshot of the auditor's counters.
+func (a *Auditor) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Run loops until ctx is canceled: pick a shape, check the budget, replay,
+// record. It always returns ctx.Err()'s cause via context.Cause semantics
+// — a canceled auditor is a clean shutdown, not a failure.
+func (a *Auditor) Run(ctx context.Context) error {
+	t := time.NewTicker(a.o.interval())
+	defer t.Stop()
+	// First attempt immediately; then on the ticker.
+	for {
+		a.AuditOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// AuditOnce performs at most one audit attempt: selects a shape, charges
+// the budget, replays, and reports observations. Returns the status it
+// would report to OnResult ("idle" when there is nothing to audit).
+func (a *Auditor) AuditOnce(ctx context.Context) string {
+	shape, ok := a.pickShape()
+	if !ok {
+		return "idle"
+	}
+	// The exact replay scans the whole table; charge a conservative
+	// 2×TotalRows estimate up front and settle against the real cost
+	// after, so a huge audit cannot sneak past an almost-empty bucket.
+	est := 2 * a.r.TotalRows()
+	if !a.charge(est) {
+		a.result(shape, "budget")
+		return "budget"
+	}
+	seed := a.nextSeed()
+	rep, err := a.r.Audit(ctx, shape, seed)
+	switch {
+	case errors.Is(err, ErrSkip):
+		a.settle(est, 0)
+		a.result(shape, "skipped")
+		return "skipped"
+	case err != nil:
+		a.settle(est, est) // failed replays still consumed scan work
+		a.result(shape, "error")
+		return "error"
+	}
+	a.settle(est, rep.RowsScanned)
+	a.mu.Lock()
+	a.stats.Audits++
+	a.stats.Observations += len(rep.Items)
+	a.stats.RowsScanned += rep.RowsScanned
+	a.mu.Unlock()
+	for _, it := range rep.Items {
+		covered := it.CILow <= it.Truth && it.Truth <= it.CIHigh
+		if a.o.OnObservation != nil {
+			a.o.OnObservation(shape, it, covered)
+		}
+	}
+	a.result(shape, "ok")
+	return "ok"
+}
+
+// pickShape draws a shape with probability proportional to its demand
+// weight — hot shapes get audited more, cold ones still get coverage.
+func (a *Auditor) pickShape() (string, bool) {
+	shapes := a.r.Shapes()
+	if len(shapes) == 0 {
+		return "", false
+	}
+	sort.Slice(shapes, func(i, j int) bool { return shapes[i].SQL < shapes[j].SQL })
+	var total float64
+	for _, s := range shapes {
+		w := float64(s.Queries)
+		if w < 1 {
+			w = 1
+		}
+		total += w
+	}
+	a.mu.Lock()
+	r := a.rng.Float64() * total
+	a.mu.Unlock()
+	for _, s := range shapes {
+		w := float64(s.Queries)
+		if w < 1 {
+			w = 1
+		}
+		if r -= w; r < 0 {
+			a.mu.Lock()
+			a.stats.ShapesTracked = len(shapes)
+			a.mu.Unlock()
+			return s.SQL, true
+		}
+	}
+	return shapes[len(shapes)-1].SQL, true
+}
+
+func (a *Auditor) nextSeed() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	return a.o.Seed + a.seq*0x9e3779b97f4a7c15
+}
+
+// charge refills the token bucket from elapsed wall time and tries to
+// spend cost rows. The bucket caps at one minute's allowance; a cost
+// larger than the cap is allowed whenever the bucket is full, so a big
+// table can still be audited — just rarely.
+func (a *Auditor) charge(cost int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cap64 := a.o.fraction() * float64(a.r.TotalRows())
+	now := time.Now()
+	a.budget += now.Sub(a.lastRefill).Minutes() * cap64
+	a.lastRefill = now
+	if a.budget > cap64 {
+		a.budget = cap64
+	}
+	if float64(cost) > a.budget && a.budget < cap64 {
+		a.stats.BudgetDefers++
+		return false
+	}
+	a.budget -= float64(cost)
+	return true
+}
+
+// settle refunds the difference between the up-front estimate and the
+// actual scan cost (never refunding past the estimate).
+func (a *Auditor) settle(estimated, actual int) {
+	if actual > estimated {
+		actual = estimated
+	}
+	a.mu.Lock()
+	a.budget += float64(estimated - actual)
+	a.mu.Unlock()
+}
+
+func (a *Auditor) result(shape, status string) {
+	a.mu.Lock()
+	switch status {
+	case "skipped":
+		a.stats.Skipped++
+	case "error":
+		a.stats.Errors++
+	}
+	a.mu.Unlock()
+	if a.o.OnResult != nil {
+		a.o.OnResult(shape, status)
+	}
+}

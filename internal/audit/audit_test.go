@@ -1,0 +1,219 @@
+package audit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeRunner is a scripted Runner: fixed shapes, fixed outcomes.
+type fakeRunner struct {
+	mu      sync.Mutex
+	shapes  []Shape
+	rows    int
+	audits  []string // SQL of each Audit call, in order
+	seeds   []uint64
+	replay  func(sql string) (*Replay, error)
+	blockCh chan struct{} // when non-nil, Audit waits for ctx or channel
+}
+
+func (f *fakeRunner) Shapes() []Shape {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Shape(nil), f.shapes...)
+}
+func (f *fakeRunner) TotalRows() int { f.mu.Lock(); defer f.mu.Unlock(); return f.rows }
+
+func (f *fakeRunner) Audit(ctx context.Context, sql string, seed uint64) (*Replay, error) {
+	f.mu.Lock()
+	f.audits = append(f.audits, sql)
+	f.seeds = append(f.seeds, seed)
+	block := f.blockCh
+	f.mu.Unlock()
+	if block != nil {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-block:
+		}
+	}
+	return f.replay(sql)
+}
+
+func (f *fakeRunner) calls() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.audits...)
+}
+
+func TestAuditOnceRecordsObservations(t *testing.T) {
+	fr := &fakeRunner{
+		shapes: []Shape{{SQL: "select sum ( v ) from t", Queries: 5}},
+		rows:   100,
+		replay: func(string) (*Replay, error) {
+			return &Replay{
+				Items: []Item{
+					{Name: "sum", Estimate: 10, CILow: 8, CIHigh: 12, Truth: 11}, // covered
+					{Name: "count", Estimate: 5, CILow: 4, CIHigh: 6, Truth: 9},  // missed
+				},
+				RowsScanned: 200,
+			}, nil
+		},
+	}
+	var obs []string
+	a := New(fr, Options{
+		Seed: 3,
+		OnObservation: func(shape string, it Item, covered bool) {
+			obs = append(obs, fmt.Sprintf("%s/%s/%v", shape, it.Name, covered))
+		},
+	})
+	if got := a.AuditOnce(context.Background()); got != "ok" {
+		t.Fatalf("AuditOnce = %q, want ok", got)
+	}
+	if len(obs) != 2 || obs[0] != "select sum ( v ) from t/sum/true" || obs[1] != "select sum ( v ) from t/count/false" {
+		t.Fatalf("observations = %v", obs)
+	}
+	st := a.Stats()
+	if st.Audits != 1 || st.Observations != 2 || st.RowsScanned != 200 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAuditorSeedsAreFresh(t *testing.T) {
+	fr := &fakeRunner{
+		shapes: []Shape{{SQL: "q", Queries: 1}},
+		rows:   1,
+		replay: func(string) (*Replay, error) { return &Replay{}, nil },
+	}
+	a := New(fr, Options{Seed: 42, MaxFractionPerMinute: 1e9})
+	for i := 0; i < 3; i++ {
+		a.AuditOnce(context.Background())
+	}
+	if len(fr.seeds) != 3 {
+		t.Fatalf("audit calls = %d", len(fr.seeds))
+	}
+	seen := map[uint64]bool{}
+	for _, s := range fr.seeds {
+		if seen[s] {
+			t.Fatalf("seed %d reused across audits", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestAuditorBudgetDefers(t *testing.T) {
+	fr := &fakeRunner{
+		shapes: []Shape{{SQL: "q", Queries: 1}},
+		rows:   1000,
+		replay: func(string) (*Replay, error) { return &Replay{RowsScanned: 2000}, nil },
+	}
+	a := New(fr, Options{MaxFractionPerMinute: 0.5})
+	// First audit: bucket starts full (500 rows) — a full-bucket spend is
+	// allowed even though the cost (2000) exceeds the cap.
+	if got := a.AuditOnce(context.Background()); got != "ok" {
+		t.Fatalf("first audit = %q, want ok", got)
+	}
+	// Second immediately after: bucket deeply negative → deferred.
+	if got := a.AuditOnce(context.Background()); got != "budget" {
+		t.Fatalf("second audit = %q, want budget", got)
+	}
+	if st := a.Stats(); st.BudgetDefers != 1 || st.Audits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if calls := fr.calls(); len(calls) != 1 {
+		t.Fatalf("runner saw %d audits, want 1", len(calls))
+	}
+}
+
+func TestAuditorSkipAndError(t *testing.T) {
+	fail := errors.New("boom")
+	mode := "skip"
+	fr := &fakeRunner{
+		shapes: []Shape{{SQL: "q", Queries: 1}},
+		rows:   1,
+		replay: func(string) (*Replay, error) {
+			if mode == "skip" {
+				return nil, ErrSkip
+			}
+			return nil, fail
+		},
+	}
+	var results []string
+	a := New(fr, Options{
+		MaxFractionPerMinute: 1e9,
+		OnResult:             func(shape, status string) { results = append(results, status) },
+	})
+	if got := a.AuditOnce(context.Background()); got != "skipped" {
+		t.Fatalf("skip audit = %q", got)
+	}
+	mode = "error"
+	if got := a.AuditOnce(context.Background()); got != "error" {
+		t.Fatalf("error audit = %q", got)
+	}
+	st := a.Stats()
+	if st.Skipped != 1 || st.Errors != 1 || st.Audits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(results) != 2 || results[0] != "skipped" || results[1] != "error" {
+		t.Fatalf("results = %v", results)
+	}
+}
+
+func TestAuditorIdleWithNoShapes(t *testing.T) {
+	fr := &fakeRunner{rows: 10, replay: func(string) (*Replay, error) { return &Replay{}, nil }}
+	a := New(fr, Options{})
+	if got := a.AuditOnce(context.Background()); got != "idle" {
+		t.Fatalf("AuditOnce = %q, want idle", got)
+	}
+}
+
+// TestAuditorRunCancel: Run exits promptly on context cancellation, even
+// mid-audit.
+func TestAuditorRunCancel(t *testing.T) {
+	fr := &fakeRunner{
+		shapes:  []Shape{{SQL: "q", Queries: 1}},
+		rows:    1,
+		blockCh: make(chan struct{}),
+		replay:  func(string) (*Replay, error) { return &Replay{}, nil },
+	}
+	a := New(fr, Options{Interval: time.Millisecond, MaxFractionPerMinute: 1e9})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.Run(ctx) }()
+	time.Sleep(10 * time.Millisecond) // let it enter the blocked Audit
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not exit after cancel")
+	}
+}
+
+// TestAuditorWeightedSelection: over many picks, a shape with 9× the
+// demand is audited far more often.
+func TestAuditorWeightedSelection(t *testing.T) {
+	fr := &fakeRunner{
+		shapes: []Shape{{SQL: "hot", Queries: 90}, {SQL: "cold", Queries: 10}},
+		rows:   1,
+		replay: func(string) (*Replay, error) { return &Replay{}, nil },
+	}
+	a := New(fr, Options{Seed: 1, MaxFractionPerMinute: 1e9})
+	for i := 0; i < 200; i++ {
+		a.AuditOnce(context.Background())
+	}
+	hot := 0
+	for _, sql := range fr.calls() {
+		if sql == "hot" {
+			hot++
+		}
+	}
+	if hot < 140 || hot == 200 {
+		t.Fatalf("hot shape picked %d/200 times, want ≈180 and some cold picks", hot)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/sampling-algebra/gus/internal/batch"
 	"github.com/sampling-algebra/gus/internal/core"
 	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/obs"
 	"github.com/sampling-algebra/gus/internal/ops"
 )
 
@@ -38,7 +39,19 @@ func EstimateBatch(g *core.Params, b *batch.Batch, f expr.Expr, opts Options) (*
 		return nil, err
 	}
 	opts.Trace.End(sp, int64(b.Len()), 1)
+	annotateDiag(opts, sp, res.Diag)
 	return res, nil
+}
+
+// annotateDiag appends the CI-reliability grade to an estimate span's
+// label, so EXPLAIN ANALYZE and trace output show it inline.
+func annotateDiag(opts Options, sp int, d *Diagnostics) {
+	if opts.Trace == nil || d == nil {
+		return
+	}
+	opts.Trace.SetSpan(sp, func(s *obs.Span) {
+		s.Label += fmt.Sprintf(" [reliability=%s rse(V)=%.2g groups=%d]", d.Grade, d.VarianceRSE, d.Groups)
+	})
 }
 
 // RatioBatch estimates num/den over a columnar sample — the batch
@@ -62,6 +75,7 @@ func RatioBatch(g *core.Params, b *batch.Batch, num, den expr.Expr, opts Options
 		return nil, err
 	}
 	opts.Trace.End(sp, int64(b.Len()), 1)
+	annotateDiag(opts, sp, res.Diag)
 	return res, nil
 }
 

@@ -68,6 +68,10 @@ type RatioResult struct {
 	Num, Den *Result
 	// Cov is the estimated covariance of the two SUM estimators.
 	Cov float64
+	// Diag reports variance-estimate reliability (nil unless
+	// Options.Diagnostics was set): the weaker of the component SUM
+	// diagnostics, always marked Approximate.
+	Diag *Diagnostics
 }
 
 // StdDev returns the delta-method standard deviation.
@@ -118,7 +122,8 @@ func ratioSrc(g *core.Params, src linSource, nfs, dfs []float64, opts Options) (
 		return nil, err
 	}
 	n, d := nRes.Estimate, dRes.Estimate
-	v := nRes.RawVariance/(d*d) - 2*n*cov/(d*d*d) + n*n*dRes.RawVariance/(d*d*d*d)
+	raw := nRes.RawVariance/(d*d) - 2*n*cov/(d*d*d) + n*n*dRes.RawVariance/(d*d*d*d)
+	v := raw
 	if v < 0 {
 		v = 0
 	}
@@ -128,5 +133,6 @@ func ratioSrc(g *core.Params, src linSource, nfs, dfs []float64, opts Options) (
 		Num:      nRes,
 		Den:      dRes,
 		Cov:      cov,
+		Diag:     mergeRatioDiag(nRes.Diag, dRes.Diag, raw < 0),
 	}, nil
 }

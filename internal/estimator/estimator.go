@@ -72,6 +72,12 @@ type Options struct {
 	// time and the number of sample tuples fed in). Tracing never touches
 	// the estimate math — results are bit-identical either way.
 	Trace *obs.Trace
+	// Diagnostics, when true, additionally reports the reliability of
+	// the variance estimate itself (Result.Diag) from a separate
+	// read-only pass over the sample. Like tracing, it never perturbs
+	// the estimate — results are bit-identical either way — but it is
+	// gated because the extra pass costs allocations on the hot path.
+	Diagnostics bool
 }
 
 // Result carries the SBox outputs.
@@ -96,6 +102,9 @@ type Result struct {
 	Y []float64
 	// YHat holds the unbiased estimates Ŷ_S of the data moments y_S.
 	YHat []float64
+	// Diag reports variance-estimate reliability (nil unless
+	// Options.Diagnostics was set).
+	Diag *Diagnostics
 }
 
 // StdDev returns σ̂.
@@ -233,6 +242,10 @@ func fromSource(g *core.Params, src linSource, fs []float64, opts Options) (*Res
 	if raw < 0 {
 		res.Variance = 0
 		res.Clamped = true
+	}
+	if opts.Diagnostics {
+		groups, s2, s4 := diagnoseSource(varG.Schema().Len(), varSrc, varFs)
+		res.Diag = newDiagnostics(groups, s2, s4, false, sub, res.Clamped)
 	}
 	return res, nil
 }

@@ -206,6 +206,44 @@ func (a *Accum) Moments() []float64 {
 	return out
 }
 
+// TopDiagnostics returns the full-mask group statistics (group count,
+// Σt², Σt⁴) over everything added so far, including the unfolded tail —
+// the streaming counterpart of diagnoseSource. Persistent group state is
+// untouched (only the reusable shard scratch is written), so calling it
+// never changes subsequent Moments/Finalize floats.
+func (a *Accum) TopDiagnostics() (groups int, sum2, sum4 float64) {
+	ms := a.masks[len(a.masks)-1]
+	ch := a.tailChunk()
+	var delta map[int32]float64
+	var fresh []float64
+	if ch != nil {
+		ng := ms.buildShard(ch)
+		rep := 0
+		eq := func(id int32) bool { return ms.keyEqualRow(id, ch.lin, rep) }
+		delta = make(map[int32]float64, ng)
+		for j := 0; j < ng; j++ {
+			rep = int(ms.shardRows[j])
+			if s := ms.g.Find(ms.shardHash[j], eq); s >= 0 {
+				delta[s] += ms.shardF[j]
+			} else {
+				fresh = append(fresh, ms.shardF[j])
+			}
+		}
+	}
+	for s, f := range ms.fTot {
+		t := f + delta[int32(s)]
+		t2 := t * t
+		sum2 += t2
+		sum4 += t2 * t2
+	}
+	for _, t := range fresh {
+		t2 := t * t
+		sum2 += t2
+		sum4 += t2 * t2
+	}
+	return len(ms.fTot) + len(fresh), sum2, sum4
+}
+
 // Finalize folds the remaining tail and returns the exact moments,
 // recomputed in slot order: bit-identical to momentsSharded (or
 // BilinearMoments with Workers > 0) over the whole sample. The

@@ -1,0 +1,173 @@
+// Calibration tracking: per-shape ring buffers of (claimed CI width,
+// realized error, covered?) observations fed by the shadow auditor (or
+// any offline comparison against exact answers), summarized with
+// Wilson-scored empirical coverage rates. This is how the system decides
+// whether its own error bars can be believed: nominal 95% CIs whose
+// empirical coverage interval excludes 0.95 are miscalibrated for that
+// workload, whatever the analysis says.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/sampling-algebra/gus/internal/stats"
+)
+
+// maxCalibrationShapes bounds the tracked shape set, mirroring the
+// per-shape metrics cap: churny shape traffic past the bound folds into
+// a single "other" slot instead of growing without bound.
+const maxCalibrationShapes = 256
+
+// CalibrationOverflowShape is the slot absorbing observations once
+// maxCalibrationShapes distinct shapes are tracked.
+const CalibrationOverflowShape = "other"
+
+// DefaultCalibrationWindow is the per-shape ring capacity: enough
+// observations for a meaningful Wilson interval, small enough that a
+// regressing workload shows up quickly.
+const DefaultCalibrationWindow = 256
+
+// CalibrationObs is one audit observation: a sampled run's claimed
+// interval compared against the exact answer for the same query shape.
+type CalibrationObs struct {
+	// ClaimedHalfWidth is the half-width of the CI the estimator
+	// reported; RelErr is |estimate−truth|/|truth| (|estimate| when the
+	// truth is zero); Covered records whether truth ∈ [lo, hi].
+	ClaimedHalfWidth float64
+	RelErr           float64
+	Covered          bool
+	// Reliability is the CI-reliability grade the diagnosed run
+	// reported ("" when diagnostics were off).
+	Reliability string
+	// At is the observation time.
+	At time.Time
+}
+
+// shapeCal is the per-shape state: a ring of recent observations plus
+// all-time covered/total counters (the ring bounds memory, the counters
+// keep the long-run coverage rate honest).
+type shapeCal struct {
+	ring    []CalibrationObs
+	next    int // ring write cursor
+	total   int // all-time observations
+	covered int // all-time covered
+}
+
+// Calibration aggregates audit observations per query shape. All methods
+// are safe for concurrent use; Record is O(1).
+type Calibration struct {
+	mu     sync.Mutex
+	window int
+	shapes map[string]*shapeCal
+}
+
+// NewCalibration builds a tracker with the given per-shape ring capacity
+// (DefaultCalibrationWindow if window <= 0).
+func NewCalibration(window int) *Calibration {
+	if window <= 0 {
+		window = DefaultCalibrationWindow
+	}
+	return &Calibration{window: window, shapes: map[string]*shapeCal{}}
+}
+
+// Record stores one observation for shape. Shapes past the tracked-set
+// bound fold into CalibrationOverflowShape.
+func (c *Calibration) Record(shape string, o CalibrationObs) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc := c.shapes[shape]
+	if sc == nil {
+		if len(c.shapes) >= maxCalibrationShapes {
+			shape = CalibrationOverflowShape
+			if sc = c.shapes[shape]; sc == nil {
+				sc = &shapeCal{}
+				c.shapes[shape] = sc
+			}
+		} else {
+			sc = &shapeCal{}
+			c.shapes[shape] = sc
+		}
+	}
+	if len(sc.ring) < c.window {
+		sc.ring = append(sc.ring, o)
+	} else {
+		sc.ring[sc.next] = o
+	}
+	sc.next = (sc.next + 1) % c.window
+	sc.total++
+	if o.Covered {
+		sc.covered++
+	}
+}
+
+// ShapeCalibration is the exported per-shape summary.
+type ShapeCalibration struct {
+	Shape string `json:"shape"`
+	// Observations and Covered are all-time counters; Window is the
+	// number of observations currently in the ring (window statistics
+	// below are computed over these).
+	Observations int `json:"observations"`
+	Covered      int `json:"covered"`
+	Window       int `json:"window"`
+	// CoverageRate is the all-time empirical coverage;
+	// [CoverageLow, CoverageHigh] is its 95% Wilson score interval. A
+	// nominal level outside this interval flags miscalibration.
+	CoverageRate float64 `json:"coverageRate"`
+	CoverageLow  float64 `json:"coverageLow"`
+	CoverageHigh float64 `json:"coverageHigh"`
+	// MeanRelErr / MaxRelErr and MeanClaimedHalfWidth summarize the
+	// ring window.
+	MeanRelErr           float64 `json:"meanRelErr"`
+	MaxRelErr            float64 `json:"maxRelErr"`
+	MeanClaimedHalfWidth float64 `json:"meanClaimedHalfWidth"`
+	// LastAt is the newest observation's timestamp.
+	LastAt time.Time `json:"lastAt"`
+}
+
+// Snapshot returns per-shape summaries sorted by shape.
+func (c *Calibration) Snapshot() []ShapeCalibration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ShapeCalibration, 0, len(c.shapes))
+	for shape, sc := range c.shapes {
+		s := ShapeCalibration{
+			Shape:        shape,
+			Observations: sc.total,
+			Covered:      sc.covered,
+			Window:       len(sc.ring),
+			CoverageRate: float64(sc.covered) / float64(sc.total),
+		}
+		s.CoverageLow, s.CoverageHigh = stats.Wilson(sc.covered, sc.total, 0.95)
+		for _, o := range sc.ring {
+			s.MeanRelErr += o.RelErr
+			if o.RelErr > s.MaxRelErr {
+				s.MaxRelErr = o.RelErr
+			}
+			s.MeanClaimedHalfWidth += o.ClaimedHalfWidth
+			if o.At.After(s.LastAt) {
+				s.LastAt = o.At
+			}
+		}
+		if n := float64(len(sc.ring)); n > 0 {
+			s.MeanRelErr /= n
+			s.MeanClaimedHalfWidth /= n
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shape < out[j].Shape })
+	return out
+}
+
+// Totals returns the all-time covered and total observation counts
+// across every shape. Exposed as the gus_ci_coverage_ratio gauge.
+func (c *Calibration) Totals() (covered, total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sc := range c.shapes {
+		covered += sc.covered
+		total += sc.total
+	}
+	return covered, total
+}

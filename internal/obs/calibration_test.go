@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCalibrationRingAndTotals(t *testing.T) {
+	c := NewCalibration(4)
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		c.Record("s1", CalibrationObs{
+			ClaimedHalfWidth: 1,
+			RelErr:           float64(i),
+			Covered:          i%2 == 0,
+			At:               base.Add(time.Duration(i) * time.Second),
+		})
+	}
+	snap := c.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d shapes, want 1", len(snap))
+	}
+	s := snap[0]
+	if s.Shape != "s1" || s.Observations != 10 || s.Covered != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Window != 4 {
+		t.Fatalf("window = %d, want 4 (ring capacity)", s.Window)
+	}
+	// Ring holds the last 4 observations: RelErr 6..9.
+	if want := (6.0 + 7 + 8 + 9) / 4; s.MeanRelErr != want {
+		t.Fatalf("MeanRelErr = %v, want %v", s.MeanRelErr, want)
+	}
+	if s.MaxRelErr != 9 {
+		t.Fatalf("MaxRelErr = %v, want 9", s.MaxRelErr)
+	}
+	if !s.LastAt.Equal(base.Add(9 * time.Second)) {
+		t.Fatalf("LastAt = %v", s.LastAt)
+	}
+	if s.CoverageRate != 0.5 {
+		t.Fatalf("CoverageRate = %v, want 0.5", s.CoverageRate)
+	}
+	if !(s.CoverageLow < 0.5 && 0.5 < s.CoverageHigh) {
+		t.Fatalf("Wilson interval [%v, %v] does not bracket the rate", s.CoverageLow, s.CoverageHigh)
+	}
+	if cov, tot := c.Totals(); cov != 5 || tot != 10 {
+		t.Fatalf("Totals = (%d, %d), want (5, 10)", cov, tot)
+	}
+}
+
+// TestCalibrationShapeBound: churn past the shape cap lands in the
+// overflow slot; the tracked set never exceeds the bound (+1 for the
+// overflow slot itself). Run with -race, concurrently.
+func TestCalibrationShapeBound(t *testing.T) {
+	c := NewCalibration(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				shape := fmt.Sprintf("shape-%d", (w*200+i)%400)
+				c.Record(shape, CalibrationObs{Covered: true})
+				if i%50 == 0 {
+					c.Snapshot()
+					c.Totals()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	if len(snap) > maxCalibrationShapes+1 {
+		t.Fatalf("tracked %d shapes, cap is %d", len(snap), maxCalibrationShapes)
+	}
+	overflow := 0
+	total := 0
+	for _, s := range snap {
+		total += s.Observations
+		if s.Shape == CalibrationOverflowShape {
+			overflow = s.Observations
+		}
+	}
+	if total != 8*200 {
+		t.Fatalf("total observations = %d, want %d", total, 8*200)
+	}
+	if overflow == 0 {
+		t.Fatal("expected overflow observations in the 'other' slot")
+	}
+}
+
+func TestCalibrationEmpty(t *testing.T) {
+	c := NewCalibration(0)
+	if snap := c.Snapshot(); len(snap) != 0 {
+		t.Fatalf("empty snapshot = %v", snap)
+	}
+	if cov, tot := c.Totals(); cov != 0 || tot != 0 {
+		t.Fatalf("empty totals = (%d, %d)", cov, tot)
+	}
+}

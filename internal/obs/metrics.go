@@ -367,7 +367,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case e.cvec != nil:
 			snap := e.cvec.snapshot()
 			for _, label := range sortedKeys(snap) {
-				fmt.Fprintf(&b, "%s{%s=%q} %d\n", e.name, e.labelName, label, snap[label])
+				fmt.Fprintf(&b, "%s{%s=\"%s\"} %d\n", e.name, e.labelName, escapeLabel(label), snap[label])
 			}
 		case e.hvec != nil:
 			e.hvec.mu.RLock()
@@ -396,15 +396,42 @@ func writeHist(b *strings.Builder, name, labelName, label string, h *Histogram) 
 	prefix := "" // `label="value",` inside the bucket braces
 	suffix := "" // `{label="value"}` on _sum/_count lines
 	if labelName != "" {
-		prefix = fmt.Sprintf("%s=%q,", labelName, label)
-		suffix = fmt.Sprintf("{%s=%q}", labelName, label)
+		prefix = fmt.Sprintf("%s=\"%s\",", labelName, escapeLabel(label))
+		suffix = fmt.Sprintf("{%s=\"%s\"}", labelName, escapeLabel(label))
 	}
 	for i, bound := range bounds {
-		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, prefix, fmtFloat(bound), cum[i])
+		fmt.Fprintf(b, "%s_bucket{%sle=\"%s\"} %d\n", name, prefix, fmtFloat(bound), cum[i])
 	}
 	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, prefix, total)
 	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, fmtFloat(h.Sum()))
 	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, h.Count())
+}
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format (0.0.4): backslash, double-quote and newline only. Go's %q is
+// NOT equivalent — it also escapes tabs and non-ASCII runes as \uXXXX,
+// which Prometheus would ingest literally, splitting one logical label
+// value into distinct series. Shape labels carry normalized user SQL,
+// whose string literals may contain any of these characters.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // fmtFloat renders a float the Prometheus way: integers without

@@ -184,6 +184,58 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// TestPrometheusLabelEscaping pins 0.0.4-format label-value escaping:
+// backslash, double-quote and newline are escaped, and — unlike Go's %q,
+// which the renderer previously used — tabs and non-ASCII runes pass
+// through verbatim. Shape labels carry normalized user SQL, so all of
+// these occur in practice inside string literals.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	if got, want := escapeLabel(`pa\th "x"`+"\nnext"), `pa\\th \"x\"\nnext`; got != want {
+		t.Fatalf("escapeLabel = %q, want %q", got, want)
+	}
+	if got := escapeLabel("plain"); got != "plain" {
+		t.Fatalf("escapeLabel(plain) = %q", got)
+	}
+
+	reg := NewRegistry()
+	cv := reg.CounterVec("shapes_total", "By shape.", "shape")
+	hv := reg.HistogramVec("shape_seconds", "By shape.", "shape", []float64{1})
+	sql := "select sum ( v ) from t where s = 'a\\b \"c\"\nd\tΣ'"
+	cv.With(sql).Add(2)
+	hv.With(sql).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	escaped := `select sum ( v ) from t where s = 'a\\b \"c\"\nd` + "\t" + `Σ'`
+	for _, want := range []string{
+		`shapes_total{shape="` + escaped + `"} 2`,
+		`shape_seconds_bucket{shape="` + escaped + `",le="1"} 1`,
+		`shape_seconds_sum{shape="` + escaped + `"} 0.5`,
+		`shape_seconds_count{shape="` + escaped + `"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// No raw (unescaped) newline or quote may survive inside a label
+	// value: every line must still be a single complete sample.
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Fatalf("malformed sample line %q (label leaked a newline?)", line)
+		}
+	}
+	// Go-style over-escaping must not reappear.
+	if strings.Contains(text, `\t`) || strings.Contains(text, `\u`) {
+		t.Fatalf("label value over-escaped (Go %%q style):\n%s", text)
+	}
+}
+
 func TestSnapshotSorted(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("b_total", "b").Inc()

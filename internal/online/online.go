@@ -117,6 +117,11 @@ type ValueUpdate struct {
 	// RelHalfWidth is the CI half-width over |Estimate| — the quantity
 	// TargetRelCI tests. +Inf while the estimate is zero or undefined.
 	RelHalfWidth float64
+	// Reliability grades how trustworthy the CI itself is this wave
+	// (A–D, from the variance-of-variance diagnostics); VarianceRSE is
+	// the underlying relative standard error of the variance estimate.
+	Reliability string
+	VarianceRSE float64
 }
 
 // Update is one progressive refinement. The top-level estimator fields
@@ -345,6 +350,7 @@ func (x *Executor) snapshot(states []itemState, wave int, frac float64, scanned 
 func (x *Executor) itemUpdate(st *itemState, it Item, gw *core.Params, final bool) (ValueUpdate, error) {
 	vu := ValueUpdate{Name: it.Name, Kind: it.Kind, Approximate: it.Ratio}
 	var est, sd float64
+	clamped := false
 	if it.Ratio {
 		totN, totD := st.acc.Total(), st.accD.Total()
 		var yNN, yDD, yND []float64
@@ -363,6 +369,7 @@ func (x *Executor) itemUpdate(st *itemState, it Item, gw *core.Params, final boo
 			return vu, err
 		}
 		est, sd = rr.Estimate, rr.StdDev()
+		clamped = rr.Num.Clamped || rr.Den.Clamped
 	} else {
 		var y []float64
 		if final {
@@ -375,6 +382,12 @@ func (x *Executor) itemUpdate(st *itemState, it Item, gw *core.Params, final boo
 			return vu, err
 		}
 		est, sd = res.Estimate, res.StdDev()
+		clamped = res.Clamped
+	}
+	// Grade this wave's CI from the accumulator's full-mask group stats —
+	// a read-only pass, so the estimate floats above are untouched.
+	if d := estimator.DiagnoseAccum(st.acc, it.Ratio, clamped); d != nil {
+		vu.Reliability, vu.VarianceRSE = d.Grade, d.VarianceRSE
 	}
 	vu.Estimate, vu.StdErr, vu.Variance = est, sd, sd*sd
 	var half float64

@@ -69,6 +69,45 @@ func (c *Coverage) Rate() float64 {
 // Trials returns the number of observed trials.
 func (c *Coverage) Trials() int { return c.trials }
 
+// Hits returns the number of trials whose interval covered the truth.
+func (c *Coverage) Hits() int { return c.hits }
+
+// Wilson returns the Wilson score interval for the coverage rate at the
+// given confidence level. Unlike the raw Rate, the interval widens with
+// few trials, so a threshold test against it does not flake on small
+// samples. With zero trials it returns [0, 1].
+func (c *Coverage) Wilson(level float64) (lo, hi float64) {
+	return Wilson(c.hits, c.trials, level)
+}
+
+// Wilson returns the Wilson score interval for a binomial proportion:
+// the set of true success probabilities p for which observing
+// successes/trials would not be rejected at the given confidence level.
+// It is well-behaved at the boundaries (0 or trials successes) where the
+// normal approximation collapses to a zero-width interval. With zero
+// trials it returns [0, 1].
+func Wilson(successes, trials int, level float64) (lo, hi float64) {
+	if trials <= 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z := NormalQuantile(0.5 + level/2)
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // RelErr returns |est−truth| / |truth| (or |est| when truth is 0).
 func RelErr(est, truth float64) float64 {
 	if truth == 0 {

@@ -310,6 +310,71 @@ func TestCoverage(t *testing.T) {
 	}
 }
 
+func TestWilson(t *testing.T) {
+	// Textbook check: 85/100 at 95% gives roughly [0.767, 0.906].
+	lo, hi := Wilson(85, 100, 0.95)
+	if math.Abs(lo-0.7669) > 0.005 || math.Abs(hi-0.9061) > 0.005 {
+		t.Errorf("Wilson(85,100) = [%v, %v], want ≈[0.767, 0.906]", lo, hi)
+	}
+	// Boundaries stay inside [0,1] and are non-degenerate.
+	if lo, hi = Wilson(0, 20, 0.95); lo > 1e-12 || hi <= 0.05 || hi >= 1 {
+		t.Errorf("Wilson(0,20) = [%v, %v]", lo, hi)
+	}
+	if lo, hi = Wilson(20, 20, 0.95); hi < 1-1e-12 || lo <= 0 || lo >= 0.95 {
+		t.Errorf("Wilson(20,20) = [%v, %v]", lo, hi)
+	}
+	// No trials: maximally uninformative.
+	if lo, hi = Wilson(0, 0, 0.95); lo != 0 || hi != 1 {
+		t.Errorf("Wilson(0,0) = [%v, %v], want [0, 1]", lo, hi)
+	}
+	// Interval narrows as trials grow.
+	lo1, hi1 := Wilson(9, 10, 0.95)
+	lo2, hi2 := Wilson(900, 1000, 0.95)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Errorf("interval did not narrow: n=10 width %v, n=1000 width %v", hi1-lo1, hi2-lo2)
+	}
+	// Coverage.Wilson agrees with the free function.
+	var c Coverage
+	for i := 0; i < 100; i++ {
+		if i < 85 {
+			c.Observe(0, 1, 0.5)
+		} else {
+			c.Observe(0, 1, 2)
+		}
+	}
+	clo, chi := c.Wilson(0.95)
+	wlo, whi := Wilson(85, 100, 0.95)
+	if clo != wlo || chi != whi {
+		t.Errorf("Coverage.Wilson = [%v, %v], Wilson = [%v, %v]", clo, chi, wlo, whi)
+	}
+	if c.Hits() != 85 {
+		t.Errorf("Hits = %d, want 85", c.Hits())
+	}
+}
+
+func TestWilsonCovers(t *testing.T) {
+	// Simulated binomial draws: the 95% Wilson interval should contain
+	// the true p in roughly 95% of repetitions (allow generous slack).
+	rng := NewRNG(7)
+	const p, trials, reps = 0.9, 60, 400
+	contained := 0
+	for r := 0; r < reps; r++ {
+		succ := 0
+		for i := 0; i < trials; i++ {
+			if rng.Float64() < p {
+				succ++
+			}
+		}
+		lo, hi := Wilson(succ, trials, 0.95)
+		if lo <= p && p <= hi {
+			contained++
+		}
+	}
+	if rate := float64(contained) / reps; rate < 0.90 {
+		t.Errorf("Wilson interval contained true p in only %.1f%% of draws", rate*100)
+	}
+}
+
 func TestRelErr(t *testing.T) {
 	if RelErr(110, 100) != 0.1 {
 		t.Error("RelErr wrong")

@@ -10,6 +10,7 @@ package gus
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"sync"
 	"time"
@@ -80,6 +81,9 @@ type dbMetrics struct {
 	shapeErrors  *obs.CounterVec
 	shapeSecs    *obs.HistogramVec
 
+	auditRuns *obs.CounterVec
+	auditRows *obs.Counter
+
 	mu       sync.Mutex
 	shapes   map[string]*shapeMetrics
 	overflow *shapeMetrics
@@ -99,6 +103,8 @@ func newDBMetrics(db *DB) *dbMetrics {
 		shapeQueries: reg.CounterVec("gus_shape_queries_total", "Completed queries by normalized statement shape.", "shape"),
 		shapeErrors:  reg.CounterVec("gus_shape_errors_total", "Failed queries by normalized statement shape.", "shape"),
 		shapeSecs:    reg.HistogramVec("gus_shape_query_seconds", "Query latency by normalized statement shape.", "shape", obs.LatencyBuckets),
+		auditRuns:    reg.CounterVec("gus_audit_runs_total", "Shadow-audit attempts by outcome (ok, skipped, budget, error).", "status"),
+		auditRows:    reg.Counter("gus_audit_rows_scanned_total", "Base-table rows scanned by shadow-audit replays (sampled plus exact)."),
 		shapes:       map[string]*shapeMetrics{},
 	}
 	queries := reg.CounterVec("gus_queries_total", "Completed queries by outcome.", "status")
@@ -115,6 +121,17 @@ func newDBMetrics(db *DB) *dbMetrics {
 	})
 	reg.RegisterFunc("gus_segment_bytes_mapped", "Bytes of segment files currently mmapped into this process.", func() float64 {
 		return float64(db.segs.bytesMapped())
+	})
+	reg.RegisterFunc("gus_ci_coverage_ratio", "Fraction of calibration observations whose claimed CI covered the exact answer (NaN before any observation).", func() float64 {
+		covered, total := db.calib.Totals()
+		if total == 0 {
+			return math.NaN()
+		}
+		return float64(covered) / float64(total)
+	})
+	reg.RegisterFunc("gus_audit_observations_total", "CI-calibration observations recorded (shadow audits plus ObserveAccuracy).", func() float64 {
+		_, total := db.calib.Totals()
+		return float64(total)
 	})
 	return m
 }

@@ -40,6 +40,13 @@ type UpdateValue struct {
 	// WithTargetRelativeCI tests. +Inf while the estimate is zero or not
 	// yet defined.
 	RelHalfWidth float64
+	// Reliability grades the wave's CI trustworthiness (A–D) and
+	// VarianceRSE reports the variance estimate's own relative standard
+	// error, mirroring Value; early waves typically grade worse and
+	// improve as groups accumulate. Unlike one-shot queries, waves always
+	// carry diagnostics — the streaming accumulator makes them cheap.
+	Reliability string
+	VarianceRSE float64
 }
 
 // Update is one progressive refinement of a QueryProgressive stream. The
@@ -325,6 +332,8 @@ func (db *DB) progressiveFallback(ctx context.Context, planned *sqlparse.Planned
 			CILow: v.CILow, CIHigh: v.CIHigh,
 			Approximate:  v.Approximate,
 			RelHalfWidth: rel,
+			Reliability:  v.Reliability,
+			VarianceRSE:  v.VarianceRSE,
 		})
 	}
 	if len(u.Values) > 0 {
@@ -400,6 +409,8 @@ func fromOnlineUpdate(u online.Update) Update {
 			CILow: v.CILow, CIHigh: v.CIHigh,
 			Approximate:  v.Approximate,
 			RelHalfWidth: v.RelHalfWidth,
+			Reliability:  v.Reliability,
+			VarianceRSE:  v.VarianceRSE,
 		})
 	}
 	return out

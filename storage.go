@@ -193,6 +193,9 @@ func (db *DB) AttachSegmentDir(dir string) error {
 // (it just clears the catalog). Close is not concurrency-safe against
 // in-flight queries; stop them first.
 func (db *DB) Close() error {
+	// Stop the shadow auditor before tearing down the catalog: its replays
+	// take the read-lock and touch mapped column memory.
+	db.DisableAuditor()
 	db.mu.Lock()
 	db.tables = map[string]*relation.Relation{}
 	db.gen.Add(1)
