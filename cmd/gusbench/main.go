@@ -10,7 +10,7 @@
 //
 // Experiments: fig1, query1, fig4, fig5, accuracy, variance,
 // rewrite-runtime, subsample, robustness, planner, cardinality, prepared,
-// obs, storage, calibration, all.
+// obs, storage, calibration, synopsis, all.
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (fig1|query1|fig4|fig5|accuracy|variance|rewrite-runtime|subsample|robustness|planner|cardinality|prepared|obs|storage|calibration|all)")
+		exp      = flag.String("exp", "all", "experiment to run (fig1|query1|fig4|fig5|accuracy|variance|rewrite-runtime|subsample|robustness|planner|cardinality|prepared|obs|storage|calibration|synopsis|all)")
 		trials   = flag.Int("trials", 200, "Monte-Carlo trials for statistical experiments")
 		orders   = flag.Int("orders", 8000, "orders-table cardinality for generated TPC-H data")
 		seed     = flag.Uint64("seed", 42, "base RNG seed")
@@ -53,9 +53,10 @@ func main() {
 		"obs":             runObs,
 		"storage":         runStorage,
 		"calibration":     runCalibration,
+		"synopsis":        runSynopsis,
 	}
 	order := []string{"fig1", "query1", "fig4", "fig5", "accuracy", "variance",
-		"rewrite-runtime", "subsample", "robustness", "planner", "cardinality", "prepared", "obs", "storage", "calibration"}
+		"rewrite-runtime", "subsample", "robustness", "planner", "cardinality", "prepared", "obs", "storage", "calibration", "synopsis"}
 
 	if *exp == "all" {
 		for _, name := range order {

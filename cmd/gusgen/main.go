@@ -7,12 +7,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	gus "github.com/sampling-algebra/gus"
 	"github.com/sampling-algebra/gus/internal/segment"
+	"github.com/sampling-algebra/gus/internal/synopsis"
 	"github.com/sampling-algebra/gus/internal/tpch"
 )
 
@@ -23,11 +26,18 @@ func main() {
 		seed   = flag.Uint64("seed", 42, "generator seed")
 		skew   = flag.Float64("skew", 0, "price skew knob (0 = uniform)")
 		out    = flag.String("out", ".", "output directory")
-		format = flag.String("format", "csv", "output format: csv or segment (columnar *.gusseg files with zone maps)")
+		format  = flag.String("format", "csv", "output format: csv or segment (columnar *.gusseg files with zone maps)")
+		synRate = flag.Float64("synopsis", 0, "also materialize a Bernoulli synopsis of each table at this rate, written as *.gussyn segments plus a synopses.json manifest (requires -format segment; load with gus.LoadSynopses)")
 	)
 	flag.Parse()
 	if *format != "csv" && *format != "segment" {
 		fail(fmt.Errorf("unknown -format %q (csv or segment)", *format))
+	}
+	if *synRate != 0 && *format != "segment" {
+		fail(fmt.Errorf("-synopsis requires -format segment"))
+	}
+	if *synRate < 0 || *synRate > 1 {
+		fail(fmt.Errorf("-synopsis rate %v outside (0,1]", *synRate))
 	}
 
 	cfg := tpch.ScaleFactor(*sf, *seed)
@@ -59,6 +69,31 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("wrote %s (%d rows)\n", path, rel.Len())
+	}
+	if *synRate > 0 {
+		var manifests []synopsis.Manifest
+		for _, rel := range tables.All() {
+			s, err := synopsis.Build(rel, synopsis.Spec{Name: rel.Name() + "_syn", Rate: *synRate, Seed: *seed}, 0)
+			if err != nil {
+				fail(err)
+			}
+			path := filepath.Join(*out, s.Name+gus.SynopsisExt)
+			n, err := segment.Write(path, s.Rel)
+			if err != nil {
+				fail(err)
+			}
+			manifests = append(manifests, s.Manifest())
+			fmt.Printf("wrote %s (%d of %d rows at rate %g, %d bytes)\n", path, s.Rel.Len(), rel.Len(), *synRate, n)
+		}
+		data, err := json.MarshalIndent(manifests, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		mpath := filepath.Join(*out, gus.SynopsisManifest)
+		if err := os.WriteFile(mpath, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d synopses)\n", mpath, len(manifests))
 	}
 }
 

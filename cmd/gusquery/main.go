@@ -68,6 +68,9 @@ func main() {
 		deadline    = flag.Duration("deadline", 0, "with -progressive: stop at the first wave boundary after this duration (0 = off)")
 		maxFrac     = flag.Float64("maxfrac", 0, "with -progressive: stop after scanning this fraction of the data (0 = off)")
 		waveRows    = flag.Int("waverows", 0, "with -progressive: input rows per wave (0 = default 8192)")
+
+		synSpec    = flag.String("synopsis", "", "materialize a synopsis before querying: table:rate[:seed] (e.g. lineitem:0.02); sampled scans it subsumes are served from it")
+		noSynopsis = flag.Bool("no-synopsis", false, "disable synopsis-serving for this query (A/B: compare against a run without this flag)")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -92,6 +95,14 @@ func main() {
 			for _, info := range db.Tables() {
 				fmt.Fprintf(os.Stderr, "attached %s (%d rows, segment)\n", info.Name, info.Rows)
 			}
+			if _, err := os.Stat(filepath.Join(*dataDir, gus.SynopsisManifest)); err == nil {
+				if err := db.LoadSynopses(*dataDir); err != nil {
+					fail(err)
+				}
+				for _, info := range db.Synopses() {
+					fmt.Fprintf(os.Stderr, "loaded synopsis %s: %s, %d rows\n", info.Name, info.GUS, info.Rows)
+				}
+			}
 			break
 		}
 		paths, err := filepath.Glob(filepath.Join(*dataDir, "*.csv"))
@@ -113,7 +124,27 @@ func main() {
 	}
 	defer db.Close()
 
+	if *synSpec != "" {
+		spec, err := parseSynopsisSpec(*synSpec)
+		if err != nil {
+			fail(err)
+		}
+		t0 := time.Now()
+		if err := db.CreateSynopsis(spec); err != nil {
+			fail(err)
+		}
+		for _, info := range db.Synopses() {
+			if info.Name == spec.Name {
+				fmt.Fprintf(os.Stderr, "synopsis %s: %s, %d rows (%.1f KiB) in %v\n",
+					info.Name, info.GUS, info.Rows, float64(info.Bytes)/1024, time.Since(t0).Round(time.Millisecond))
+			}
+		}
+	}
+
 	opts := []gus.Option{gus.WithSeed(*seed), gus.WithConfidence(*level)}
+	if *noSynopsis {
+		opts = append(opts, gus.WithSynopses(false))
+	}
 	if *workers > 0 {
 		opts = append(opts, gus.WithWorkers(*workers))
 	}
@@ -252,6 +283,28 @@ func emitTrace(tr *gus.Trace, explain bool, jsonPath string) {
 
 // parseArgs splits a comma-separated -args list into bindable values,
 // inferring int64, then float64, then string for each element.
+// parseSynopsisSpec parses -synopsis table:rate[:seed] into a spec named
+// <table>_syn.
+func parseSynopsisSpec(s string) (gus.SynopsisSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return gus.SynopsisSpec{}, fmt.Errorf("-synopsis wants table:rate[:seed], got %q", s)
+	}
+	rate, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return gus.SynopsisSpec{}, fmt.Errorf("-synopsis rate %q: %w", parts[1], err)
+	}
+	spec := gus.SynopsisSpec{Name: parts[0] + "_syn", Table: parts[0], Rate: rate}
+	if len(parts) == 3 {
+		seed, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return gus.SynopsisSpec{}, fmt.Errorf("-synopsis seed %q: %w", parts[2], err)
+		}
+		spec.Seed = seed
+	}
+	return spec, nil
+}
+
 func parseArgs(s string) ([]any, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil

@@ -366,6 +366,14 @@ func main() {
 			for _, info := range db.Tables() {
 				log.Printf("attached segment table %s (%d rows)", info.Name, info.Rows)
 			}
+			if _, err := os.Stat(filepath.Join(*dataDir, gus.SynopsisManifest)); err == nil {
+				if err := db.LoadSynopses(*dataDir); err != nil {
+					log.Fatalf("gusserve: %v", err)
+				}
+				for _, info := range db.Synopses() {
+					log.Printf("loaded synopsis %s: %s (%d rows)", info.Name, info.GUS, info.Rows)
+				}
+			}
 			break
 		}
 		paths, err := filepath.Glob(filepath.Join(*dataDir, "*.csv"))
@@ -719,17 +727,42 @@ func (s *server) handleTables(w http.ResponseWriter, r *http.Request) {
 		Name string `json:"name"`
 		Type string `json:"type"`
 	}
+	type synopsisInfo struct {
+		Name       string  `json:"name"`
+		GUS        string  `json:"gus"`
+		Rate       float64 `json:"rate"`
+		MinRate    float64 `json:"min_rate"`
+		Rows       int     `json:"rows"`
+		SourceRows int     `json:"source_rows"`
+		Stale      bool    `json:"stale"`
+		Bytes      int64   `json:"bytes"`
+		Generation uint64  `json:"generation"`
+	}
 	type tableInfo struct {
-		Name    string       `json:"name"`
-		Rows    int          `json:"rows"`
-		Columns []columnInfo `json:"columns"`
-		Storage string       `json:"storage"`
+		Name     string         `json:"name"`
+		Rows     int            `json:"rows"`
+		Columns  []columnInfo   `json:"columns"`
+		Storage  string         `json:"storage"`
+		Synopses []synopsisInfo `json:"synopses,omitempty"`
 	}
 	out := []tableInfo{}
 	for _, info := range s.db.Tables() {
 		ti := tableInfo{Name: info.Name, Rows: info.Rows, Storage: info.Storage}
 		for _, c := range info.Columns {
 			ti.Columns = append(ti.Columns, columnInfo{Name: c.Name, Type: columnTypeName(c.Type)})
+		}
+		for _, sy := range info.Synopses {
+			ti.Synopses = append(ti.Synopses, synopsisInfo{
+				Name:       sy.Name,
+				GUS:        sy.GUS,
+				Rate:       sy.Rate,
+				MinRate:    sy.MinRate,
+				Rows:       sy.Rows,
+				SourceRows: sy.SourceRows,
+				Stale:      sy.Stale,
+				Bytes:      sy.Bytes,
+				Generation: sy.Generation,
+			})
 		}
 		out = append(out, ti)
 	}

@@ -45,8 +45,10 @@ import (
 	"github.com/sampling-algebra/gus/internal/ops"
 	"github.com/sampling-algebra/gus/internal/plan"
 	"github.com/sampling-algebra/gus/internal/relation"
+	"github.com/sampling-algebra/gus/internal/sampling"
 	"github.com/sampling-algebra/gus/internal/sqlparse"
 	"github.com/sampling-algebra/gus/internal/stats"
+	"github.com/sampling-algebra/gus/internal/synopsis"
 	"github.com/sampling-algebra/gus/internal/tpch"
 )
 
@@ -114,12 +116,16 @@ type DB struct {
 	calib *obs.Calibration
 	// audit holds the optional shadow auditor's lifecycle (see accuracy.go).
 	audit auditState
+	// syns indexes the materialized sample synopses the planner may serve
+	// sampled scans from (see synopsis.go). Guarded by mu, like tables.
+	syns *synopsis.Registry
 }
 
 // Open creates an empty database. Options configure optional subsystems —
 // e.g. WithAuditor starts the background CI-calibration auditor.
 func Open(opts ...DBOption) *DB {
 	db := &DB{tables: map[string]*relation.Relation{}, plans: newPlanCache(DefaultPlanCacheSize)}
+	db.syns = synopsis.NewRegistry()
 	db.calib = obs.NewCalibration(0)
 	db.metrics = newDBMetrics(db)
 	for _, fn := range opts {
@@ -199,7 +205,10 @@ func (t *Table) Insert(values ...any) error {
 		return err
 	}
 	t.db.gen.Add(1)
-	return t.rel.Append(tup)
+	if err := t.rel.Append(tup); err != nil {
+		return err
+	}
+	return t.db.maintainSynopses(t.rel)
 }
 
 // InsertWithID appends one row with an explicit lineage ID — e.g. the
@@ -213,7 +222,10 @@ func (t *Table) InsertWithID(id uint64, values ...any) error {
 		return err
 	}
 	t.db.gen.Add(1)
-	return t.rel.AppendWithID(lineage.TupleID(id), tup)
+	if err := t.rel.AppendWithID(lineage.TupleID(id), tup); err != nil {
+		return err
+	}
+	return t.db.maintainSynopses(t.rel)
 }
 
 func toTuple(schema *relation.Schema, values []any) (relation.Tuple, error) {
@@ -368,6 +380,12 @@ type queryOptions struct {
 	workers         int
 	rowEngine       bool
 	noZoneSkip      bool
+	noSynopsis      bool
+	// distinctLineage is derived per execution in runInner (never set by
+	// an Option): true when the plan shape guarantees each base tuple ID
+	// appears at most once per lineage slot, letting the estimator skip
+	// duplicate grouping (see estimator.Options.DistinctLineage).
+	distinctLineage bool
 
 	// Progressive (QueryProgressive) settings; ignored by Query.
 	targetRelCI float64
@@ -736,17 +754,41 @@ func (db *DB) runInner(ctx context.Context, planned *sqlparse.Planned, o queryOp
 			return nil, err
 		}
 		sample = aggSample{b: b}
+		// One-shot execution: the sample batch is dead once every aggregate
+		// over it has been evaluated (the Result keeps only scalars and
+		// strings), so recycle its buffers. Release no-ops on batches that
+		// alias relation snapshots (bare scans) rather than owning storage.
+		defer b.Release()
 	}
 	cards := map[string]int{}
 	scanned := 0
+	// Samples drawn from a plan without set operations carry each base
+	// tuple ID at most once per lineage slot (self-joins are rejected at
+	// planning), so the estimator may group moments without hashing. SYSTEM
+	// sampling is the other exception: it rewrites lineage to block IDs,
+	// which repeat for every tuple of a kept block.
+	o.distinctLineage = true
 	plan.Walk(planned.Root, func(n plan.Node) {
-		if s, ok := n.(*plan.Scan); ok {
+		switch s := n.(type) {
+		case *plan.Sample:
+			if _, isBlock := s.Method.(*sampling.Block); isBlock {
+				o.distinctLineage = false
+			}
+		case *plan.Scan:
 			alias := s.Rel.Name()
 			if s.Alias != "" {
 				alias = s.Alias
 			}
+			// A synopsis-rewritten scan reads the synopsis's rows, but the
+			// LOGICAL cardinality — what WOR variance prediction needs — is
+			// the source table's, recorded on the scan at rewrite time.
 			cards[alias] = s.Rel.Len()
+			if s.FullRows > 0 {
+				cards[alias] = s.FullRows
+			}
 			scanned += s.Rel.Len()
+		case *plan.Union, *plan.Intersect:
+			o.distinctLineage = false
 		}
 	})
 	res := &Result{
@@ -983,6 +1025,7 @@ func (db *DB) evalAggregate(g *core.Params, s aggSample, agg sqlparse.Aggregate,
 		MaxVarianceRows: o.maxVarianceRows,
 		Seed:            o.seed + 0x5b0c,
 		Workers:         o.workers,
+		DistinctLineage: o.distinctLineage,
 		Trace:           o.trace,
 		// Variance diagnostics ride along with tracing: the extra
 		// read-only pass allocates, so it is gated off the untraced hot

@@ -37,6 +37,11 @@ type Batch struct {
 	// a predicate provably rejects.
 	Zones *relation.Zones
 	rows  int
+	// owned marks a batch whose column and lineage buffers were drawn from
+	// the package pools (Alloc/AllocLike/AllocMerged/Gather) and may be
+	// returned to them via Release. Views — FromRelation snapshots, Narrow,
+	// slices — are never owned.
+	owned bool
 }
 
 // New assembles a batch from parts, validating slice lengths.
@@ -60,18 +65,21 @@ func New(schema *relation.Schema, lsch *lineage.Schema, cols []expr.Vec, lin [][
 	return &Batch{Schema: schema, LSch: lsch, Cols: cols, Lin: lin, rows: rows}, nil
 }
 
-// Alloc returns a batch with freshly allocated dense columns of the given
-// row count, for operators that fill output partitions in place.
+// Alloc returns a batch with dense columns of the given row count, for
+// operators that fill output partitions in place. Numeric and lineage
+// buffers come from the package pools (see pool.go): callers must write
+// every row position before publishing the batch, and may hand the batch
+// to Release once it is dead.
 func Alloc(schema *relation.Schema, lsch *lineage.Schema, rows int) *Batch {
 	cols := make([]expr.Vec, schema.Len())
 	for j := range cols {
-		cols[j] = AllocVec(schema.Col(j).Kind, rows)
+		cols[j] = allocVecPooled(schema.Col(j).Kind, rows)
 	}
 	lin := make([][]lineage.TupleID, lsch.Len())
 	for s := range lin {
-		lin[s] = make([]lineage.TupleID, rows)
+		lin[s] = getID(rows)
 	}
-	return &Batch{Schema: schema, LSch: lsch, Cols: cols, Lin: lin, rows: rows}
+	return &Batch{Schema: schema, LSch: lsch, Cols: cols, Lin: lin, rows: rows, owned: true}
 }
 
 // AllocVec returns a dense zero vector of the given kind and length.
@@ -91,6 +99,29 @@ func (b *Batch) Len() int { return b.rows }
 
 // ValueAt boxes the value at (row, col).
 func (b *Batch) ValueAt(row, col int) relation.Value { return b.Cols[col].ValueAt(row) }
+
+// Narrow returns a view of b restricted to the named columns (in the
+// given order), sharing column storage, lineage and row count. Zones are
+// carried over as-is and keep the ORIGINAL schema's column indexing —
+// zone consumers must resolve names against the pre-narrowing schema, as
+// the engine's zone pruner does.
+func (b *Batch) Narrow(names []string) (*Batch, error) {
+	cols := make([]expr.Vec, len(names))
+	sub := make([]relation.Column, len(names))
+	for k, nm := range names {
+		j, ok := b.Schema.Index(nm)
+		if !ok {
+			return nil, fmt.Errorf("batch: narrow: unknown column %q", nm)
+		}
+		cols[k] = b.Cols[j]
+		sub[k] = b.Schema.Col(j)
+	}
+	schema, err := relation.NewSchema(sub...)
+	if err != nil {
+		return nil, err
+	}
+	return &Batch{Schema: schema, LSch: b.LSch, Cols: cols, Lin: b.Lin, Zones: b.Zones, rows: b.rows}, nil
+}
 
 // FromRelation lifts a base relation into a columnar batch with one
 // lineage slot (the relation's tuple IDs) under the given alias. The batch

@@ -85,11 +85,13 @@ func EqualAt(a expr.Vec, i int, b expr.Vec, j int) bool {
 	}
 }
 
-// AllocVecLike returns a dense zero vector of src's kind, carrying a
+// AllocVecLike returns a dense vector of src's kind, carrying a
 // dictionary sidecar when src has one — so gathers from src (GatherVec
-// checks the dictionaries match) keep rows hashable by code.
+// checks the dictionaries match) keep rows hashable by code. Numeric
+// storage comes from the package pools and is NOT zeroed: callers must
+// write every row position before publishing the result.
 func AllocVecLike(src expr.Vec, n int) expr.Vec {
-	v := AllocVec(src.Kind, n)
+	v := allocVecPooled(src.Kind, n)
 	if src.Kind == relation.KindString && src.Dict != nil {
 		v.Codes, v.Dict = make([]int32, n), src.Dict
 	}
@@ -106,9 +108,9 @@ func AllocLike(b *Batch, rows int) *Batch {
 	}
 	lin := make([][]lineage.TupleID, len(b.Lin))
 	for s := range lin {
-		lin[s] = make([]lineage.TupleID, rows)
+		lin[s] = getID(rows)
 	}
-	return &Batch{Schema: b.Schema, LSch: b.LSch, Cols: cols, Lin: lin, rows: rows}
+	return &Batch{Schema: b.Schema, LSch: b.LSch, Cols: cols, Lin: lin, rows: rows, owned: true}
 }
 
 // AllocMerged allocates an output batch (a's schemas) to be filled from
@@ -122,12 +124,12 @@ func AllocMerged(a, b *Batch, rows int) *Batch {
 		if c.Dict != nil && c.Dict == b.Cols[j].Dict {
 			cols[j] = AllocVecLike(c, rows)
 		} else {
-			cols[j] = AllocVec(c.Kind, rows)
+			cols[j] = allocVecPooled(c.Kind, rows)
 		}
 	}
 	lin := make([][]lineage.TupleID, len(a.Lin))
 	for s := range lin {
-		lin[s] = make([]lineage.TupleID, rows)
+		lin[s] = getID(rows)
 	}
-	return &Batch{Schema: a.Schema, LSch: a.LSch, Cols: cols, Lin: lin, rows: rows}
+	return &Batch{Schema: a.Schema, LSch: a.LSch, Cols: cols, Lin: lin, rows: rows, owned: true}
 }

@@ -1,0 +1,101 @@
+// Buffer recycling for owned batches. The fused kernel's gather outputs —
+// one batch per query on the one-shot path — are the engine's dominant
+// steady-state allocation: a few dense numeric columns plus lineage IDs,
+// identically shaped from query to query. Routing those buffers through
+// sync.Pools turns that per-query churn into reuse, which matters because
+// at synopsis-served latencies garbage collection is a measurable share of
+// end-to-end query time.
+//
+// Only numeric ([]int64, []float64) and lineage ([]TupleID) buffers pool;
+// string columns (and their dictionary-code sidecars) always allocate
+// fresh, so a pooled buffer never pins string memory alive.
+//
+// Pooled buffers are NOT zeroed: every owned-batch producer (Alloc,
+// AllocLike, AllocMerged, Gather) writes each of its rows positions
+// exactly once before publishing the batch, so no consumer can observe a
+// stale value.
+package batch
+
+import (
+	"sync"
+
+	"github.com/sampling-algebra/gus/internal/expr"
+	"github.com/sampling-algebra/gus/internal/lineage"
+	"github.com/sampling-algebra/gus/internal/relation"
+)
+
+var (
+	poolF  sync.Pool // *[]float64
+	poolI  sync.Pool // *[]int64
+	poolID sync.Pool // *[]lineage.TupleID
+)
+
+func getF(n int) []float64 {
+	if p, ok := poolF.Get().(*[]float64); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+func getI(n int) []int64 {
+	if p, ok := poolI.Get().(*[]int64); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int64, n)
+}
+
+func getID(n int) []lineage.TupleID {
+	if p, ok := poolID.Get().(*[]lineage.TupleID); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]lineage.TupleID, n)
+}
+
+// allocVecPooled is AllocVec drawing numeric storage from the pools.
+func allocVecPooled(kind relation.Kind, n int) expr.Vec {
+	switch kind {
+	case relation.KindInt:
+		return expr.Vec{Kind: kind, I: getI(n)}
+	case relation.KindFloat:
+		return expr.Vec{Kind: kind, F: getF(n)}
+	default:
+		return expr.Vec{Kind: kind, S: make([]string, n)}
+	}
+}
+
+// Release returns an owned batch's numeric column and lineage buffers to
+// the package pools and poisons the batch so use-after-release fails fast
+// (zero-length columns) instead of silently reading recycled memory.
+// Batches that merely view other storage — relation snapshots
+// (FromRelation), Narrow/Gather views into a parent — do not own their
+// buffers and no-op, so calling Release is always safe on the batch a
+// query executed, whatever path produced it.
+//
+// The caller must guarantee that no view derived from the batch (Narrow,
+// column Slice, lineage slice) is referenced after the release.
+func (b *Batch) Release() {
+	if b == nil || !b.owned {
+		return
+	}
+	b.owned = false
+	for j := range b.Cols {
+		c := &b.Cols[j]
+		switch {
+		case c.F != nil:
+			f := c.F
+			poolF.Put(&f)
+		case c.I != nil:
+			i := c.I
+			poolI.Put(&i)
+		}
+		*c = expr.Vec{Kind: c.Kind}
+	}
+	for s := range b.Lin {
+		if b.Lin[s] != nil {
+			l := b.Lin[s]
+			poolID.Put(&l)
+			b.Lin[s] = nil
+		}
+	}
+	b.rows = 0
+}

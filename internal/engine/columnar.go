@@ -59,6 +59,11 @@ func (e *Engine) execB(n plan.Node, seed uint64, ids map[plan.Node]uint64) (*bat
 		if err != nil {
 			return nil, err
 		}
+		if len(t.Cols) > 0 {
+			if b, err = b.Narrow(t.Cols); err != nil {
+				return nil, err
+			}
+		}
 		e.trace.End(sp, int64(b.Len()), int64(b.Len()))
 		return b, nil
 	case *plan.GUS:
@@ -165,6 +170,11 @@ func methodFraction(m sampling.Method) float64 {
 			f *= t.Prob(r)
 		}
 		return f
+	case *sampling.Residual:
+		if t.Q > 0 {
+			return t.P / t.Q
+		}
+		return 0
 	default:
 		return 0
 	}
@@ -178,7 +188,7 @@ func methodFraction(m sampling.Method) float64 {
 // pass-throughs) allowed anywhere in between.
 type fusedChain struct {
 	scan    *plan.Scan
-	sample  *plan.Sample // nil, or Bernoulli/Block/LineageHash directly above the scan
+	sample  *plan.Sample // nil, or Bernoulli/Block/LineageHash/Residual directly above the scan
 	preds   []expr.Expr  // in application (bottom-up) order
 	project *plan.Project
 }
@@ -207,7 +217,7 @@ func fusedChainOf(n plan.Node) *fusedChain {
 	}
 	if s, ok := n.(*plan.Sample); ok {
 		switch s.Method.(type) {
-		case *sampling.Bernoulli, *sampling.Block, *sampling.LineageHash:
+		case *sampling.Bernoulli, *sampling.Block, *sampling.LineageHash, *sampling.Residual:
 			if _, isScan := stripGUS(s.Input).(*plan.Scan); isScan {
 				c.sample = s
 				n = stripGUS(s.Input)
@@ -283,6 +293,14 @@ func (e *Engine) prepareChain(c *fusedChain, seed uint64, ids map[plan.Node]uint
 	if err != nil {
 		return nil, nil, nil, nil, nil, err
 	}
+	// The zone pruner must see the full schema: Batch.Zones keeps the
+	// relation's column indexing even after narrowing.
+	zoneSchema := in.Schema
+	if len(c.scan.Cols) > 0 {
+		if in, err = in.Narrow(c.scan.Cols); err != nil {
+			return nil, nil, nil, nil, nil, err
+		}
+	}
 	if c.sample != nil {
 		smp, err = newSampleStage(c.sample.Method, in, mix(seed, ids[c.sample], 0))
 		if err != nil {
@@ -299,7 +317,7 @@ func (e *Engine) prepareChain(c *fusedChain, seed uint64, ids map[plan.Node]uint
 	if err != nil {
 		return nil, nil, nil, nil, nil, err
 	}
-	return in, smp, preds, proj, e.newZonePruner(c.preds, in.Schema), nil
+	return in, smp, preds, proj, e.newZonePruner(c.preds, zoneSchema), nil
 }
 
 func (e *Engine) compilePreds(preds []expr.Expr, schema *relation.Schema) ([]*expr.VecCompiled, error) {
@@ -329,6 +347,9 @@ type sampleStage struct {
 	lh      *sampling.LineageHash
 	lhSlots []int
 	lhRels  []string
+
+	res     *sampling.Residual
+	resSlot int // lineage slot the nested decision hashes
 }
 
 // frac reports the stage's per-tuple inclusion fraction for tracing.
@@ -362,28 +383,108 @@ func newSampleStage(m sampling.Method, in *batch.Batch, sub uint64) (*sampleStag
 			slots[i] = sl
 		}
 		s.lh, s.lhSlots, s.lhRels = t, slots, rels
+	case *sampling.Residual:
+		slot, ok := in.LSch.Index(t.Rel)
+		if !ok {
+			return nil, fmt.Errorf("input lineage %v does not include %q", in.LSch.Names(), t.Rel)
+		}
+		s.res, s.resSlot = t, slot
 	default:
 		return nil, fmt.Errorf("engine: sample stage for unknown method %T", m)
 	}
 	return s, nil
 }
 
+// growSel extends sel with room for n more entries and returns it at full
+// length; callers write kept indices at sel[k] and truncate to the final k.
+func growSel(sel []int32, n int) []int32 {
+	need := len(sel) + n
+	if cap(sel) < need {
+		ns := make([]int32, len(sel), need)
+		copy(ns, sel)
+		sel = ns
+	}
+	return sel[:need]
+}
+
+// branchySel picks the selection-loop form for a keep fraction. At extreme
+// fractions (a 1% query sample, a 99% residual) the keep branch predicts
+// near-perfectly and a conditional write is cheapest. At moderate fractions
+// — residual sampling structurally lands here, e.g. p/q = 0.5 — the branch
+// mispredicts on a large share of rows and the penalty, not the RNG,
+// dominates the scan; there the loop writes the candidate index
+// UNCONDITIONALLY and bumps the cursor only on keeps, trading one
+// store-buffer write per rejected row for no mispredicts. Both forms keep
+// the identical set: only the write pattern differs.
+func branchySel(frac float64) bool { return frac < 0.0625 || frac > 0.9375 }
+
 // selectSpan appends the kept row indices of span to sel. Decisions match
 // the row-path samplers bit for bit: same sub-seeds, same per-partition
-// RNG consumption, same hash functions.
+// RNG consumption, same hash functions. Only the selection-vector write is
+// restructured (see growSel / branchySel); the kept set is identical.
 func (s *sampleStage) selectSpan(in *batch.Batch, p int, span ops.Span, sel []int32) []int32 {
+	k := len(sel)
+	sel = growSel(sel, span.Hi-span.Lo)
 	switch {
 	case s.bern != nil:
 		rng := stats.NewRNG(mix(s.sub, 0, uint64(p)))
+		if branchySel(s.bern.P) {
+			for i := span.Lo; i < span.Hi; i++ {
+				if rng.Bernoulli(s.bern.P) {
+					sel[k] = int32(i)
+					k++
+				}
+			}
+			return sel[:k]
+		}
 		for i := span.Lo; i < span.Hi; i++ {
+			sel[k] = int32(i)
 			if rng.Bernoulli(s.bern.P) {
-				sel = append(sel, int32(i))
+				k++
 			}
 		}
 	case s.block != nil:
 		for i := span.Lo; i < span.Hi; i++ {
 			if stats.HashID(s.sub, uint64(i/s.block.BlockSize)) < s.block.P {
-				sel = append(sel, int32(i))
+				sel[k] = int32(i)
+				k++
+			}
+		}
+	case s.res != nil:
+		frac := s.res.P / s.res.Q
+		if s.res.Nested {
+			ids := in.Lin[s.resSlot]
+			if branchySel(frac) {
+				for i := span.Lo; i < span.Hi; i++ {
+					if s.res.Keeps(ids[i]) {
+						sel[k] = int32(i)
+						k++
+					}
+				}
+				return sel[:k]
+			}
+			for i := span.Lo; i < span.Hi; i++ {
+				sel[k] = int32(i)
+				if s.res.Keeps(ids[i]) {
+					k++
+				}
+			}
+			return sel[:k]
+		}
+		rng := stats.NewRNG(mix(s.sub, 0, uint64(p)))
+		if branchySel(frac) {
+			for i := span.Lo; i < span.Hi; i++ {
+				if rng.Bernoulli(frac) {
+					sel[k] = int32(i)
+					k++
+				}
+			}
+			return sel[:k]
+		}
+		for i := span.Lo; i < span.Hi; i++ {
+			sel[k] = int32(i)
+			if rng.Bernoulli(frac) {
+				k++
 			}
 		}
 	default: // lineage hash
@@ -398,10 +499,11 @@ func (s *sampleStage) selectSpan(in *batch.Batch, p int, span ops.Span, sel []in
 					continue rows
 				}
 			}
-			sel = append(sel, int32(i))
+			sel[k] = int32(i)
+			k++
 		}
 	}
-	return sel
+	return sel[:k]
 }
 
 // projSpec is a compiled projection: output names, kernels, and the
@@ -702,7 +804,7 @@ func (e *Engine) execProjectB(in *batch.Batch, names []string, exprs []expr.Expr
 // row path's fallback).
 func (e *Engine) execSampleB(t *plan.Sample, in *batch.Batch, sub uint64) (*batch.Batch, error) {
 	switch m := t.Method.(type) {
-	case *sampling.Bernoulli, *sampling.Block, *sampling.LineageHash:
+	case *sampling.Bernoulli, *sampling.Block, *sampling.LineageHash, *sampling.Residual:
 		smp, err := newSampleStage(t.Method, in, sub)
 		if err != nil {
 			return nil, err

@@ -28,6 +28,8 @@ func (e *Engine) execSample(t *plan.Sample, in *ops.Rows, sub uint64) (*ops.Rows
 		return e.sampleBlock(in, m, sub)
 	case *sampling.LineageHash:
 		return e.sampleLineageHash(in, m)
+	case *sampling.Residual:
+		return e.sampleResidual(in, m, sub)
 	default:
 		// Unknown methods fall back to the serial implementation with a
 		// node-derived seed; still deterministic, just not partitioned.
@@ -156,6 +158,45 @@ func (e *Engine) sampleBlock(in *ops.Rows, m *sampling.Block, sub uint64) (*ops.
 			lin := in.Data[i].Lin.Clone()
 			lin[slot] = lineage.TupleID(blk + 1)
 			buf = append(buf, ops.Row{Lin: lin, Vals: in.Data[i].Vals})
+		}
+		parts[p] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ops.Rows{Cols: in.Cols, LSch: in.LSch, Data: ops.Concat(parts)}, nil
+}
+
+// sampleResidual composes the Bernoulli(P/Q) residual on top of a synopsis
+// scan. Nested residuals filter by the synopsis's coordinated hash (pure
+// lineage function, identical to serial Apply); fresh residuals consume
+// per-partition sub-seeded RNG streams exactly like sampleBernoulli, so
+// WithSeed varies the realization and results stay bit-identical at any
+// worker count.
+func (e *Engine) sampleResidual(in *ops.Rows, m *sampling.Residual, sub uint64) (*ops.Rows, error) {
+	slot, ok := in.LSch.Index(m.Rel)
+	if !ok {
+		return nil, fmt.Errorf("input lineage %v does not include %q", in.LSch.Names(), m.Rel)
+	}
+	frac := m.P / m.Q
+	spans := ops.Partitions(in.Len(), e.partSize)
+	parts := make([][]ops.Row, len(spans))
+	err := e.forEach(len(spans), in.Len(), func(p int) error {
+		var buf []ops.Row
+		if m.Nested {
+			for i := spans[p].Lo; i < spans[p].Hi; i++ {
+				if m.Keeps(in.Data[i].Lin[slot]) {
+					buf = append(buf, in.Data[i])
+				}
+			}
+		} else {
+			rng := stats.NewRNG(mix(sub, 0, uint64(p)))
+			for i := spans[p].Lo; i < spans[p].Hi; i++ {
+				if rng.Bernoulli(frac) {
+					buf = append(buf, in.Data[i])
+				}
+			}
 		}
 		parts[p] = buf
 		return nil

@@ -72,6 +72,15 @@ type Options struct {
 	// time and the number of sample tuples fed in). Tracing never touches
 	// the estimate math — results are bit-identical either way.
 	Trace *obs.Trace
+	// DistinctLineage asserts every sample row's lineage projection is
+	// unique on each slot — true for any single-relation sample, where a
+	// base tuple ID appears at most once (unions/intersections can break
+	// this; joins have multiple slots and are unaffected by the hint).
+	// For single-slot samples the Y_{S} group moment then reduces to a
+	// direct Σ f_i² over singleton groups — the identical accumulation
+	// sequence in row order, so results are bit-identical — skipping the
+	// per-row hash grouping entirely. Ignored for multi-slot samples.
+	DistinctLineage bool
 	// Diagnostics, when true, additionally reports the reliability of
 	// the variance estimate itself (Result.Diag) from a separate
 	// read-only pass over the sample. Like tracing, it never perturbs

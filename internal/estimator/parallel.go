@@ -308,6 +308,10 @@ func momentsSharded(n int, src linSource, fs, gs []float64, opts Options) []floa
 	} else {
 		out[0] = totF * totF
 	}
+	if n == 1 && opts.DistinctLineage {
+		out[1] = distinctMoment(fs, gs)
+		return out
+	}
 	spans := ops.Partitions(len(fs), opts.partitionSize())
 	for m := 1; m < len(out); m++ {
 		slots := lineage.Set(m).Members()
@@ -319,6 +323,25 @@ func momentsSharded(n int, src linSource, fs, gs []float64, opts Options) []floa
 		out[m] = mergeHashShards(shards, src, slots, gs != nil)
 	}
 	return out
+}
+
+// distinctMoment is the single-slot Y_{1} under the DistinctLineage
+// hint: every group is a singleton, so the group-square sum is Σ f_i²
+// (Σ f_i·g_i bilinear) accumulated in row order — exactly the float
+// sequence the hash-grouped paths produce for singleton groups, so the
+// result is bit-identical to theirs.
+func distinctMoment(fs, gs []float64) float64 {
+	var acc float64
+	if gs != nil {
+		for i, f := range fs {
+			acc += f * gs[i]
+		}
+		return acc
+	}
+	for _, f := range fs {
+		acc += f * f
+	}
+	return acc
 }
 
 // momentsSerial is the Workers≤0 path: a single pass per mask with group
@@ -351,9 +374,33 @@ func momentsSerial(n int, src linSource, fs, gs []float64) []float64 {
 // momentsFor dispatches between the serial and sharded accumulators.
 func momentsFor(n int, src linSource, fs []float64, opts Options) []float64 {
 	if opts.Workers <= 0 {
+		if n == 1 && opts.DistinctLineage {
+			return distinctSerial(fs, nil)
+		}
 		return momentsSerial(n, src, fs, nil)
 	}
 	return momentsSharded(n, src, fs, nil, opts)
+}
+
+// distinctSerial is momentsSerial's n == 1 shape under the
+// DistinctLineage hint: the serial row-order totals for Y_∅ and the
+// singleton-group square sum for Y_{1}.
+func distinctSerial(fs, gs []float64) []float64 {
+	out := make([]float64, 2)
+	var totF, totG float64
+	for i, v := range fs {
+		totF += v
+		if gs != nil {
+			totG += gs[i]
+		}
+	}
+	if gs != nil {
+		out[0] = totF * totG
+	} else {
+		out[0] = totF * totF
+	}
+	out[1] = distinctMoment(fs, gs)
+	return out
 }
 
 // bilinearFor dispatches between the serial and sharded bilinear
@@ -363,6 +410,9 @@ func bilinearFor(n int, src linSource, fs, gs []float64, opts Options) ([]float6
 		return nil, fmt.Errorf("estimator: bilinear moments need equal-length inputs (%d,%d)", len(fs), len(gs))
 	}
 	if opts.Workers <= 0 {
+		if n == 1 && opts.DistinctLineage {
+			return distinctSerial(fs, gs), nil
+		}
 		return momentsSerial(n, src, fs, gs), nil
 	}
 	return momentsSharded(n, src, fs, gs, opts), nil

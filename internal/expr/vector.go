@@ -441,6 +441,23 @@ type binVecNode struct {
 	op   Op
 	l, r vecNode
 	k    relation.Kind
+	// lOwn/rOwn record, statically, that the child always returns a fresh
+	// dense vector this node may overwrite in place (see ownsResult) —
+	// nested arithmetic then reuses the inner temporary instead of
+	// allocating a new result per operator per span.
+	lOwn, rOwn bool
+}
+
+// ownsResult reports whether a kernel node's eval always returns a freshly
+// allocated dense vector (never a column slice, a Const broadcast, or a
+// caller-provided binding). Column references are conservatively false:
+// with a nil sel they pass the column through zero-copy.
+func ownsResult(n vecNode) bool {
+	switch n.(type) {
+	case *binVecNode, *notVecNode:
+		return true
+	}
+	return false
 }
 
 // newBinVecNode infers the static result kind with the same rules the
@@ -454,7 +471,11 @@ func newBinVecNode(op Op, l, r vecNode) *binVecNode {
 	case l.kind() == relation.KindInt && r.kind() == relation.KindInt && op != OpDiv:
 		k = relation.KindInt
 	}
-	return &binVecNode{op: op, l: l, r: r, k: k}
+	return &binVecNode{
+		op: op, l: l, r: r, k: k,
+		lOwn: ownsResult(l) && l.kind() == relation.KindFloat,
+		rOwn: ownsResult(r) && r.kind() == relation.KindFloat,
+	}
 }
 
 func (b *binVecNode) kind() relation.Kind { return b.k }
@@ -500,7 +521,16 @@ func (b *binVecNode) eval(cols, binds []Vec, sel []int32, n int) (Vec, error) {
 	case b.op.IsComparison():
 		return compareVec(b.op, lv, rv, n)
 	default:
-		return arithVec(b.op, lv, rv, n)
+		// Reuse a child temporary as the output buffer when one exists:
+		// the kernels read element k of each operand before writing
+		// element k of the output, so in-place evaluation is safe.
+		var dst []float64
+		if b.rOwn && !rv.Const && rv.Kind == relation.KindFloat && len(rv.F) >= n {
+			dst = rv.F
+		} else if b.lOwn && !lv.Const && lv.Kind == relation.KindFloat && len(lv.F) >= n {
+			dst = lv.F
+		}
+		return arithVec(b.op, lv, rv, n, dst)
 	}
 }
 
@@ -592,8 +622,10 @@ func cmpHolds(op Op, c int) bool {
 // arithVec implements +,−,×,÷ with the scalar apply's kind rules:
 // int□int stays exact int64 except division, everything else computes in
 // float64; division by zero is an error. Const operands broadcast through
-// a zero stride.
-func arithVec(op Op, l, r Vec, n int) (Vec, error) {
+// a zero stride. A non-nil dst (≥ n elements, float path only) is used as
+// the output buffer; it may alias an operand (kernels read element k
+// before writing it).
+func arithVec(op Op, l, r Vec, n int, dst []float64) (Vec, error) {
 	if l.Kind == relation.KindString || r.Kind == relation.KindString {
 		return Vec{}, fmt.Errorf("expr: %s needs numeric operands, got %s and %s", op, l.Kind, r.Kind)
 	}
@@ -619,19 +651,81 @@ func arithVec(op Op, l, r Vec, n int) (Vec, error) {
 	}
 	a, as := floatView(l, n)
 	b, bs := floatView(r, n)
-	out := make([]float64, n)
+	out := dst
+	if out == nil {
+		out = make([]float64, n)
+	} else {
+		out = out[:n]
+	}
+	// +,−,× dispatch to stride-specialized loops: the generic a[k*as]
+	// indexing defeats bounds-check elimination, so the hot dense/dense and
+	// broadcast shapes get loops the compiler can unroll over plain slices.
 	switch op {
 	case OpAdd:
-		for k := 0; k < n; k++ {
-			out[k] = a[k*as] + b[k*bs]
+		switch {
+		case as == 1 && bs == 1:
+			bb := b[:n]
+			for k, av := range a[:n] {
+				out[k] = av + bb[k]
+			}
+		case as == 1: // dense + const
+			c := b[0]
+			for k, av := range a[:n] {
+				out[k] = av + c
+			}
+		case bs == 1: // const + dense
+			c := a[0]
+			for k, bv := range b[:n] {
+				out[k] = c + bv
+			}
+		default:
+			for k := 0; k < n; k++ {
+				out[k] = a[0] + b[0]
+			}
 		}
 	case OpSub:
-		for k := 0; k < n; k++ {
-			out[k] = a[k*as] - b[k*bs]
+		switch {
+		case as == 1 && bs == 1:
+			bb := b[:n]
+			for k, av := range a[:n] {
+				out[k] = av - bb[k]
+			}
+		case as == 1:
+			c := b[0]
+			for k, av := range a[:n] {
+				out[k] = av - c
+			}
+		case bs == 1:
+			c := a[0]
+			for k, bv := range b[:n] {
+				out[k] = c - bv
+			}
+		default:
+			for k := 0; k < n; k++ {
+				out[k] = a[0] - b[0]
+			}
 		}
 	case OpMul:
-		for k := 0; k < n; k++ {
-			out[k] = a[k*as] * b[k*bs]
+		switch {
+		case as == 1 && bs == 1:
+			bb := b[:n]
+			for k, av := range a[:n] {
+				out[k] = av * bb[k]
+			}
+		case as == 1:
+			c := b[0]
+			for k, av := range a[:n] {
+				out[k] = av * c
+			}
+		case bs == 1:
+			c := a[0]
+			for k, bv := range b[:n] {
+				out[k] = c * bv
+			}
+		default:
+			for k := 0; k < n; k++ {
+				out[k] = a[0] * b[0]
+			}
 		}
 	case OpDiv:
 		for k := 0; k < n; k++ {

@@ -25,9 +25,25 @@ type Node interface {
 
 // Scan reads a base relation. Alias names the relation in lineage schemas;
 // it defaults to the relation's own name.
+//
+// When the planner rewrites a scan to read a materialized synopsis, Rel is
+// the synopsis's (smaller) relation, Alias keeps the query's lineage name,
+// Synopsis records the synopsis name (for traces and metrics), and
+// FullRows is the source table's cardinality — what variance prediction
+// and EXPLAIN report as the logical table size, since Rel.Len() is then
+// only the rows physically read.
 type Scan struct {
-	Rel   *relation.Relation
-	Alias string
+	Rel      *relation.Relation
+	Alias    string
+	Synopsis string
+	FullRows int
+	// Cols, when non-empty, restricts the scan's output to these columns
+	// (in the given order): the engine materializes sampled tuples only
+	// that wide. Empty means the full schema. Pruning never changes plan
+	// shape or node numbering, so sampling realizations are unaffected;
+	// every column referenced above the scan must be listed or kernel
+	// compilation fails.
+	Cols []string
 }
 
 // Sample applies a concrete sampling method to its input.
@@ -121,6 +137,9 @@ func (g *GUS) Children() []Node { return []Node{g.Input} }
 
 // Label implements Node.
 func (s *Scan) Label() string {
+	if s.Synopsis != "" {
+		return fmt.Sprintf("scan synopsis %s as %s", s.Synopsis, s.aliasOrName())
+	}
 	if s.Alias != "" && s.Alias != s.Rel.Name() {
 		return fmt.Sprintf("scan %s as %s", s.Rel.Name(), s.Alias)
 	}

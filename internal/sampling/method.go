@@ -318,21 +318,112 @@ func (m *LineageHash) Params(Cardinality) (*core.Params, error) {
 	return out, nil
 }
 
-// relSeed derives a per-relation seed from the method seed and the
+// RelSeed derives a per-relation seed from a method seed and the
 // relation's name, so distinct relations get independent hash streams
-// (§7: "one seed per base relation").
-func (m *LineageHash) relSeed(rel string) uint64 {
-	h := m.Seed
+// (§7: "one seed per base relation"). Exported because materialized
+// synopses must reproduce the exact stream a lineage-hash query would use
+// when deciding coordinated subsumption.
+func RelSeed(seed uint64, rel string) uint64 {
+	h := seed
 	for _, c := range []byte(rel) {
 		h = (h ^ uint64(c)) * 1099511628211 // FNV-1a step
 	}
 	return h
 }
 
+// relSeed is RelSeed bound to the method's own seed.
+func (m *LineageHash) relSeed(rel string) uint64 { return RelSeed(m.Seed, rel) }
+
 // Keeps reports the (deterministic) decision for one base tuple of one of
 // the method's relations.
 func (m *LineageHash) Keeps(rel string, id lineage.TupleID) bool {
 	return stats.HashID(m.relSeed(rel), uint64(id)) < m.probs[rel]
+}
+
+// Residual is the Bernoulli(P/Q) quasi-operator the planner composes on
+// top of a materialized Bernoulli(Q) synopsis scan (Prop. 8): the synopsis
+// already thinned the relation to rate Q, the query asked for rate P ≤ Q,
+// so the residual keeps each synopsis tuple with probability P/Q and the
+// stacked process is Bernoulli(P) over the base relation.
+//
+// Two decision modes, both pure functions of their inputs:
+//
+//   - Nested (Nested=true): keep iff HashID(Hash, id) < P, where Hash is
+//     the synopsis's per-row hash seed. Because synopsis membership is
+//     HashID(Hash, id) < rate with rate ≥ P, the kept set is EXACTLY the
+//     set a coordinated Bernoulli(P) draw over the full relation would
+//     produce — bit-identical rows to the unrewritten coordinated query,
+//     and the only sound mode over stratified synopses (where the
+//     per-row synopsis rate varies).
+//   - Fresh (Nested=false): keep with probability P/Q from the engine's
+//     node-seeded stream, so WithSeed varies the realization exactly as a
+//     plain Bernoulli sample would. Unconditionally (over the synopsis
+//     build's own randomness) the stacked process is Bernoulli(P).
+type Residual struct {
+	// Rel is the lineage alias of the scanned relation.
+	Rel string
+	// P is the query's requested sampling rate, Q the synopsis rate
+	// backing this scan (the conservative minimum for stratified
+	// synopses). Invariant: 0 < P ≤ Q ≤ 1.
+	P, Q float64
+	// Hash is the synopsis's per-row hash seed (already relation-folded);
+	// used only when Nested.
+	Hash   uint64
+	Nested bool
+}
+
+// Name implements Method.
+func (m *Residual) Name() string {
+	mode := "fresh"
+	if m.Nested {
+		mode = "nested"
+	}
+	return fmt.Sprintf("residual(%g/%g,%s)", m.P, m.Q, mode)
+}
+
+// Relations implements Method.
+func (m *Residual) Relations() []string { return []string{m.Rel} }
+
+// Params implements Method: the residual is a Bernoulli(P/Q) over the
+// synopsis scan; stacked on the scan's declared GUS Bernoulli(Q), Prop. 8
+// compacts the pair to Bernoulli(P) over the base relation.
+func (m *Residual) Params(Cardinality) (*core.Params, error) {
+	if !(m.Q > 0) || m.P > m.Q || m.P < 0 {
+		return nil, fmt.Errorf("sampling: residual rates p=%v q=%v invalid (need 0 ≤ p ≤ q, q > 0)", m.P, m.Q)
+	}
+	return core.Bernoulli(m.Rel, m.P/m.Q)
+}
+
+// Keeps is the nested decision for one base tuple: the coordinated hash
+// that decided synopsis membership, re-thresholded at the query's rate.
+func (m *Residual) Keeps(id lineage.TupleID) bool {
+	return stats.HashID(m.Hash, uint64(id)) < m.P
+}
+
+// Apply implements Method (the serial reference the parallel engine paths
+// are bit-compatible with for the nested mode; the fresh mode consumes the
+// given RNG exactly like Bernoulli does).
+func (m *Residual) Apply(in *ops.Rows, rng *stats.RNG) (*ops.Rows, error) {
+	slot, err := slotOf(in, m.Rel)
+	if err != nil {
+		return nil, err
+	}
+	out := &ops.Rows{Cols: in.Cols, LSch: in.LSch}
+	if m.Nested {
+		for _, row := range in.Data {
+			if m.Keeps(row.Lin[slot]) {
+				out.Data = append(out.Data, row)
+			}
+		}
+		return out, nil
+	}
+	frac := m.P / m.Q
+	for _, row := range in.Data {
+		if rng.Bernoulli(frac) {
+			out.Data = append(out.Data, row)
+		}
+	}
+	return out, nil
 }
 
 // Apply implements Method. The RNG is unused: decisions are pure functions

@@ -1,0 +1,86 @@
+package synopsis
+
+import (
+	"fmt"
+
+	"github.com/sampling-algebra/gus/internal/relation"
+	"github.com/sampling-algebra/gus/internal/sampling"
+)
+
+// Manifest is a synopsis's JSON-serializable description — everything
+// needed to reattach a persisted synopsis to its segment file and decide
+// subsumption again. Row data lives in the segment; the manifest is the
+// sampling claim about it.
+type Manifest struct {
+	Name      string             `json:"name"`
+	Table     string             `json:"table"`
+	Rate      float64            `json:"rate"`
+	Seed      uint64             `json:"seed"`
+	StratCol  string             `json:"strat_col,omitempty"`
+	Rates     map[string]float64 `json:"rates,omitempty"`
+	BuiltRows int                `json:"built_rows"`
+	Rows      int                `json:"rows"`
+}
+
+// Manifest returns the synopsis's serializable description.
+func (s *Synopsis) Manifest() Manifest {
+	return Manifest{
+		Name:      s.Name,
+		Table:     s.Table,
+		Rate:      s.Rate,
+		Seed:      s.Seed,
+		StratCol:  s.StratCol,
+		Rates:     s.Rates,
+		BuiltRows: s.BuiltRows,
+		Rows:      s.Rel.Len(),
+	}
+}
+
+// FromManifest reattaches a persisted synopsis to its loaded relation,
+// re-deriving everything the manifest does not store (hash seed, min
+// rate, stratum column index) and cross-checking the row count. Callers
+// should follow with Verify (per-row hash integrity) and CatchUp.
+func FromManifest(m Manifest, rel *relation.Relation) (*Synopsis, error) {
+	if m.Name == "" || m.Table == "" {
+		return nil, fmt.Errorf("synopsis manifest: empty name or table")
+	}
+	if !(m.Rate > 0 && m.Rate <= 1) {
+		return nil, fmt.Errorf("synopsis manifest %q: rate %v outside (0,1]", m.Name, m.Rate)
+	}
+	if rel.Len() != m.Rows {
+		return nil, fmt.Errorf("synopsis manifest %q: manifest says %d rows, segment has %d", m.Name, m.Rows, rel.Len())
+	}
+	seed := m.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	s := &Synopsis{
+		Name:      m.Name,
+		Table:     m.Table,
+		Rate:      m.Rate,
+		MinRate:   m.Rate,
+		Seed:      seed,
+		HashSeed:  sampling.RelSeed(seed, m.Table),
+		StratCol:  m.StratCol,
+		Rel:       rel,
+		BuiltRows: m.BuiltRows,
+	}
+	if m.StratCol != "" {
+		idx, ok := rel.Schema().Index(m.StratCol)
+		if !ok {
+			return nil, fmt.Errorf("synopsis manifest %q: segment has no column %q", m.Name, m.StratCol)
+		}
+		s.stratIdx = idx
+		s.Rates = make(map[string]float64, len(m.Rates))
+		for k, r := range m.Rates {
+			if !(r > 0 && r <= 1) {
+				return nil, fmt.Errorf("synopsis manifest %q: stratum %q rate %v outside (0,1]", m.Name, k, r)
+			}
+			s.Rates[k] = r
+			if r < s.MinRate {
+				s.MinRate = r
+			}
+		}
+	}
+	return s, nil
+}

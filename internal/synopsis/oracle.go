@@ -1,0 +1,73 @@
+package synopsis
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sampling-algebra/gus/internal/relation"
+	"github.com/sampling-algebra/gus/internal/sampling"
+	"github.com/sampling-algebra/gus/internal/stats"
+)
+
+// Oracle is the slow ground-truth check behind the subsumption fuzz
+// target: given a synopsis over src and a query method the fast Subsumes
+// accepted, it verifies — by brute force over every source row — that
+// serving the query from the synopsis is sound. A miss decision is
+// trivially sound (falling back to the full scan is always correct), so
+// Oracle only validates hits:
+//
+//   - Nested hits must serve EXACTLY the coordinated Bernoulli(P) set
+//     {id : HashID(hashSeed, id) < P}, row for row: the synopsis must not
+//     have discarded any row the nested residual would keep (that is what
+//     seed matching and p ≤ min-rate guarantee), nor can the residual
+//     keep a row outside that set.
+//   - Fresh hits draw new randomness, so no single realization can be
+//     checked; soundness is analytic instead. The unconditional inclusion
+//     probability of a row is rateFor(row)·(P/MinRate), which equals the
+//     promised P iff every row's synopsis rate is exactly MinRate — i.e.
+//     the synopsis is uniform. Oracle asserts that, plus P ≤ MinRate.
+func Oracle(s *Synopsis, m sampling.Method, alias string, src *relation.Relation) error {
+	d := s.Subsumes(m, alias, src.Len())
+	if !d.OK {
+		return nil
+	}
+	if d.P > s.MinRate+rateTol {
+		return fmt.Errorf("oracle: accepted rate %v above synopsis min rate %v", d.P, s.MinRate)
+	}
+	if !d.Nested {
+		for i, n := 0, src.Len(); i < n; i++ {
+			if r := s.rateFor(src.Row(i)); math.Abs(r-s.MinRate) > rateTol {
+				return fmt.Errorf("oracle: fresh residual over non-uniform synopsis (row %d rate %v, min %v): inclusion probability would be %v, not %v",
+					i, r, s.MinRate, r*d.P/s.MinRate, d.P)
+			}
+		}
+		return nil
+	}
+	// Nested: the set served from the synopsis must equal the direct
+	// coordinated sample of the source.
+	served := make(map[uint64]bool, s.Rel.Len())
+	for i, n := 0, s.Rel.Len(); i < n; i++ {
+		id := uint64(s.Rel.ID(i))
+		if stats.HashID(s.HashSeed, id) < d.P {
+			served[id] = true
+		}
+	}
+	direct := make(map[uint64]bool, len(served))
+	for i, n := 0, src.Len(); i < n; i++ {
+		id := uint64(src.ID(i))
+		if stats.HashID(s.HashSeed, id) < d.P {
+			direct[id] = true
+		}
+	}
+	for id := range direct {
+		if !served[id] {
+			return fmt.Errorf("oracle: id %d belongs to the coordinated Bernoulli(%v) sample but the synopsis cannot serve it", id, d.P)
+		}
+	}
+	for id := range served {
+		if !direct[id] {
+			return fmt.Errorf("oracle: synopsis served id %d which is outside the coordinated Bernoulli(%v) sample", id, d.P)
+		}
+	}
+	return nil
+}

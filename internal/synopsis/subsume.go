@@ -1,0 +1,81 @@
+package synopsis
+
+import (
+	"github.com/sampling-algebra/gus/internal/sampling"
+)
+
+// rateTol absorbs float noise when comparing a query's rate against the
+// synopsis's: q·(p/q) need not reproduce p bit-exactly.
+const rateTol = 1e-12
+
+// Decision is the outcome of a subsumption check. When OK, the planner may
+// serve the query's sample of this synopsis's table by scanning the
+// synopsis and composing a Bernoulli(P/MinRate) residual (Prop. 8: the
+// stack compacts to Bernoulli(P) over the base table). Nested asks for the
+// coordinated-hash residual (deterministic subset of the synopsis);
+// !Nested draws a fresh sub-seeded residual so WithSeed still varies the
+// realization. When !OK, Reason says why, in the metrics vocabulary:
+// "method", "rate", "stale", or "seed".
+type Decision struct {
+	OK     bool
+	Reason string
+	P      float64
+	Nested bool
+}
+
+func miss(reason string) Decision { return Decision{Reason: reason} }
+
+// Subsumes decides whether this synopsis's GUS subsumes the sampling
+// method a query applies to relation alias (the scan's lineage name),
+// where srcLen is the source table's current length.
+//
+// The rules, each grounded in the algebra:
+//
+//   - A stale synopsis (BuiltRows ≠ srcLen) never serves: its GUS claim is
+//     about a previous generation of the table.
+//   - WOR and SYSTEM queries never nest in a Bernoulli synopsis: WOR's
+//     inclusions are negatively correlated (b̄ ≠ independent product) and
+//     SYSTEM samples blocks, not tuples — neither is Bernoulli(p) for any
+//     p, so Prop. 8 has no residual to offer.
+//   - A plain Bernoulli(p) query needs p ≤ MinRate. Over a uniform
+//     synopsis the residual is fresh (unconditionally Bernoulli(p), and
+//     different seeds draw different realizations, as callers expect of
+//     Bernoulli). Over a stratified synopsis only the nested residual is
+//     sound — a fresh Bernoulli(p/q_min) over strata kept at varying q_s
+//     would under-sample boosted strata — so the conservative min-rate
+//     coordinated subset is used.
+//   - A coordinated (REPEATABLE) query must reproduce an exact determined
+//     subset: it nests iff its per-row hash seed equals the synopsis's and
+//     p ≤ MinRate; a different seed decides membership by an unrelated
+//     hash, and the synopsis has already discarded rows that hash would
+//     keep.
+func (s *Synopsis) Subsumes(m sampling.Method, alias string, srcLen int) Decision {
+	if s.BuiltRows != srcLen {
+		return miss("stale")
+	}
+	switch t := m.(type) {
+	case *sampling.Bernoulli:
+		if t.Rel != alias {
+			return miss("method")
+		}
+		if t.P > s.MinRate+rateTol {
+			return miss("rate")
+		}
+		return Decision{OK: true, P: t.P, Nested: s.StratCol != ""}
+	case *sampling.LineageHash:
+		rels := t.Relations()
+		if len(rels) != 1 || rels[0] != alias {
+			return miss("method")
+		}
+		if sampling.RelSeed(t.Seed, alias) != s.HashSeed {
+			return miss("seed")
+		}
+		p := t.Prob(alias)
+		if p > s.MinRate+rateTol {
+			return miss("rate")
+		}
+		return Decision{OK: true, P: p, Nested: true}
+	default:
+		return miss("method")
+	}
+}

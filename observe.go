@@ -84,6 +84,9 @@ type dbMetrics struct {
 	auditRuns *obs.CounterVec
 	auditRows *obs.Counter
 
+	synHits   *obs.Counter
+	synMisses *obs.CounterVec
+
 	mu       sync.Mutex
 	shapes   map[string]*shapeMetrics
 	overflow *shapeMetrics
@@ -105,6 +108,8 @@ func newDBMetrics(db *DB) *dbMetrics {
 		shapeSecs:    reg.HistogramVec("gus_shape_query_seconds", "Query latency by normalized statement shape.", "shape", obs.LatencyBuckets),
 		auditRuns:    reg.CounterVec("gus_audit_runs_total", "Shadow-audit attempts by outcome (ok, skipped, budget, error).", "status"),
 		auditRows:    reg.Counter("gus_audit_rows_scanned_total", "Base-table rows scanned by shadow-audit replays (sampled plus exact)."),
+		synHits:      reg.Counter("gus_synopsis_hits_total", "Sampled scans served from a materialized synopsis."),
+		synMisses:    reg.CounterVec("gus_synopsis_misses_total", "Sampled scans that fell back to a full scan, by reason (disabled, none, method, rate, stale, seed).", "reason"),
 		shapes:       map[string]*shapeMetrics{},
 	}
 	queries := reg.CounterVec("gus_queries_total", "Completed queries by outcome.", "status")
@@ -219,7 +224,16 @@ func finishTrace(t *obs.Trace, root plan.Node, sql, shape string) {
 		return
 	}
 	t.SetPlanTree(plan.FormatAnnotated(root, func(n plan.Node, id int) string {
-		return annotateNode(t, id)
+		a := annotateNode(t, id)
+		// Synopsis-served scans carry the synopsis name in the annotated
+		// tree even when the fused kernel left them no spans of their own.
+		if s, ok := n.(*plan.Scan); ok && s.Synopsis != "" {
+			if a != "" {
+				a += " "
+			}
+			a += "synopsis=" + s.Synopsis
+		}
+		return a
 	}))
 	t.Finish(sql, shape)
 }

@@ -200,6 +200,11 @@ func (db *DB) runProgressive(ctx context.Context, st *Stmt, vals []relation.Valu
 	if planned.GroupBy != "" {
 		return fmt.Errorf("gus: progressive execution does not support GROUP BY (run Query instead): %w", ErrUnsupported)
 	}
+	// Progressive streams benefit twice from a synopsis rewrite: waves
+	// cover the (much smaller) synopsis, so each refinement step costs
+	// proportionally less I/O for the same statistical claim.
+	planned.Root = db.applySynopses(planned.Root, &o)
+	planned.Root = pruneScanColumns(planned.Root, neededColumns(planned))
 	analysis, err := plan.Analyze(planned.Root)
 	if err != nil {
 		return err

@@ -1,0 +1,7 @@
+//go:build !race
+
+package gus
+
+// raceEnabled reports whether the race detector is compiled in. See
+// race_on_test.go for why the tight allocation guard skips under it.
+const raceEnabled = false

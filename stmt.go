@@ -137,7 +137,18 @@ func (s *Stmt) exec(ctx context.Context, vals []relation.Value, o queryOptions, 
 	}
 	if exact {
 		planned.Root = plan.StripSampling(planned.Root)
+	} else {
+		// Serve sampled scans from materialized synopses where the
+		// subsumption check allows (see synopsis.go). Applied to the
+		// freshly bound plan on every execution — never to the cached
+		// template — so creating or dropping a synopsis needs no cache
+		// invalidation, and exact runs always scan base tables.
+		planned.Root = s.db.applySynopses(planned.Root, &o)
 	}
+	// Narrow every scan to the columns the query reads (see prune.go) —
+	// applied after the synopsis rewrite so a substituted synopsis scan
+	// is narrowed the same way its base table would be.
+	planned.Root = pruneScanColumns(planned.Root, neededColumns(planned))
 	res, err := s.db.run(ctx, planned, o)
 	if err != nil {
 		return nil, err

@@ -19,6 +19,7 @@ import (
 
 	"github.com/sampling-algebra/gus/internal/relation"
 	"github.com/sampling-algebra/gus/internal/segment"
+	"github.com/sampling-algebra/gus/internal/synopsis"
 )
 
 // SegmentExt is the file extension Save writes and OpenDir/AttachSegmentDir
@@ -74,6 +75,9 @@ type TableInfo struct {
 	Columns []Column
 	// Storage is "resident" (Go heap) or "segment" (mmap-backed file).
 	Storage string
+	// Synopses lists the materialized sample synopses attached to this
+	// table (empty when none).
+	Synopses []SynopsisInfo `json:",omitempty"`
 }
 
 // Tables describes every registered table, sorted by name.
@@ -82,7 +86,7 @@ func (db *DB) Tables() []TableInfo {
 	defer db.mu.RUnlock()
 	out := make([]TableInfo, 0, len(db.tables))
 	for name, rel := range db.tables {
-		info := TableInfo{Name: name, Rows: rel.Len(), Storage: rel.StorageMode()}
+		info := TableInfo{Name: name, Rows: rel.Len(), Storage: rel.StorageMode(), Synopses: db.synopsisInfosForLocked(name)}
 		for _, c := range rel.Schema().Columns() {
 			var t ColumnType
 			switch c.Kind {
@@ -198,6 +202,7 @@ func (db *DB) Close() error {
 	db.DisableAuditor()
 	db.mu.Lock()
 	db.tables = map[string]*relation.Relation{}
+	db.syns = synopsis.NewRegistry()
 	db.gen.Add(1)
 	db.mu.Unlock()
 	return db.segs.closeAll()

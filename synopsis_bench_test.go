@@ -1,0 +1,66 @@
+package gus_test
+
+import (
+	"testing"
+
+	gus "github.com/sampling-algebra/gus"
+	"github.com/sampling-algebra/gus/internal/tpch"
+)
+
+// benchDB builds one shared TPC-H instance with a 2% lineitem synopsis so
+// the two benchmarks below time the same query over the same data — the
+// only variable is whether the planner may serve it from the synopsis.
+func benchDB(b *testing.B, orders int) *gus.DB {
+	b.Helper()
+	db := gus.Open()
+	cfg := tpch.Config{Orders: orders, Customers: orders / 10, Parts: orders / 8, Seed: 42}
+	if err := db.AttachTPCHConfig(cfg); err != nil {
+		b.Fatal(err)
+	}
+	spec := gus.SynopsisSpec{Name: "ls", Table: "lineitem", Rate: 0.02, Seed: 42}
+	if err := db.CreateSynopsis(spec); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+const benchQ1 = `SELECT SUM(l_extendedprice*(1.0-l_discount)) FROM lineitem TABLESAMPLE BERNOULLI(1)`
+
+// BenchmarkSynopsisServed times the Q1-style 1% query when the planner
+// rewrites the scan to the 2% synopsis plus a residual Bernoulli(0.5).
+func BenchmarkSynopsisServed(b *testing.B) {
+	db := benchDB(b, 50000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(benchQ1, gus.WithSeed(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullScanSampled times the identical query with synopsis serving
+// disabled: the fallback path every non-subsumable query takes.
+func BenchmarkFullScanSampled(b *testing.B) {
+	db := benchDB(b, 50000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(benchQ1, gus.WithSeed(uint64(i)+1), gus.WithSynopses(false)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExact anchors the sampled paths against the exact aggregate.
+func BenchmarkExact(b *testing.B) {
+	db := benchDB(b, 50000)
+	sql := `SELECT SUM(l_extendedprice*(1.0-l_discount)) FROM lineitem`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exact(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
