@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -195,6 +196,9 @@ func (r dbRunner) Shapes() []audit.Shape {
 	for shape, s := range m.shapes {
 		out = append(out, audit.Shape{SQL: shape, Queries: s.queries.Value()})
 	}
+	// Demand-weighted candidate selection must not depend on registry
+	// iteration order.
+	sort.Slice(out, func(i, j int) bool { return out[i].SQL < out[j].SQL })
 	return out
 }
 

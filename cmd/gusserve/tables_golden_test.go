@@ -1,0 +1,88 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	gus "github.com/sampling-algebra/gus"
+)
+
+// TestTablesGolden locks the user-visible /tables JSON against
+// map-iteration nondeterminism: tables arrive sorted by name and each
+// table's synopses sorted by name, no matter what order they were
+// created in, and repeated GETs are byte-identical. This is the
+// behavioral counterpart of gusvet's determinism analyzer for the HTTP
+// surface.
+func TestTablesGolden(t *testing.T) {
+	db := gus.Open()
+	// Create tables and synopses deliberately out of alphabetical order.
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		tb, err := db.CreateTable(name,
+			gus.Column{Name: "k", Type: gus.Int},
+			gus.Column{Name: "v", Type: gus.Float},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			if err := tb.Insert(i, float64(i)+0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, spec := range []gus.SynopsisSpec{
+		{Name: "z_half", Table: "alpha", Rate: 0.5, Seed: 1},
+		{Name: "a_tenth", Table: "alpha", Rate: 0.1, Seed: 2},
+		{Name: "m_quarter", Table: "zeta", Rate: 0.25, Seed: 3},
+	} {
+		if err := db.CreateSynopsis(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := newServer(db)
+
+	get := func() string {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodGet, "/tables", nil)
+		rec := httptest.NewRecorder()
+		s.handleTables(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /tables: status %d", rec.Code)
+		}
+		return rec.Body.String()
+	}
+
+	first := get()
+	for i := 0; i < 8; i++ {
+		if got := get(); got != first {
+			t.Fatalf("GET /tables not byte-identical across calls\n--- call %d ---\n%s\n--- first ---\n%s", i, got, first)
+		}
+	}
+
+	// The decoded structure confirms the sort the bytes imply.
+	tables := getTables(t, s)
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables, want 3: %+v", len(tables), tables)
+	}
+	for i, want := range []string{"alpha", "mid", "zeta"} {
+		if tables[i].Name != want {
+			t.Fatalf("tables[%d] = %q, want %q (sorted order)", i, tables[i].Name, want)
+		}
+	}
+	syns := db.Synopses()
+	if len(syns) != 3 {
+		t.Fatalf("got %d synopses, want 3", len(syns))
+	}
+	for i, want := range []string{"a_tenth", "m_quarter", "z_half"} {
+		if syns[i].Name != want {
+			t.Fatalf("synopses[%d] = %q, want %q (sorted order)", i, syns[i].Name, want)
+		}
+	}
+	// alpha's two synopses arrive name-sorted inside the table entry.
+	aIdx, zIdx := strings.Index(first, `"a_tenth"`), strings.Index(first, `"z_half"`)
+	if aIdx < 0 || zIdx < 0 || aIdx > zIdx {
+		t.Fatalf("alpha's synopses out of name order in body:\n%s", first)
+	}
+}

@@ -1,0 +1,18 @@
+// Command gusvet is the multichecker for the repo's invariant-enforcing
+// static analyzers: determinism, tracenil, poolcontract, hotpathmaps,
+// ctxflow, and the //gus: annotation grammar itself.
+//
+// It speaks the `go vet` tool protocol:
+//
+//	go build -o bin/gusvet ./cmd/gusvet
+//	go vet -vettool=$PWD/bin/gusvet ./...
+//
+// Run `gusvet help` for each analyzer's contract. See
+// internal/analysis/doc.go for the annotation grammar.
+package main
+
+import "github.com/sampling-algebra/gus/internal/analysis"
+
+func main() {
+	analysis.Main(analysis.All()...)
+}

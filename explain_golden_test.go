@@ -1,0 +1,70 @@
+package gus
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// volatileTrace matches the fields of an EXPLAIN ANALYZE render that
+// legitimately change run to run: wall-clock durations and the per-query
+// trace ID. Everything else — plan tree, stage names and order, labels,
+// row counts, partition counts, estimates in the wave table — must be
+// deterministic for a fixed seed.
+var volatileTrace = regexp.MustCompile(`query q[0-9]+|time=[^ \n]+|latency=[^ \n]+|total: [^\n]+`)
+
+func normalizeExplain(s string) string {
+	return volatileTrace.ReplaceAllString(s, "<volatile>")
+}
+
+// TestExplainAnalyzeGolden locks the structural determinism of the
+// user-visible EXPLAIN ANALYZE rendering: repeated runs of the same
+// seeded statement produce identical output once wall-clock fields are
+// masked. Join-label formatting, span ordering, and row counts all come
+// from code gusvet's determinism analyzer polices — this test is the
+// behavioral lock on top of the static one.
+func TestExplainAnalyzeGolden(t *testing.T) {
+	db := obsTestDB(t)
+	for _, tc := range []struct {
+		name, sql string
+	}{
+		{"point", obsPointSQL},
+		{"join", obsJoinSQL},
+		{"group", obsGroupSQL},
+	} {
+		// Warm the plan cache so every captured run renders the same
+		// plan-cache=hit stage line.
+		if _, err := db.Query("EXPLAIN ANALYZE "+tc.sql, WithSeed(7)); err != nil {
+			t.Fatalf("%s warm-up: %v", tc.name, err)
+		}
+		res, err := db.Query("EXPLAIN ANALYZE "+tc.sql, WithSeed(7))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		first := normalizeExplain(res.ExplainText)
+		if !strings.Contains(first, "<volatile>") {
+			t.Fatalf("%s: normalization matched nothing in:\n%s", tc.name, res.ExplainText)
+		}
+		for run := 0; run < 4; run++ {
+			again, err := db.Query("EXPLAIN ANALYZE "+tc.sql, WithSeed(7))
+			if err != nil {
+				t.Fatalf("%s run %d: %v", tc.name, run, err)
+			}
+			if got := normalizeExplain(again.ExplainText); got != first {
+				t.Fatalf("%s: EXPLAIN ANALYZE output not deterministic\n--- run %d ---\n%s\n--- first ---\n%s", tc.name, run, got, first)
+			}
+		}
+	}
+
+	// The join render carries its equi-join label on both build and probe
+	// spans (built lazily, only when tracing — tracenil's contract).
+	res, err := db.Query("EXPLAIN ANALYZE "+obsJoinSQL, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"join-build", "join-probe", "fk = id"} {
+		if !strings.Contains(res.ExplainText, want) {
+			t.Fatalf("join EXPLAIN ANALYZE missing %q:\n%s", want, res.ExplainText)
+		}
+	}
+}

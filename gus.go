@@ -1179,7 +1179,14 @@ func (v *Value) PredictVariance(design Design) (float64, error) {
 			return 0, err
 		}
 	}
+	// Report the same offending name on every run: the design map's
+	// iteration order must not pick the error.
+	names := make([]string, 0, len(design))
 	for name := range design {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if _, ok := v.schema.Index(name); !ok {
 			return 0, fmt.Errorf("gus: design names %q, which the query does not touch", name)
 		}

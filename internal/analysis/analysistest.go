@@ -1,0 +1,234 @@
+// An analysistest-style harness: testdata packages under
+// testdata/src/<path> are loaded with full type information (stdlib
+// dependencies type-check from GOROOT source, so the harness needs no
+// network and no export data), the analyzer runs, and its findings are
+// compared against `// want` expectations in the sources.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// testModulePath is the ModulePath every testdata pass runs under; a
+// testdata package named exactly this is treated as the API layer.
+const testModulePath = "apilayer"
+
+// testPkg is one loaded testdata package.
+type testPkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader resolves testdata import paths against a root directory,
+// falling back to compiling stdlib packages from GOROOT source.
+type loader struct {
+	root    string
+	fset    *token.FileSet
+	pkgs    map[string]*testPkg
+	loading map[string]bool
+	std     types.Importer
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:    root,
+		fset:    fset,
+		pkgs:    map[string]*testPkg{},
+		loading: map[string]bool{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer over the testdata tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, filepath.FromSlash(path)); isDir(dir) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func isDir(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}
+
+func (l *loader) load(path string) (*testPkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	tcfg := types.Config{Importer: l}
+	pkg, err := tcfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", path, err)
+	}
+	tp := &testPkg{path: path, files: files, pkg: pkg, info: info}
+	l.pkgs[path] = tp
+	return tp, nil
+}
+
+// RunTest loads each testdata package (paths relative to
+// internal/analysis/testdata/src), runs the analyzer, and checks its
+// diagnostics against `// want` comments:
+//
+//	for k := range m { // want `map iteration order`
+//
+// Each backquoted or double-quoted regexp after "want" must match one
+// diagnostic reported on that line, and every diagnostic must be
+// expected. The literal comment "// want none" asserts the line is
+// clean (useful for documenting allowed patterns; any unexpected
+// diagnostic anywhere already fails).
+func RunTest(t *testing.T, a *Analyzer, pkgPaths ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLoader(root)
+	for _, path := range pkgPaths {
+		tp, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       l.fset,
+			Files:      tp.files,
+			Pkg:        tp.pkg,
+			TypesInfo:  tp.info,
+			ModulePath: testModulePath,
+		}
+		var diags []Diagnostic
+		pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, path, err)
+		}
+		checkExpectations(t, l.fset, tp.files, diags, path)
+	}
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// checkExpectations matches diagnostics against the package's want
+// comments, line by line.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []Diagnostic, pkgPath string) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				spec := strings.TrimSpace(text[idx+len("want "):])
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				if spec == "none" {
+					wants[k] = []*regexp.Regexp{}
+					continue
+				}
+				for _, m := range wantRE.FindAllStringSubmatch(spec, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	matched := map[key][]bool{}
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		res := wants[k]
+		found := false
+		for i, re := range res {
+			if !matched[k][i] && re.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic in %s: %s", pos, pkgPath, d.Message)
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for i, re := range wants[k] {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}

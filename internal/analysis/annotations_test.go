@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestAnnotations(t *testing.T) {
+	RunTest(t, Annotations, "annot/engine")
+}
+
+// parseOne builds a single-file Pass for analyzers that need no type
+// information.
+func parseOne(t *testing.T, a *Analyzer, src string) (*Pass, *[]Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := &[]Diagnostic{}
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		ModulePath: testModulePath,
+		Report:     func(d Diagnostic) { *diags = append(*diags, d) },
+	}
+	return pass, diags
+}
+
+// TestAnnotationsEmptyReason covers the reason-less directive directly: a
+// `// want` comment cannot share a line with an empty-reason annotation
+// (the want text would become the reason), so this case runs the
+// analyzer over an in-memory file.
+func TestAnnotationsEmptyReason(t *testing.T) {
+	pass, diags := parseOne(t, Annotations, `package p
+
+//gus:nondet-ok
+var A int
+
+//gus:nondet-ok justified, with a reason
+var B int
+`)
+	if err := Annotations.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	if len(*diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(*diags), *diags)
+	}
+	if msg := (*diags)[0].Message; !strings.Contains(msg, "requires a reason") {
+		t.Fatalf("diagnostic %q does not mention the missing reason", msg)
+	}
+	if line := pass.Fset.Position((*diags)[0].Pos).Line; line != 3 {
+		t.Fatalf("diagnostic on line %d, want 3", line)
+	}
+}
+
+// TestAnnotatedRejectsEmptyReason pins the suppression side of the same
+// contract: Annotated must not honor a reason-less directive.
+func TestAnnotatedRejectsEmptyReason(t *testing.T) {
+	pass, _ := parseOne(t, Annotations, `package p
+
+//gus:nondet-ok
+var A int
+
+//gus:nondet-ok reasoned
+var B int
+`)
+	var aPos, bPos token.Pos
+	for _, d := range pass.Files[0].Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		name := gd.Specs[0].(*ast.ValueSpec).Names[0].Name
+		switch name {
+		case "A":
+			aPos = gd.Pos()
+		case "B":
+			bPos = gd.Pos()
+		}
+	}
+	if pass.Annotated(aPos, "nondet-ok") {
+		t.Error("empty-reason annotation suppressed a finding")
+	}
+	if !pass.Annotated(bPos, "nondet-ok") {
+		t.Error("reasoned annotation failed to suppress")
+	}
+	if pass.Annotated(bPos, "stringmap-ok") {
+		t.Error("annotation suppressed a different analyzer's directive")
+	}
+}
+
+// TestDirectivesDocumented keeps the closed directive set and the
+// annotation-grammar documentation in lockstep: every directive must
+// appear in doc.go and in the README's static-analysis section.
+func TestDirectivesDocumented(t *testing.T) {
+	doc, err := os.ReadFile("doc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range directives {
+		if !strings.Contains(string(doc), "//gus:"+d) {
+			t.Errorf("directive %q not documented in doc.go", d)
+		}
+		if !strings.Contains(string(readme), "//gus:"+d) {
+			t.Errorf("directive %q not documented in README.md", d)
+		}
+	}
+}

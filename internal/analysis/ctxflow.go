@@ -1,0 +1,66 @@
+// The ctxflow analyzer. Cancellation is part of the execution contract:
+// progressive queries stop mid-wave, gusserve cancels on client
+// disconnect, and the coming scatter/gather coordinator will cancel
+// remote shards. That only works if partition walks thread a context and
+// nothing below the gus.DB API layer manufactures its own.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context threading below the API layer.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: `thread context through partition walks
+
+Flags, in every module package below the gus.DB API layer (the module
+root), outside cmd/* and examples and tests:
+  - calls to context.Background() or context.TODO(): the caller's
+    context must be threaded down, never remade, or cancellation stops
+    at that boundary.
+  - calls to ops.ForEachPart (the context-free partition walk) outside
+    package ops itself: partition walks use ops.ForEachPartCtx so a
+    cancelled query stops between morsels. Walks that run strictly below
+    cancellation granularity annotate //gus:ctx-ok <reason>.`,
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.IsAPILayer() || pass.PkgHasSegment("cmd") || pass.PkgHasSegment("examples") {
+		return nil
+	}
+	inOps := pass.PkgTail() == "ops"
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO"):
+				if !pass.Annotated(call.Pos(), "ctx-ok") {
+					pass.Reportf(call.Pos(), "context.%s below the gus.DB API layer: thread the caller's context instead, or cancellation stops here (//gus:ctx-ok <reason> to override)", fn.Name())
+				}
+			case !inOps && fn.Name() == "ForEachPart" && pathTail(fn.Pkg().Path()) == "ops":
+				if !pass.Annotated(call.Pos(), "ctx-ok") {
+					pass.Reportf(call.Pos(), "ops.ForEachPart does not observe cancellation: use ops.ForEachPartCtx (//gus:ctx-ok <reason> for walks below cancellation granularity)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	RunTest(t, Determinism, "det/engine", "det/stats", "apilayer")
+}

@@ -1,0 +1,83 @@
+// The hotpathmaps analyzer. PR 4 removed every string-keyed map from the
+// keyed hot path (dictionary-encoded columns + open-addressing tables in
+// internal/hashtab, 30× fewer allocations); this check keeps them out.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotPathPkgs are the package tails where per-row keyed state lives.
+var hotPathPkgs = map[string]bool{
+	"engine":    true,
+	"estimator": true,
+	"batch":     true,
+	"hashtab":   true,
+}
+
+// HotPathMaps flags new string- or float-keyed map types in hot-path
+// packages.
+var HotPathMaps = &Analyzer{
+	Name: "hotpathmaps",
+	Doc: `keep string/float-keyed maps off the hot path
+
+In engine, estimator, batch, and hashtab, any map type keyed by string,
+float64, or float32 is flagged: keyed state on the execution path must go
+through internal/hashtab (dictionary codes + open addressing), which is
+why join-heavy queries run at ~660 allocs/op instead of ~20k. Deliberate
+oracles and cold setup code annotate //gus:stringmap-ok <reason>;
+_test.go files are exempt.`,
+	Run: runHotPathMaps,
+}
+
+func runHotPathMaps(pass *Pass) error {
+	if !hotPathPkgs[pass.PkgTail()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			mt, ok := n.(*ast.MapType)
+			if !ok {
+				return true
+			}
+			kind, bad := hotKeyKind(pass, mt.Key)
+			if !bad {
+				return true
+			}
+			if pass.Annotated(mt.Pos(), "stringmap-ok") {
+				return true
+			}
+			pass.Reportf(mt.Pos(), "map keyed by %s on the hot path: keyed state must go through internal/hashtab (//gus:stringmap-ok <reason> for oracles and cold setup)", kind)
+			return true
+		})
+	}
+	return nil
+}
+
+// hotKeyKind reports whether the map key type is (or is backed by)
+// string or a float.
+func hotKeyKind(pass *Pass, key ast.Expr) (string, bool) {
+	t := pass.TypeOf(key)
+	if t == nil {
+		// Syntactic fallback for positions without type info.
+		if id, ok := key.(*ast.Ident); ok && (id.Name == "string" || id.Name == "float64" || id.Name == "float32") {
+			return id.Name, true
+		}
+		return "", false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "", false
+	}
+	switch {
+	case b.Info()&types.IsString != 0:
+		return t.String(), true
+	case b.Info()&types.IsFloat != 0:
+		return t.String(), true
+	}
+	return "", false
+}

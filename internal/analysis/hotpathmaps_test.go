@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestHotPathMaps(t *testing.T) {
+	RunTest(t, HotPathMaps, "hotpath/engine")
+}

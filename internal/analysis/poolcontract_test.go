@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestPoolContract(t *testing.T) {
+	RunTest(t, PoolContract, "pool/batch", "pool/engine")
+}

@@ -1,0 +1,11 @@
+// Package engine is annotations-grammar testdata: unknown directives are
+// rejected so a typo can never silently disable a check. (The
+// missing-reason rule is covered by a direct unit test — a want comment
+// cannot share a line with a reason-less directive.)
+package engine
+
+//gus:nondet-oops typo suppresses nothing // want `unknown gusvet directive "nondet-oops"`
+var A int
+
+//gus:nondet-ok single-entry map: the loop extracts the only key
+var B int

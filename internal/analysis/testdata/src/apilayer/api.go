@@ -1,0 +1,21 @@
+// Package apilayer is testdata for the module-root exemption: its import
+// path equals the harness ModulePath, so it is the public gus.DB surface
+// — it legitimately observes query latency and owns context plumbing.
+package apilayer
+
+import (
+	"context"
+	"time"
+)
+
+// Latency times a query: wall clock is the API layer's job.
+func Latency(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// Run manufactures the root context: only the API layer may.
+func Run() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,31 @@
+// Package engine is ctxflow testdata: below the API layer the caller's
+// context is threaded, never remade, and partition walks observe it.
+package engine
+
+import (
+	"context"
+
+	"ctxflow/ops"
+)
+
+// Remade severs cancellation at this boundary.
+func Remade(n int) error {
+	ctx := context.Background() // want `context.Background below the gus.DB API layer`
+	return ops.ForEachPartCtx(ctx, 1, n, func(int) error { return nil })
+}
+
+// Threaded is the correct shape.
+func Threaded(ctx context.Context, n int) error {
+	return ops.ForEachPartCtx(ctx, 1, n, func(int) error { return nil })
+}
+
+// Blind walks do not observe cancellation.
+func Blind(n int) error {
+	return ops.ForEachPart(1, n, func(int) error { return nil }) // want `ops.ForEachPart does not observe cancellation`
+}
+
+// Annotated walks run below cancellation granularity.
+func Annotated(n int) error {
+	//gus:ctx-ok pure CPU shard below cancellation granularity
+	return ops.ForEachPart(1, n, func(int) error { return nil })
+}

@@ -1,0 +1,28 @@
+// Package ops is ctxflow testdata: the partition-walk primitives. Inside
+// ops itself, ForEachPart is legal — it is the implementation.
+package ops
+
+import "context"
+
+// ForEachPart is the context-free walk.
+func ForEachPart(workers, n int, f func(int) error) error {
+	for i := 0; i < n; i++ {
+		if err := f(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEachPartCtx observes cancellation between morsels.
+func ForEachPartCtx(ctx context.Context, workers, n int, f func(int) error) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := f(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Package engine is determinism-analyzer testdata: the import-path tail
+// "engine" places it inside the deterministic core where ambient clocks,
+// randomness, and order-leaking map ranges are violations.
+package engine
+
+import (
+	"math/rand" // want `import of "math/rand"`
+	"sort"
+	"time"
+)
+
+// Flagged leaks map iteration order straight into its result.
+func Flagged(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `map iteration order`
+		out = append(out, v*2)
+	}
+	return out
+}
+
+// FlaggedClock reads the wall clock on the estimation path.
+func FlaggedClock() int64 {
+	return time.Now().Unix() // want `call to time.Now`
+}
+
+// FlaggedRand draws ambient randomness.
+func FlaggedRand() int {
+	return rand.Int() // want `call to math/rand.Int`
+}
+
+// FloatSum is order-sensitive under IEEE addition.
+func FloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order`
+		sum += v
+	}
+	return sum
+}
+
+// Counting is pure integer accumulation: order-free.
+func Counting(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SetCopy stores keyed by the iteration key: each key visited once.
+func SetCopy(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// CollectThenSort is the canonical sorted-iteration idiom.
+func CollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ScratchThenSort builds entries with body-local scratch state before
+// appending; still order-free because the slice is sorted after.
+func ScratchThenSort(m map[string]int) []int {
+	var out []int
+	for k, v := range m {
+		s := len(k)
+		s += v
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MaxTracking is commutative extremum tracking.
+func MaxTracking(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Annotated documents a deliberate order dependence.
+func Annotated(m map[string]int) int {
+	//gus:nondet-ok any entry is representative here
+	for _, v := range m {
+		return v
+	}
+	return 0
+}
+
+// EmptyReason shows that a reason-less annotation suppresses nothing.
+func EmptyReason(m map[string]int) []int {
+	var out []int
+	//gus:nondet-ok
+	for _, v := range m { // want `map iteration order`
+		out = append(out, v)
+	}
+	return out
+}

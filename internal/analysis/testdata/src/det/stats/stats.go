@@ -1,0 +1,14 @@
+// Package stats is determinism-analyzer testdata for the whitelist: the
+// "stats" tail is the seeded-RNG home, where ambient randomness and the
+// wall clock are allowed.
+package stats
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Seed mixes the clock and ambient randomness — fine here.
+func Seed() int64 {
+	return time.Now().UnixNano() ^ rand.Int63()
+}

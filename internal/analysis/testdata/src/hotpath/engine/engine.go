@@ -1,0 +1,26 @@
+// Package engine is hotpathmaps testdata: string- and float-keyed maps
+// are banned from the keyed hot path.
+package engine
+
+// name is string-backed: the underlying type decides.
+type name string
+
+// groups carries per-row keyed state.
+type groups struct {
+	byName  map[string]int // want `map keyed by string`
+	byAlias map[name]int   // want `map keyed by`
+	byID    map[uint64]int
+}
+
+// rates keyed by float invite NaN and epsilon bugs on top of the allocs.
+var rates map[float64]int // want `map keyed by float64`
+
+// Count takes a string-keyed map parameter.
+func Count(m map[string]int) int { // want `map keyed by string`
+	return len(m)
+}
+
+// Oracles and cold setup opt out with a reason.
+//
+//gus:stringmap-ok cold-path oracle fixture
+var oracle map[string]bool

@@ -1,0 +1,46 @@
+// Package engine is tracenil testdata for the call-site rule: no eager
+// formatting work in trace arguments that a nil receiver would discard.
+package engine
+
+import (
+	"fmt"
+
+	"tracenil/obs"
+)
+
+// Engine carries an optional trace.
+type Engine struct {
+	trace *obs.Trace
+}
+
+// Flagged pays for the label even when tracing is off.
+func (e *Engine) Flagged(col string) int {
+	return e.trace.Begin("scan", fmt.Sprintf("col=%s", col)) // want `eager fmt.Sprintf`
+}
+
+// Guarded hoists the formatting behind a nil check.
+func (e *Engine) Guarded(col string) int {
+	var lbl string
+	if e.trace != nil {
+		lbl = fmt.Sprintf("col=%s", col)
+	}
+	return e.trace.Begin("scan", lbl)
+}
+
+// GuardedCall runs the whole call under the guard.
+func (e *Engine) GuardedCall(col string) {
+	if e.trace != nil {
+		e.trace.Begin("scan", fmt.Sprintf("col=%s", col))
+	}
+}
+
+// Lazy formatting inside the closure only runs when traced.
+func (e *Engine) Lazy(id int, col string) {
+	e.trace.SetSpan(id, func(s *obs.Span) { s.Label = fmt.Sprintf("col=%s", col) })
+}
+
+// Annotated documents a deliberate eager argument.
+func (e *Engine) Annotated(col string) int {
+	//gus:trace-ok label interning measured cheaper than the hoist here
+	return e.trace.Begin("scan", fmt.Sprintf("col=%s", col))
+}

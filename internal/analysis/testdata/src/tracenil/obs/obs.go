@@ -1,0 +1,56 @@
+// Package obs is tracenil testdata for the definition-side rule: every
+// exported method with a *Trace or *Span receiver must open with the
+// nil-receiver guard.
+package obs
+
+// Trace mirrors the real obs.Trace shape.
+type Trace struct {
+	spans []string
+}
+
+// Span is one labelled stage.
+type Span struct {
+	Label string
+}
+
+// Begin is correctly guarded.
+func (t *Trace) Begin(name, label string) int {
+	if t == nil {
+		return -1
+	}
+	t.spans = append(t.spans, name+label)
+	return len(t.spans) - 1
+}
+
+// End forgets the guard.
+func (t *Trace) End(id int) { // want `must begin with the nil-receiver guard`
+	t.spans[id] += "!"
+}
+
+// SetSpan may ||-combine the guard with other bail-outs.
+func (t *Trace) SetSpan(id int, f func(*Span)) {
+	if t == nil || id < 0 {
+		return
+	}
+	var s Span
+	f(&s)
+	t.spans[id] = s.Label
+}
+
+// reset is unexported: it runs behind a guarded exported entry point.
+func (t *Trace) reset() {
+	t.spans = nil
+}
+
+// Grow is a guarded Span method.
+func (s *Span) Grow() {
+	if s == nil {
+		return
+	}
+	s.Label += "+"
+}
+
+// Shrink forgets the guard.
+func (s *Span) Shrink() { // want `must begin with the nil-receiver guard`
+	s.Label = ""
+}

@@ -1,0 +1,301 @@
+// The tracenil analyzer. Observability is pay-for-what-you-use: a nil
+// *obs.Trace is a valid receiver for every exported method (one pointer
+// test, then return), and call sites on the engine hot path must not do
+// allocating work to build arguments that a nil receiver would discard.
+package analysis
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// traceTypeNames are the obs types whose exported pointer-receiver
+// methods must open with the nil guard.
+var traceTypeNames = map[string]bool{"Trace": true, "Span": true}
+
+// TraceNil enforces the nil-receiver tracing contract on both sides of
+// the obs API.
+var TraceNil = &Analyzer{
+	Name: "tracenil",
+	Doc: `enforce the nil-receiver tracing contract
+
+Definition side (package obs): every exported method with a *Trace or
+*Span receiver must begin with the nil-receiver guard (its first
+statement is "if t == nil { ... }", possibly ||-combined with other
+bail-outs). Unexported helpers are exempt: they run behind a guarded
+exported entry point.
+
+Call-site side (engine, estimator, online, synopsis, and every other
+non-obs package in the module): arguments to a *Trace/*Span method may
+not contain eager formatting calls (fmt.Sprintf family, strconv
+conversions, strings.Join) — on the untraced path the nil receiver
+discards them, so the formatting must happen behind an explicit
+"if trace != nil" hoist or inside the lazy closure passed to SetSpan.
+Function-literal arguments are not descended into (they are the lazy
+path). //gus:trace-ok <reason> overrides.`,
+	Run: runTraceNil,
+}
+
+func runTraceNil(pass *Pass) error {
+	if pass.PkgTail() == "obs" {
+		runTraceNilDefs(pass)
+		return nil
+	}
+	if pass.PkgHasSegment("examples") {
+		return nil
+	}
+	runTraceNilCalls(pass)
+	return nil
+}
+
+// runTraceNilDefs checks that exported methods on the trace types begin
+// with the nil-receiver guard.
+func runTraceNilDefs(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) != 1 || !fn.Name.IsExported() || fn.Body == nil {
+				continue
+			}
+			recvName, typeName := recvInfo(fn)
+			if !traceTypeNames[typeName] {
+				continue
+			}
+			if beginsWithNilGuard(pass, fn.Body, recvName) {
+				continue
+			}
+			pass.Reportf(fn.Name.Pos(), "exported method (*%s).%s must begin with the nil-receiver guard `if %s == nil`: a nil trace is a valid receiver for every exported obs method", typeName, fn.Name.Name, orRecv(recvName))
+		}
+	}
+}
+
+// recvInfo returns the receiver variable name and the pointed-to type
+// name ("" if the receiver is not a pointer to a named type).
+func recvInfo(fn *ast.FuncDecl) (recvName, typeName string) {
+	field := fn.Recv.List[0]
+	if len(field.Names) == 1 {
+		recvName = field.Names[0].Name
+	}
+	star, ok := field.Type.(*ast.StarExpr)
+	if !ok {
+		return recvName, ""
+	}
+	switch t := star.X.(type) {
+	case *ast.Ident:
+		return recvName, t.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			return recvName, id.Name
+		}
+	}
+	return recvName, ""
+}
+
+func orRecv(name string) string {
+	if name == "" {
+		return "t"
+	}
+	return name
+}
+
+// beginsWithNilGuard reports whether the first statement of body is an if
+// whose condition contains `recv == nil` (possibly inside an || chain)
+// and whose then-branch leaves the method.
+func beginsWithNilGuard(pass *Pass, body *ast.BlockStmt, recvName string) bool {
+	if recvName == "" || recvName == "_" || len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	if !condHasNilCheck(ifs.Cond, recvName) {
+		return false
+	}
+	n := len(ifs.Body.List)
+	if n == 0 {
+		return false
+	}
+	_, isReturn := ifs.Body.List[n-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+func condHasNilCheck(cond ast.Expr, recvName string) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return condHasNilCheck(c.X, recvName)
+	case *ast.BinaryExpr:
+		if c.Op == token.LOR {
+			return condHasNilCheck(c.X, recvName) || condHasNilCheck(c.Y, recvName)
+		}
+		if c.Op != token.EQL {
+			return false
+		}
+		return isIdentNamed(c.X, recvName) && isNil(c.Y) || isIdentNamed(c.Y, recvName) && isNil(c.X)
+	}
+	return false
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// eagerFormatters are calls that allocate to build a string eagerly.
+var eagerFormatters = map[string]map[string]bool{
+	"fmt":     {"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true, "Appendf": true},
+	"strconv": {"Itoa": true, "FormatInt": true, "FormatFloat": true, "FormatUint": true, "Quote": true, "AppendInt": true, "AppendFloat": true},
+	"strings": {"Join": true, "Repeat": true},
+}
+
+// runTraceNilCalls flags trace-method call sites whose arguments contain
+// eager formatting work — unless the call is dominated by an explicit
+// nil check on the same receiver expression (`if o.trace != nil { ... }`),
+// in which case the formatting only runs when traced.
+func runTraceNilCalls(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		var ifStack []*ast.IfStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			if ifs, ok := n.(*ast.IfStmt); ok {
+				ifStack = append(ifStack, ifs)
+				// Stale entries are filtered by extent in guardedByNilCheck;
+				// ast.Inspect offers no pop hook.
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := traceMethodRecv(pass, call)
+			if !ok {
+				return true
+			}
+			if pass.Annotated(call.Pos(), "trace-ok") {
+				return true
+			}
+			if guardedByNilCheck(ifStack, call, recv) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if pos, name, found := findEagerCall(pass, arg); found {
+					pass.Reportf(pos, "eager %s while building a trace argument: on the untraced path the nil receiver discards it; hoist behind `if trace != nil` or move it into the SetSpan closure (//gus:trace-ok <reason> to override)", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// guardedByNilCheck reports whether call sits inside the then-branch of
+// an if whose condition includes `<recv> != nil` for the same receiver
+// expression (compared by printed form).
+func guardedByNilCheck(stack []*ast.IfStmt, call *ast.CallExpr, recv string) bool {
+	for _, ifs := range stack {
+		if ifs.Body.Pos() <= call.Pos() && call.End() <= ifs.Body.End() && condHasNotNil(ifs.Cond, recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// condHasNotNil looks for `expr != nil` (by printed form) among the
+// &&-conjuncts of cond.
+func condHasNotNil(cond ast.Expr, recv string) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return condHasNotNil(c.X, recv)
+	case *ast.BinaryExpr:
+		if c.Op == token.LAND {
+			return condHasNotNil(c.X, recv) || condHasNotNil(c.Y, recv)
+		}
+		if c.Op != token.NEQ {
+			return false
+		}
+		return exprString(c.X) == recv && isNil(c.Y) || exprString(c.Y) == recv && isNil(c.X)
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string {
+	var b strings.Builder
+	printer.Fprint(&b, token.NewFileSet(), e)
+	return b.String()
+}
+
+// traceMethodRecv reports whether call invokes a method whose receiver
+// is a pointer to one of the obs trace types, returning the receiver
+// expression's printed form for nil-guard matching.
+func traceMethodRecv(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	recv := s.Recv()
+	ptr, ok := recv.(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if !traceTypeNames[named.Obj().Name()] {
+		return "", false
+	}
+	// The defining package must be (an) obs — matching by path tail keeps
+	// testdata packages and the real internal/obs on one rule.
+	if pathTail(named.Obj().Pkg().Path()) != "obs" {
+		return "", false
+	}
+	return exprString(sel.X), true
+}
+
+// findEagerCall looks for a formatting call anywhere inside arg, without
+// descending into function literals (those are the lazy path).
+func findEagerCall(pass *Pass, arg ast.Expr) (token.Pos, string, bool) {
+	var pos token.Pos
+	var name string
+	found := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if names, ok := eagerFormatters[fn.Pkg().Path()]; ok && names[fn.Name()] {
+			pos, name, found = call.Pos(), fn.Pkg().Name()+"."+fn.Name(), true
+		}
+		return !found
+	})
+	return pos, name, found
+}

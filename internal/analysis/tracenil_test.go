@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestTraceNil(t *testing.T) {
+	RunTest(t, TraceNil, "tracenil/obs", "tracenil/engine")
+}

@@ -1,0 +1,236 @@
+// The vet-tool driver: a standard-library reimplementation of the
+// x/tools unitchecker protocol, so `go vet -vettool=gusvet ./...` drives
+// the suite with full type information and build caching and the repo
+// stays dependency-free.
+//
+// Protocol (cmd/go → vet tool):
+//
+//	gusvet -V=full          print a content-hashed version line; the go
+//	                        command uses it as the analysis cache key, so
+//	                        it must change when the binary does.
+//	gusvet -flags           print the tool's flag definitions as JSON
+//	                        (gusvet defines none: "[]").
+//	gusvet <file>.cfg       analyze one package unit. The cfg JSON names
+//	                        the Go files, the import map, and the export
+//	                        data file for every dependency; diagnostics go
+//	                        to stderr as file:line:col lines and a
+//	                        non-zero exit marks findings. The facts file
+//	                        (VetxOutput) must be written even when empty —
+//	                        the go command caches it.
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON the go command writes for each vet unit
+// (cmd/go/internal/work's vetConfig struct).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ModulePath   string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+
+	VetxOnly   bool
+	VetxOutput string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// factsPayload is the constant facts blob: gusvet's analyzers are all
+// package-local, so dependency facts carry no information — but the file
+// must exist for the go command's cache.
+const factsPayload = "gusvet-facts-v1\n"
+
+// Main is the gusvet entry point: cmd/gusvet calls it with the full
+// suite.
+func Main(analyzers ...*Analyzer) {
+	progname := "gusvet"
+	if len(os.Args) > 0 {
+		progname = os.Args[0]
+	}
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			printVersion(progname)
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		case args[0] == "help" || args[0] == "-help" || args[0] == "--help":
+			printHelp(analyzers)
+			return
+		}
+	}
+	var cfgFile string
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") {
+			cfgFile = a
+		}
+	}
+	if cfgFile == "" {
+		fmt.Fprintf(os.Stderr, "%s: run me via `go vet -vettool=%s ./...` (or `%s help`)\n", progname, progname, progname)
+		os.Exit(2)
+	}
+	exit, err := runUnit(cfgFile, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	os.Exit(exit)
+}
+
+// printVersion emulates cmd/internal/objabi.AddVersionFlag's -V=full
+// output, hashing the executable so rebuilding gusvet invalidates the go
+// command's cached vet results.
+func printVersion(progname string) {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Printf("%s version devel gusvet\n", progname)
+		return
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Printf("%s version devel gusvet\n", progname)
+		return
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Printf("%s version devel gusvet\n", progname)
+		return
+	}
+	fmt.Printf("%s version devel gusvet buildID=%02x\n", progname, h.Sum(nil))
+}
+
+func printHelp(analyzers []*Analyzer) {
+	fmt.Println("gusvet: static enforcement of the engine's determinism, pooling, and hot-path invariants")
+	fmt.Println()
+	fmt.Println("usage: go vet -vettool=$(command -v gusvet) ./...")
+	for _, a := range analyzers {
+		fmt.Printf("\n%s:\n%s\n", a.Name, indent(a.Doc))
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimSpace(s), "\n", "\n  ")
+}
+
+// runUnit analyzes one vet unit; it returns the process exit code.
+func runUnit(cfgFile string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+	// Facts first: the go command expects the file even for packages the
+	// suite skips entirely.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte(factsPayload), 0o666); err != nil {
+			return 0, err
+		}
+	}
+	// Dependency units (stdlib and VetxOnly runs) need facts only; the
+	// synthesized .test main packages hold no hand-written code.
+	if cfg.VetxOnly || cfg.ModulePath == "" || strings.HasSuffix(cfg.ImportPath, ".test") || len(cfg.GoFiles) == 0 {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data the go command already
+	// built: ImportMap canonicalizes vendored/test paths, PackageFile
+	// locates each dependency's export file in the build cache.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tcfg := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	diags, names, err := RunAnalyzers(analyzers, func(a *Analyzer) *Pass {
+		return &Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			ModulePath: cfg.ModulePath,
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	for i, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [gusvet/%s]\n", fset.Position(d.Pos), d.Message, names[i])
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolSeededViolation builds the real gusvet binary and drives it
+// through `go vet -vettool` against a scratch module with a seeded
+// determinism violation — the full protocol: -V=full handshake, -flags
+// probe, per-package .cfg units, facts files, and exit status. It then
+// fixes the module and checks the clean run passes. This is the
+// acceptance gate: seeding math/rand into an engine package must fail
+// the build.
+func TestVettoolSeededViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to the go command")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go command not in PATH")
+	}
+	tmp := t.TempDir()
+	vettool := filepath.Join(tmp, "gusvet")
+	build := exec.Command(goTool, "build", "-o", vettool, "github.com/sampling-algebra/gus/cmd/gusvet")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building gusvet: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "mod")
+	writeFile(t, filepath.Join(mod, "go.mod"), "module vettest\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(mod, "engine", "engine.go"), `package engine
+
+import "math/rand"
+
+// Pick draws ambient randomness inside the deterministic core.
+func Pick(n int) int { return rand.Intn(n) }
+`)
+	run := func() (string, error) {
+		cmd := exec.Command(goTool, "vet", "-vettool="+vettool, "./...")
+		cmd.Dir = mod
+		cmd.Env = append(os.Environ(), "GOPROXY=off", "GOFLAGS=-mod=mod")
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	out, err := run()
+	if err == nil {
+		t.Fatalf("seeded math/rand violation passed vet:\n%s", out)
+	}
+	if !strings.Contains(out, "gusvet/determinism") {
+		t.Fatalf("expected a gusvet/determinism finding, got:\n%s", out)
+	}
+
+	writeFile(t, filepath.Join(mod, "engine", "engine.go"), `package engine
+
+// Pick is deterministic now.
+func Pick(n int) int { return n / 2 }
+`)
+	if out, err := run(); err != nil {
+		t.Fatalf("clean module failed vet: %v\n%s", err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -880,7 +880,11 @@ func (e *Engine) execJoinB(l, r *batch.Batch, leftCol, rightCol string, node int
 
 	// Vectorized build-side hashing, then the radix-partitioned build.
 	n := build.Len()
-	buildSp := e.trace.Begin("join-build", fmt.Sprintf("%s = %s", leftCol, rightCol), node)
+	var joinLbl string
+	if e.trace != nil {
+		joinLbl = leftCol + " = " + rightCol
+	}
+	buildSp := e.trace.Begin("join-build", joinLbl, node)
 	bh := getU64(n)
 	bspans := e.partitionsFor(n)
 	err = e.forEach(len(bspans), n, func(p int) error {
@@ -904,7 +908,7 @@ func (e *Engine) execJoinB(l, r *batch.Batch, leftCol, rightCol string, node int
 	e.trace.SetSpan(buildSp, func(s *obs.Span) { s.Partitions = len(bspans) })
 
 	// Parallel probe into per-partition (build, probe) index pairs.
-	probeSp := e.trace.Begin("join-probe", fmt.Sprintf("%s = %s", leftCol, rightCol), node)
+	probeSp := e.trace.Begin("join-probe", joinLbl, node)
 	pspans := e.partitionsFor(probe.Len())
 	bIdx := make([][]int32, len(pspans))
 	pIdx := make([][]int32, len(pspans))

@@ -26,12 +26,14 @@ import (
 // every execution of one prepared statement. The zero value is not usable;
 // call NewPrepared.
 type Prepared struct {
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	//gus:stringmap-ok compile-once kernel cache, hit at most once per statement execution
 	kernels map[string]*expr.VecCompiled
 }
 
 // NewPrepared returns an empty kernel snapshot.
 func NewPrepared() *Prepared {
+	//gus:stringmap-ok compile-once kernel cache, hit at most once per statement execution
 	return &Prepared{kernels: map[string]*expr.VecCompiled{}}
 }
 

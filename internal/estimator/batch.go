@@ -96,6 +96,7 @@ func sumFBatch(b *batch.Batch, f expr.Expr, opts Options) ([]float64, error) {
 	if workers <= 0 {
 		workers = 1
 	}
+	//gus:ctx-ok pure CPU shard over a materialized batch, below cancellation granularity
 	err = ops.ForEachPart(workers, len(spans), func(p int) error {
 		span := spans[p]
 		cols := make([]expr.Vec, len(b.Cols))

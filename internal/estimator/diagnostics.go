@@ -122,6 +122,7 @@ func DiagnoseAccum(a *Accum, approximate, clamped bool) *Diagnostics {
 // Group order follows first appearance, so repeated calls are identical.
 func diagnoseSource(n int, src linSource, fs []float64) (groups int, sum2, sum4 float64) {
 	full := lineage.Full(n)
+	//gus:stringmap-ok diagnostics-only pass off the estimate path; keys are composite lineage projections
 	idx := make(map[string]int, len(fs))
 	totals := make([]float64, 0, len(fs))
 	for i := range fs {

@@ -271,6 +271,7 @@ func maybeSubsample(g *core.Params, src linSource, fs []float64, opts Options) (
 	// Uniform per-dimension rate whose product is the target row fraction.
 	frac := float64(opts.MaxVarianceRows) / float64(len(fs))
 	rate := math.Pow(frac, 1/float64(n))
+	//gus:stringmap-ok once-per-query sampling-method spec keyed by relation name, not per-row state
 	probs := make(map[string]float64, n)
 	for i := 0; i < n; i++ {
 		probs[g.Schema().Name(i)] = rate

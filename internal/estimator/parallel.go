@@ -47,6 +47,7 @@ func sumF(in *ops.Rows, f expr.Expr, opts Options) ([]float64, float64, error) {
 	fs := make([]float64, n)
 	spans := ops.Partitions(n, opts.partitionSize())
 	partials := make([]float64, len(spans))
+	//gus:ctx-ok pure CPU shard over a materialized sample, below cancellation granularity
 	err = ops.ForEachPart(opts.Workers, len(spans), func(p int) error {
 		var acc float64
 		for i := spans[p].Lo; i < spans[p].Hi; i++ {
@@ -87,6 +88,7 @@ func totalOf(fs []float64, opts Options) float64 {
 	}
 	spans := ops.Partitions(len(fs), opts.partitionSize())
 	partials := make([]float64, len(spans))
+	//gus:ctx-ok pure CPU shard over a materialized sample, below cancellation granularity
 	_ = ops.ForEachPart(opts.Workers, len(spans), func(p int) error {
 		var acc float64
 		for i := spans[p].Lo; i < spans[p].Hi; i++ {
@@ -316,6 +318,7 @@ func momentsSharded(n int, src linSource, fs, gs []float64, opts Options) []floa
 	for m := 1; m < len(out); m++ {
 		slots := lineage.Set(m).Members()
 		shards := make([]hashShard, len(spans))
+		//gus:ctx-ok pure CPU shard over a materialized sample, below cancellation granularity
 		_ = ops.ForEachPart(opts.Workers, len(spans), func(p int) error {
 			shards[p] = hashShardFor(spans[p], src, slots, fs, gs)
 			return nil

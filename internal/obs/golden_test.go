@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden locks the user-visible metrics exposition against
+// map-iteration nondeterminism: families render sorted by name and vec
+// children sorted by label, whatever order registration and label
+// creation happened in. The golden text is exact — any ordering
+// regression (the kind gusvet's determinism analyzer exists to prevent)
+// shows up as a diff here.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	// Deliberately register out of alphabetical order and create vec
+	// children out of label order.
+	zg := reg.Gauge("z_inflight", "in-flight queries")
+	av := reg.CounterVec("a_outcomes_total", "query outcomes", "status")
+	mh := reg.Histogram("m_latency_seconds", "latency", []float64{1, 4})
+	bc := reg.Counter("b_queries_total", "completed queries")
+
+	av.With("timeout").Add(3)
+	av.With("error").Inc()
+	av.With("ok").Add(7)
+	zg.Set(2)
+	bc.Add(11)
+	mh.Observe(0.5)
+	mh.Observe(2)
+	mh.Observe(9)
+
+	const golden = `# HELP a_outcomes_total query outcomes
+# TYPE a_outcomes_total counter
+a_outcomes_total{status="error"} 1
+a_outcomes_total{status="ok"} 7
+a_outcomes_total{status="timeout"} 3
+# HELP b_queries_total completed queries
+# TYPE b_queries_total counter
+b_queries_total 11
+# HELP m_latency_seconds latency
+# TYPE m_latency_seconds histogram
+m_latency_seconds_bucket{le="1"} 1
+m_latency_seconds_bucket{le="4"} 2
+m_latency_seconds_bucket{le="+Inf"} 3
+m_latency_seconds_sum 11.5
+m_latency_seconds_count 3
+# HELP z_inflight in-flight queries
+# TYPE z_inflight gauge
+z_inflight 2
+`
+	var first strings.Builder
+	if err := reg.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != golden {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", first.String(), golden)
+	}
+	// Repeated renders are byte-identical: no per-call ordering jitter.
+	for i := 0; i < 8; i++ {
+		var again strings.Builder
+		if err := reg.WritePrometheus(&again); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("render %d differs from the first:\n%s\nvs\n%s", i, again.String(), first.String())
+		}
+	}
+}
+
+// TestSnapshotGolden locks the flat Snapshot ordering the same way: one
+// (name, label)-sorted sequence regardless of registration order.
+func TestSnapshotGolden(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("m_shapes", "per-shape queries", "shape")
+	reg.Counter("a_total", "total")
+	v.With("zeta").Inc()
+	v.With("alpha").Add(2)
+
+	want := []struct {
+		name, label string
+	}{
+		{"a_total", ""},
+		{"m_shapes", "alpha"},
+		{"m_shapes", "zeta"},
+	}
+	for run := 0; run < 8; run++ {
+		snap := reg.Snapshot()
+		if len(snap) != len(want) {
+			t.Fatalf("run %d: snapshot has %d entries, want %d: %+v", run, len(snap), len(want), snap)
+		}
+		for i, w := range want {
+			if snap[i].Name != w.name || snap[i].Label != w.label {
+				t.Fatalf("run %d: snapshot[%d] = (%s, %s), want (%s, %s)", run, i, snap[i].Name, snap[i].Label, w.name, w.label)
+			}
+		}
+	}
+}

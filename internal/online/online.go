@@ -198,7 +198,7 @@ func (x *Executor) Run(ctx context.Context, emit func(Update) bool) error {
 			states[i].accCross = estimator.NewAccum(n, true, x.Cfg.PartitionSize)
 		}
 	}
-	start := time.Now()
+	start := time.Now() //gus:nondet-ok deadline early-stop is wall-clock by design; estimates stay wave-deterministic
 	w := x.Waves
 	nParts := w.Partitions()
 	if nParts == 0 {
@@ -221,7 +221,7 @@ func (x *Executor) Run(ctx context.Context, emit func(Update) bool) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		waveStart := time.Now()
+		waveStart := time.Now() //gus:nondet-ok wave latency is observability, not part of the estimate
 		pHi := pLo + waveParts
 		if pHi > nParts {
 			pHi = nParts
@@ -251,9 +251,11 @@ func (x *Executor) Run(ctx context.Context, emit func(Update) bool) error {
 			u.Done, u.Reason = true, ReasonTargetCI
 		case x.Cfg.MaxFraction > 0 && x.Cfg.MaxFraction < 1 && frac >= x.Cfg.MaxFraction:
 			u.Done, u.Reason = true, ReasonMaxFraction
+		//gus:nondet-ok deadline early-stop is wall-clock by design; each emitted wave is still deterministic
 		case x.Cfg.Deadline > 0 && time.Since(start) >= x.Cfg.Deadline:
 			u.Done, u.Reason = true, ReasonDeadline
 		}
+		//gus:nondet-ok wave latency is observability, not part of the estimate
 		x.Trace.AddWave(u.Wave, u.FractionScanned, u.Estimate, u.CIHigh-u.CILow, time.Since(waveStart))
 		if !emit(u) || u.Done {
 			return nil

@@ -248,18 +248,21 @@ func NewLineageHash(seed uint64, probs map[string]float64) (*LineageHash, error)
 		return nil, fmt.Errorf("sampling: lineage-hash method needs at least one relation")
 	}
 	rels := make([]string, 0, len(probs))
-	for r, p := range probs {
+	for r := range probs {
+		rels = append(rels, r)
+	}
+	sort.Strings(rels)
+	// Validate in sorted order so the same bad input reports the same
+	// error on every run.
+	cp := make(map[string]float64, len(probs))
+	for _, r := range rels {
+		p := probs[r]
 		if r == "" {
 			return nil, fmt.Errorf("sampling: empty relation name")
 		}
 		if !(p >= 0 && p <= 1) {
 			return nil, fmt.Errorf("sampling: probability %v for %s outside [0,1]", p, r)
 		}
-		rels = append(rels, r)
-	}
-	sort.Strings(rels)
-	cp := make(map[string]float64, len(probs))
-	for r, p := range probs {
 		cp[r] = p
 	}
 	return &LineageHash{Seed: seed, rels: rels, probs: cp}, nil

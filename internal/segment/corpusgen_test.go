@@ -1,0 +1,88 @@
+package segment
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"github.com/sampling-algebra/gus/internal/relation"
+)
+
+// TestRegenerateFuzzCorpus rewrites the checked-in seed corpus for
+// FuzzSegmentDecode under testdata/fuzz/. The seeds are derived from a
+// real encoded segment (valid, truncated, and bit-flipped variants), so
+// they must be regenerated whenever the on-disk format changes:
+//
+//	GUS_REGEN_CORPUS=1 go test -run TestRegenerateFuzzCorpus ./internal/segment
+//
+// Without the env var the test only checks the corpus is present and in
+// the "go test fuzz v1" format — the actual decode behavior of every
+// entry runs with FuzzSegmentDecode's seed phase in plain `go test`.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzSegmentDecode")
+	if os.Getenv("GUS_REGEN_CORPUS") == "" {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("seed corpus missing (run with GUS_REGEN_CORPUS=1 to create): %v", err)
+		}
+		if len(entries) == 0 {
+			t.Fatal("seed corpus directory is empty")
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(data) < len("go test fuzz v1") || string(data[:15]) != "go test fuzz v1" {
+				t.Errorf("corpus entry %s lacks the go-fuzz header", e.Name())
+			}
+		}
+		return
+	}
+
+	schema := relation.MustSchema(
+		relation.Column{Name: "k", Kind: relation.KindInt},
+		relation.Column{Name: "v", Kind: relation.KindFloat},
+		relation.Column{Name: "tag", Kind: relation.KindString},
+	)
+	r := relation.MustNew("corpus", schema)
+	for i := 0; i < 64; i++ {
+		r.MustAppend(relation.Int(int64(i)), relation.Float(float64(i)/7), relation.String_([]string{"a", "bb", ""}[i%3]))
+	}
+	path := filepath.Join(t.TempDir(), "corpus"+Ext)
+	if _, err := Write(path, r); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flip := func(data []byte, at int) []byte {
+		out := append([]byte(nil), data...)
+		out[at] ^= 0xff
+		return out
+	}
+	seeds := map[string][]byte{
+		"valid-segment":    valid,
+		"empty":            {},
+		"magic-only":       []byte(headMagic),
+		"truncated-header": valid[:len(headMagic)+4],
+		"truncated-half":   valid[:len(valid)/2],
+		"flipped-magic":    flip(valid, 0),
+		"flipped-header":   flip(valid, len(headMagic)+2),
+		"flipped-payload":  flip(valid, len(valid)/2),
+		"flipped-tail":     flip(valid, len(valid)-1),
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("wrote %d corpus entries to %s", len(seeds), dir)
+}

@@ -192,6 +192,7 @@ func PlanTemplate(q *Query, cat Catalog) (*Template, error) {
 			case 0:
 				postPreds = append(postPreds, c) // constant predicate
 			case 1:
+				//gus:nondet-ok single-entry map: the loop extracts the only key
 				for o := range tables {
 					states[o].preds = append(states[o].preds, c)
 				}

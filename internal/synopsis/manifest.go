@@ -72,7 +72,10 @@ func FromManifest(m Manifest, rel *relation.Relation) (*Synopsis, error) {
 		}
 		s.stratIdx = idx
 		s.Rates = make(map[string]float64, len(m.Rates))
-		for k, r := range m.Rates {
+		// Sorted validation order keeps the reported stratum deterministic
+		// when several rates are bad.
+		for _, k := range sortedKeys(m.Rates) {
+			r := m.Rates[k]
 			if !(r > 0 && r <= 1) {
 				return nil, fmt.Errorf("synopsis manifest %q: stratum %q rate %v outside (0,1]", m.Name, k, r)
 			}

@@ -59,11 +59,13 @@ func Oracle(s *Synopsis, m sampling.Method, alias string, src *relation.Relation
 			direct[id] = true
 		}
 	}
+	//gus:nondet-ok oracle failure report: any offending id proves the violation
 	for id := range direct {
 		if !served[id] {
 			return fmt.Errorf("oracle: id %d belongs to the coordinated Bernoulli(%v) sample but the synopsis cannot serve it", id, d.P)
 		}
 	}
+	//gus:nondet-ok oracle failure report: any offending id proves the violation
 	for id := range served {
 		if !direct[id] {
 			return fmt.Errorf("oracle: synopsis served id %d which is outside the coordinated Bernoulli(%v) sample", id, d.P)

@@ -143,7 +143,10 @@ func Build(src *relation.Relation, spec Spec, generation uint64) (*Synopsis, err
 		}
 		s.stratIdx = idx
 		s.Rates = make(map[string]float64, len(spec.Rates))
-		for k, r := range spec.Rates {
+		// Sorted validation order keeps the reported stratum deterministic
+		// when several rates are bad.
+		for _, k := range sortedKeys(spec.Rates) {
+			r := spec.Rates[k]
 			if !(r > 0 && r <= 1) {
 				return nil, fmt.Errorf("synopsis: stratum %q rate %v outside (0,1]", k, r)
 			}
@@ -327,15 +330,25 @@ func (r *Registry) All() []*Synopsis {
 	return out
 }
 
-// OnAppend runs the append-maintenance hook for every synopsis over table.
+// OnAppend runs the append-maintenance hook for every synopsis over
+// table, in name order so a multi-synopsis failure reports the same
+// synopsis on every run.
 func (r *Registry) OnAppend(table string, id lineage.TupleID, tup relation.Tuple, newLen int) error {
-	for _, s := range r.byName {
-		if s.Table != table {
-			continue
-		}
+	for _, s := range r.ForTable(table) {
 		if err := s.OnAppend(id, tup, newLen); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// sortedKeys returns a map's string keys in sorted order, for
+// deterministic validation and reporting loops.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
